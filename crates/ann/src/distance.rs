@@ -1,0 +1,63 @@
+//! Distance kernels.
+
+/// Squared L2 distance between two equal-length vectors. The inner loop is
+/// a straight zip/fold so LLVM vectorizes it.
+#[inline]
+pub fn l2_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x * y).sum()
+}
+
+/// Cosine distance (`1 − cos`), safe for zero vectors (distance 1).
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+    let na = dot(a, a).sqrt();
+    let nb = dot(b, b).sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    1.0 - dot(a, b) / (na * nb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l2_basics() {
+        assert_eq!(l2_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(l2_sq(&[1.0], &[1.0]), 0.0);
+    }
+
+    #[test]
+    fn l2_symmetry() {
+        let a = [1.0, -2.0, 0.5];
+        let b = [0.0, 3.0, 1.5];
+        assert_eq!(l2_sq(&a, &b), l2_sq(&b, &a));
+    }
+
+    #[test]
+    fn dot_and_cosine() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((cosine_distance(&[1.0, 0.0], &[1.0, 0.0])).abs() < 1e-6);
+        assert!((cosine_distance(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine_distance(&[1.0, 0.0], &[-1.0, 0.0]) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_zero_vector_is_max() {
+        assert_eq!(cosine_distance(&[0.0, 0.0], &[1.0, 2.0]), 1.0);
+    }
+}

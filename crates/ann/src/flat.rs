@@ -1,0 +1,171 @@
+//! Exact exhaustive L2 index — the semantics of `faiss.IndexFlatL2`, which
+//! is what the paper's experiments run (§5.7 notes only the exhaustive
+//! version is used).
+
+use crate::distance::l2_sq;
+use crate::{Neighbor, VectorIndex};
+
+/// Flat (brute-force) index over row-major vectors.
+#[derive(Debug, Clone)]
+pub struct FlatIndex {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl FlatIndex {
+    /// Empty index of the given dimensionality.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        Self { dim, data: Vec::new() }
+    }
+
+    /// Builds an index directly from `n × dim` row-major data.
+    pub fn from_rows(dim: usize, rows: &[f32]) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(rows.len() % dim, 0, "row data must be a multiple of dim");
+        Self { dim, data: rows.to_vec() }
+    }
+
+    /// Appends one vector; returns its id.
+    pub fn add(&mut self, v: &[f32]) -> usize {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        self.data.extend_from_slice(v);
+        self.len() - 1
+    }
+
+    /// Stored vector by id.
+    pub fn vector(&self, id: usize) -> &[f32] {
+        &self.data[id * self.dim..(id + 1) * self.dim]
+    }
+}
+
+impl VectorIndex for FlatIndex {
+    fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let n = self.len();
+        let k = k.min(n);
+        if k == 0 {
+            return Vec::new();
+        }
+        // Bounded insertion into a sorted top-k buffer: O(n·k) worst case but
+        // k ≤ 10 in FlexER, and the distance scan dominates anyway.
+        let mut top: Vec<Neighbor> = Vec::with_capacity(k + 1);
+        for id in 0..n {
+            let dist = l2_sq(query, self.vector(id));
+            if top.len() == k && dist >= top[k - 1].dist {
+                continue;
+            }
+            let pos = top
+                .iter()
+                .position(|nb| dist < nb.dist)
+                .unwrap_or(top.len());
+            top.insert(pos, Neighbor { id, dist });
+            if top.len() > k {
+                top.pop();
+            }
+        }
+        top
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_index() -> FlatIndex {
+        // Points 0..8 on a line at x = id.
+        let mut idx = FlatIndex::new(2);
+        for i in 0..8 {
+            idx.add(&[i as f32, 0.0]);
+        }
+        idx
+    }
+
+    #[test]
+    fn nearest_is_itself() {
+        let idx = grid_index();
+        let hits = idx.search(&[3.0, 0.0], 1);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 3);
+        assert_eq!(hits[0].dist, 0.0);
+    }
+
+    #[test]
+    fn results_sorted_ascending() {
+        let idx = grid_index();
+        let hits = idx.search(&[2.2, 0.0], 4);
+        let ids: Vec<usize> = hits.iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![2, 3, 1, 4]);
+        for w in hits.windows(2) {
+            assert!(w[0].dist <= w[1].dist);
+        }
+    }
+
+    #[test]
+    fn ties_broken_by_id() {
+        let mut idx = FlatIndex::new(1);
+        idx.add(&[1.0]);
+        idx.add(&[-1.0]);
+        idx.add(&[1.0]);
+        let hits = idx.search(&[0.0], 3);
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+        // and with k=2 the smallest ids among the tie win
+        let hits = idx.search(&[0.0], 2);
+        assert_eq!(hits.iter().map(|h| h.id).collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn k_larger_than_index_is_clamped() {
+        let idx = grid_index();
+        assert_eq!(idx.search(&[0.0, 0.0], 100).len(), 8);
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let idx = FlatIndex::new(3);
+        assert!(idx.search(&[0.0, 0.0, 0.0], 5).is_empty());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn from_rows_matches_adds() {
+        let a = FlatIndex::from_rows(2, &[1.0, 2.0, 3.0, 4.0]);
+        let mut b = FlatIndex::new(2);
+        b.add(&[1.0, 2.0]);
+        b.add(&[3.0, 4.0]);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.vector(1), b.vector(1));
+    }
+
+    #[test]
+    fn exactness_against_naive_scan() {
+        // Randomish deterministic data; compare against full sort.
+        let dim = 4;
+        let n = 60;
+        let mut data = Vec::with_capacity(n * dim);
+        let mut s = 123456789u64;
+        for _ in 0..n * dim {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            data.push(((s >> 33) as f32 / u32::MAX as f32) * 2.0 - 1.0);
+        }
+        let idx = FlatIndex::from_rows(dim, &data);
+        let query = [0.1, -0.2, 0.3, 0.0];
+        let hits = idx.search(&query, 7);
+        let mut all: Vec<Neighbor> = (0..n)
+            .map(|id| Neighbor { id, dist: crate::distance::l2_sq(&query, idx.vector(id)) })
+            .collect();
+        all.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap().then(a.id.cmp(&b.id)));
+        for (h, e) in hits.iter().zip(all.iter()) {
+            assert_eq!(h.id, e.id);
+            assert!((h.dist - e.dist).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Inverted-file (IVF) approximate index — the "Faiss heuristic" the paper
+//! points to for reducing nearest-neighbour cost (§5.7).
+//!
+//! Vectors are partitioned by a k-means coarse quantizer; a query scans only
+//! the `nprobe` closest partitions. `nprobe = nlist` degenerates to exact
+//! search.
+
+use crate::distance::l2_sq;
+use crate::kmeans::KMeans;
+use crate::{Neighbor, VectorIndex};
+
+/// IVF construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IvfConfig {
+    /// Number of inverted lists (k-means clusters).
+    pub nlist: usize,
+    /// Number of lists probed per query.
+    pub nprobe: usize,
+    /// K-means iterations for the coarse quantizer.
+    pub train_iters: usize,
+    /// Seed for the quantizer.
+    pub seed: u64,
+}
+
+impl Default for IvfConfig {
+    fn default() -> Self {
+        Self { nlist: 16, nprobe: 4, train_iters: 15, seed: 0 }
+    }
+}
+
+/// The inverted-file index.
+#[derive(Debug, Clone)]
+pub struct IvfIndex {
+    dim: usize,
+    n: usize,
+    quantizer: KMeans,
+    /// `lists[c]` holds the vector ids assigned to centroid `c`.
+    lists: Vec<Vec<usize>>,
+    data: Vec<f32>,
+    nprobe: usize,
+}
+
+impl IvfIndex {
+    /// Trains the quantizer on the data and builds the inverted lists.
+    pub fn build(dim: usize, rows: &[f32], config: IvfConfig) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(rows.len() % dim, 0, "row data must be a multiple of dim");
+        let n = rows.len() / dim;
+        let quantizer = KMeans::fit(rows, dim, config.nlist.max(1), config.train_iters, config.seed);
+        let mut lists = vec![Vec::new(); quantizer.k.max(1)];
+        for (i, &c) in quantizer.assignments.iter().enumerate() {
+            lists[c].push(i);
+        }
+        Self {
+            dim,
+            n,
+            quantizer,
+            lists,
+            data: rows.to_vec(),
+            nprobe: config.nprobe.max(1),
+        }
+    }
+
+    fn vector(&self, id: usize) -> &[f32] {
+        &self.data[id * self.dim..(id + 1) * self.dim]
+    }
+
+    /// Number of inverted lists.
+    pub fn nlist(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Sets the probe width (clamped to `nlist`).
+    pub fn set_nprobe(&mut self, nprobe: usize) {
+        self.nprobe = nprobe.clamp(1, self.nlist());
+    }
+
+    /// Fraction of stored vectors scanned by an average query with the
+    /// current `nprobe` — a cheap selectivity diagnostic.
+    pub fn expected_scan_fraction(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let mut sizes: Vec<usize> = self.lists.iter().map(|l| l.len()).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let scanned: usize = sizes.iter().take(self.nprobe).sum();
+        scanned as f64 / self.n as f64
+    }
+}
+
+impl VectorIndex for IvfIndex {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        if self.n == 0 || k == 0 {
+            return Vec::new();
+        }
+        let order = self.quantizer.centroids_by_distance(query);
+        let mut hits: Vec<Neighbor> = Vec::new();
+        for &c in order.iter().take(self.nprobe.min(order.len())) {
+            for &id in &self.lists[c] {
+                hits.push(Neighbor { id, dist: l2_sq(query, self.vector(id)) });
+            }
+        }
+        hits.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap().then(a.id.cmp(&b.id)));
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+
+    fn pseudo_random_rows(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+        let mut s = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..n * dim)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as f32 / u32::MAX as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_probe_matches_flat_exactly() {
+        let dim = 6;
+        let rows = pseudo_random_rows(120, dim, 7);
+        let mut ivf = IvfIndex::build(dim, &rows, IvfConfig { nlist: 8, ..Default::default() });
+        ivf.set_nprobe(8);
+        let flat = FlatIndex::from_rows(dim, &rows);
+        let query = &rows[0..dim];
+        let a = ivf.search(query, 5);
+        let b = flat.search(query, 5);
+        assert_eq!(
+            a.iter().map(|h| h.id).collect::<Vec<_>>(),
+            b.iter().map(|h| h.id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn partial_probe_has_reasonable_recall() {
+        let dim = 4;
+        let rows = pseudo_random_rows(400, dim, 3);
+        let mut ivf = IvfIndex::build(dim, &rows, IvfConfig { nlist: 10, ..Default::default() });
+        ivf.set_nprobe(4);
+        let flat = FlatIndex::from_rows(dim, &rows);
+        let mut overlap = 0usize;
+        let mut total = 0usize;
+        for q in 0..20 {
+            let query = &rows[q * dim..(q + 1) * dim];
+            let approx: Vec<usize> = ivf.search(query, 10).iter().map(|h| h.id).collect();
+            let exact: Vec<usize> = flat.search(query, 10).iter().map(|h| h.id).collect();
+            overlap += exact.iter().filter(|id| approx.contains(id)).count();
+            total += exact.len();
+        }
+        let recall = overlap as f64 / total as f64;
+        assert!(recall > 0.5, "recall {recall}");
+    }
+
+    #[test]
+    fn nearest_self_always_found() {
+        // The query's own vector lives in the probed (nearest) list.
+        let dim = 3;
+        let rows = pseudo_random_rows(90, dim, 11);
+        let ivf = IvfIndex::build(dim, &rows, IvfConfig { nlist: 6, nprobe: 1, ..Default::default() });
+        for q in [0usize, 13, 57] {
+            let query = &rows[q * dim..(q + 1) * dim];
+            let hits = ivf.search(query, 1);
+            assert_eq!(hits[0].id, q);
+            assert_eq!(hits[0].dist, 0.0);
+        }
+    }
+
+    #[test]
+    fn scan_fraction_shrinks_with_fewer_probes() {
+        let dim = 2;
+        let rows = pseudo_random_rows(200, dim, 5);
+        let mut ivf = IvfIndex::build(dim, &rows, IvfConfig { nlist: 10, ..Default::default() });
+        ivf.set_nprobe(10);
+        let full = ivf.expected_scan_fraction();
+        ivf.set_nprobe(2);
+        let partial = ivf.expected_scan_fraction();
+        assert!((full - 1.0).abs() < 1e-9);
+        assert!(partial < full);
+    }
+
+    #[test]
+    fn empty_index() {
+        let ivf = IvfIndex::build(2, &[], IvfConfig::default());
+        assert!(ivf.search(&[0.0, 0.0], 3).is_empty());
+        assert_eq!(ivf.expected_scan_fraction(), 0.0);
+    }
+
+    #[test]
+    fn nprobe_clamped() {
+        let rows = pseudo_random_rows(20, 2, 1);
+        let mut ivf = IvfIndex::build(2, &rows, IvfConfig { nlist: 4, ..Default::default() });
+        ivf.set_nprobe(1000);
+        assert!(ivf.search(&rows[0..2], 3).len() == 3);
+    }
+}

@@ -1,0 +1,200 @@
+//! Seeded Lloyd's k-means with k-means++ initialization — the coarse
+//! quantizer behind the IVF index.
+
+use crate::distance::l2_sq;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// K-means result: row-major centroids and per-point assignments.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Number of centroids.
+    pub k: usize,
+    /// Dimensionality.
+    pub dim: usize,
+    /// Row-major centroid matrix, `k × dim`.
+    pub centroids: Vec<f32>,
+    /// Cluster id per input point.
+    pub assignments: Vec<usize>,
+}
+
+impl KMeans {
+    /// Runs k-means++ + Lloyd's iterations on `n × dim` row-major `data`.
+    /// `k` is clamped to the number of points.
+    pub fn fit(data: &[f32], dim: usize, k: usize, max_iters: usize, seed: u64) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(data.len() % dim, 0, "data must be a multiple of dim");
+        let n = data.len() / dim;
+        let k = k.clamp(1, n.max(1));
+        let row = |i: usize| &data[i * dim..(i + 1) * dim];
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        if n == 0 {
+            return Self { k: 0, dim, centroids: Vec::new(), assignments: Vec::new() };
+        }
+
+        // k-means++ seeding.
+        let mut centroids: Vec<f32> = Vec::with_capacity(k * dim);
+        let first = rng.gen_range(0..n);
+        centroids.extend_from_slice(row(first));
+        let mut min_dist: Vec<f32> = (0..n).map(|i| l2_sq(row(i), row(first))).collect();
+        while centroids.len() / dim < k {
+            let total: f32 = min_dist.iter().sum();
+            let pick = if total <= 0.0 {
+                rng.gen_range(0..n)
+            } else {
+                let mut target = rng.gen_range(0.0..total);
+                let mut chosen = n - 1;
+                for (i, &d) in min_dist.iter().enumerate() {
+                    if target < d {
+                        chosen = i;
+                        break;
+                    }
+                    target -= d;
+                }
+                chosen
+            };
+            centroids.extend_from_slice(row(pick));
+            let c = centroids.len() / dim - 1;
+            for i in 0..n {
+                let d = l2_sq(row(i), &centroids[c * dim..(c + 1) * dim]);
+                if d < min_dist[i] {
+                    min_dist[i] = d;
+                }
+            }
+        }
+
+        // Lloyd iterations.
+        let mut assignments = vec![0usize; n];
+        for _ in 0..max_iters {
+            let mut changed = false;
+            for i in 0..n {
+                let mut best = (f32::INFINITY, 0usize);
+                for c in 0..k {
+                    let d = l2_sq(row(i), &centroids[c * dim..(c + 1) * dim]);
+                    if d < best.0 {
+                        best = (d, c);
+                    }
+                }
+                if assignments[i] != best.1 {
+                    assignments[i] = best.1;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            let mut sums = vec![0.0f32; k * dim];
+            let mut counts = vec![0usize; k];
+            for i in 0..n {
+                let c = assignments[i];
+                counts[c] += 1;
+                for (s, &v) in sums[c * dim..(c + 1) * dim].iter_mut().zip(row(i)) {
+                    *s += v;
+                }
+            }
+            for c in 0..k {
+                if counts[c] > 0 {
+                    for (dst, s) in centroids[c * dim..(c + 1) * dim]
+                        .iter_mut()
+                        .zip(&sums[c * dim..(c + 1) * dim])
+                    {
+                        *dst = s / counts[c] as f32;
+                    }
+                }
+                // Empty clusters keep their previous centroid.
+            }
+        }
+        Self { k, dim, centroids, assignments }
+    }
+
+    /// Centroid row `c`.
+    pub fn centroid(&self, c: usize) -> &[f32] {
+        &self.centroids[c * self.dim..(c + 1) * self.dim]
+    }
+
+    /// Index of the nearest centroid to `v`.
+    pub fn nearest_centroid(&self, v: &[f32]) -> usize {
+        let mut best = (f32::INFINITY, 0usize);
+        for c in 0..self.k {
+            let d = l2_sq(v, self.centroid(c));
+            if d < best.0 {
+                best = (d, c);
+            }
+        }
+        best.1
+    }
+
+    /// Centroids sorted by distance to `v`, ascending.
+    pub fn centroids_by_distance(&self, v: &[f32]) -> Vec<usize> {
+        let mut order: Vec<(f32, usize)> =
+            (0..self.k).map(|c| (l2_sq(v, self.centroid(c)), c)).collect();
+        order.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        order.into_iter().map(|(_, c)| c).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated blobs must be split into two clusters.
+    #[test]
+    fn separates_two_blobs() {
+        let mut data = Vec::new();
+        for i in 0..20 {
+            data.extend_from_slice(&[i as f32 * 0.01, 0.0]);
+        }
+        for i in 0..20 {
+            data.extend_from_slice(&[100.0 + i as f32 * 0.01, 0.0]);
+        }
+        let km = KMeans::fit(&data, 2, 2, 20, 0);
+        let first = km.assignments[0];
+        assert!(km.assignments[..20].iter().all(|&a| a == first));
+        assert!(km.assignments[20..].iter().all(|&a| a != first));
+    }
+
+    #[test]
+    fn k_clamped_to_points() {
+        let data = vec![0.0, 0.0, 1.0, 1.0];
+        let km = KMeans::fit(&data, 2, 10, 5, 0);
+        assert_eq!(km.k, 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data: Vec<f32> = (0..60).map(|i| (i % 7) as f32).collect();
+        let a = KMeans::fit(&data, 3, 4, 10, 5);
+        let b = KMeans::fit(&data, 3, 4, 10, 5);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn nearest_centroid_consistent_with_assignments() {
+        let data: Vec<f32> = (0..40).map(|i| if i < 20 { 0.0 } else { 9.0 }).collect();
+        let km = KMeans::fit(&data, 1, 2, 20, 1);
+        for i in 0..40 {
+            let v = &data[i..i + 1];
+            assert_eq!(km.nearest_centroid(v), km.assignments[i]);
+        }
+    }
+
+    #[test]
+    fn centroids_by_distance_orders_all() {
+        let data = vec![0.0, 5.0, 10.0];
+        let km = KMeans::fit(&data, 1, 3, 10, 2);
+        let order = km.centroids_by_distance(&[0.0]);
+        assert_eq!(order.len(), 3);
+        let d0 = l2_sq(&[0.0], km.centroid(order[0]));
+        let d2 = l2_sq(&[0.0], km.centroid(order[2]));
+        assert!(d0 <= d2);
+    }
+
+    #[test]
+    fn empty_data() {
+        let km = KMeans::fit(&[], 3, 2, 5, 0);
+        assert_eq!(km.k, 0);
+        assert!(km.assignments.is_empty());
+    }
+}

@@ -1,0 +1,53 @@
+//! # flexer-ann
+//!
+//! Nearest-neighbour search for FlexER's intra-layer edges (§4.1.3) — the
+//! Faiss substitute. The paper connects every multiplex-graph node to its
+//! `k` nearest neighbours under L2 distance over the *initial* node
+//! representation, using Faiss's exhaustive search; "Faiss offers multiple
+//! heuristics that can reduce the computational effort" (§5.7).
+//!
+//! Accordingly this crate provides:
+//! * [`FlatIndex`] — exact exhaustive L2 search (what the paper runs), and
+//! * [`IvfIndex`] — an inverted-file approximate index over a k-means
+//!   coarse quantizer (the heuristic alternative),
+//!
+//! plus [`knn_graph()`](knn_graph::knn_graph), which turns an index into the directed k-NN edge
+//! lists the multiplex graph consumes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distance;
+pub mod flat;
+pub mod ivf;
+pub mod kmeans;
+pub mod knn_graph;
+
+pub use distance::l2_sq;
+pub use flat::FlatIndex;
+pub use ivf::{IvfConfig, IvfIndex};
+pub use knn_graph::knn_graph;
+
+/// A search hit: vector id and squared L2 distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Id of the stored vector.
+    pub id: usize,
+    /// Squared L2 distance from the query.
+    pub dist: f32,
+}
+
+/// Common interface of the exact and approximate indexes.
+pub trait VectorIndex {
+    /// Number of stored vectors.
+    fn len(&self) -> usize;
+    /// Whether the index is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Vector dimensionality.
+    fn dim(&self) -> usize;
+    /// Returns up to `k` nearest stored vectors to `query`, ascending by
+    /// distance, ties broken by ascending id.
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor>;
+}

@@ -1,0 +1,107 @@
+//! Property-based tests for the ANN substrate: the flat index must be
+//! *exactly* brute force; IVF with full probing must equal flat; the k-NN
+//! graph respects its structural contract.
+
+use flexer_ann::knn_graph::knn_graph;
+use flexer_ann::{l2_sq, FlatIndex, IvfConfig, IvfIndex, Neighbor, VectorIndex};
+use proptest::prelude::*;
+
+fn rows_strategy(n: usize, dim: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-3.0f32..3.0, n * dim)
+}
+
+fn brute_force(rows: &[f32], dim: usize, query: &[f32], k: usize) -> Vec<Neighbor> {
+    let n = rows.len() / dim;
+    let mut all: Vec<Neighbor> = (0..n)
+        .map(|id| Neighbor { id, dist: l2_sq(query, &rows[id * dim..(id + 1) * dim]) })
+        .collect();
+    all.sort_by(|a, b| a.dist.partial_cmp(&b.dist).unwrap().then(a.id.cmp(&b.id)));
+    all.truncate(k);
+    all
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Flat search equals an independent brute-force scan, ids and order.
+    #[test]
+    fn flat_index_is_exact(rows in rows_strategy(40, 3), k in 1usize..8) {
+        let dim = 3;
+        let index = FlatIndex::from_rows(dim, &rows);
+        let query = &rows[0..dim];
+        let got = index.search(query, k);
+        let want = brute_force(&rows, dim, query, k);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.id, w.id);
+            prop_assert!((g.dist - w.dist).abs() < 1e-5);
+        }
+    }
+
+    /// Distances in a result list are non-decreasing and ≥ 0.
+    #[test]
+    fn results_sorted_and_nonnegative(rows in rows_strategy(25, 4), k in 1usize..10) {
+        let index = FlatIndex::from_rows(4, &rows);
+        let hits = index.search(&rows[4..8], k);
+        for w in hits.windows(2) {
+            prop_assert!(w[0].dist <= w[1].dist);
+        }
+        for h in &hits {
+            prop_assert!(h.dist >= 0.0);
+        }
+    }
+
+    /// IVF probing every list returns exactly the flat result.
+    #[test]
+    fn ivf_full_probe_equals_flat(rows in rows_strategy(30, 3), k in 1usize..6) {
+        let dim = 3;
+        let nlist = 5;
+        let mut ivf = IvfIndex::build(dim, &rows, IvfConfig { nlist, ..Default::default() });
+        ivf.set_nprobe(nlist);
+        let flat = FlatIndex::from_rows(dim, &rows);
+        let query = &rows[dim..2 * dim];
+        let a: Vec<usize> = ivf.search(query, k).iter().map(|h| h.id).collect();
+        let b: Vec<usize> = flat.search(query, k).iter().map(|h| h.id).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// The k-NN graph: no self-loops, correct out-degrees, and each
+    /// neighbour list really is the k nearest others.
+    #[test]
+    fn knn_graph_contract(rows in rows_strategy(20, 2), k in 0usize..6) {
+        let dim = 2;
+        let index = FlatIndex::from_rows(dim, &rows);
+        let graph = knn_graph(&index, k);
+        let n = rows.len() / dim;
+        prop_assert_eq!(graph.len(), n);
+        for (i, nbrs) in graph.iter().enumerate() {
+            prop_assert_eq!(nbrs.len(), k.min(n - 1));
+            prop_assert!(!nbrs.contains(&i));
+            // Every listed neighbour is at most as far as any unlisted one
+            // (ties may go either way, so compare with epsilon).
+            let my = &rows[i * dim..(i + 1) * dim];
+            let worst_listed = nbrs
+                .iter()
+                .map(|&u| l2_sq(my, &rows[u * dim..(u + 1) * dim]))
+                .fold(0.0f32, f32::max);
+            for other in 0..n {
+                if other == i || nbrs.contains(&other) {
+                    continue;
+                }
+                let d = l2_sq(my, &rows[other * dim..(other + 1) * dim]);
+                prop_assert!(d >= worst_listed - 1e-5,
+                    "node {i}: unlisted {other} at {d} closer than listed at {worst_listed}");
+            }
+        }
+    }
+
+    /// Searching with k ≥ n returns all points exactly once.
+    #[test]
+    fn oversized_k_returns_everything(rows in rows_strategy(12, 2)) {
+        let index = FlatIndex::from_rows(2, &rows);
+        let hits = index.search(&[0.0, 0.0], 100);
+        let mut ids: Vec<usize> = hits.iter().map(|h| h.id).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..12).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,83 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * matcher cross-features on/off (justifies the DITTO substitution),
+//! * relation-typed vs. pooled neighbour aggregation (our multiplex
+//!   adjustment of Eq. 3),
+//! * intra-layer edges on/off (k = 6 vs k = 0, Table 8's axis).
+//!
+//! Each bench reports wall time; the printed F1s (once per process, via
+//! `eprintln!`) document the quality side of the trade-off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexer_bench::{matcher_config, DatasetKind};
+use flexer_core::{evaluate_intent_on_split, InParallelModel, PipelineContext};
+use flexer_graph::sage::Aggregation;
+use flexer_graph::{build_intent_graph, train_for_intent, GnnConfig};
+use flexer_matcher::train::PairCorpus;
+use flexer_matcher::{BinaryMatcher, PairFeaturizer};
+use flexer_nn::Matrix;
+use flexer_types::{LabelMatrix, Scale, Split};
+
+fn bench_ablation(c: &mut Criterion) {
+    let bench = DatasetKind::AmazonMi.generate(Scale::Tiny, 13);
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    // --- Matcher cross features on/off ---
+    for (label, use_cross) in [("matcher_cross_on", true), ("matcher_cross_off", false)] {
+        let mut config = matcher_config(Scale::Tiny, 13);
+        config.featurizer = PairFeaturizer { use_cross, ..config.featurizer };
+        let corpus = PairCorpus::from_benchmark(&bench, &config);
+        let labels = bench.labels.column(0);
+        let train = bench.split_indices(Split::Train);
+        let valid = bench.split_indices(Split::Valid);
+        let trained = BinaryMatcher::train(&corpus, &labels, &train, &valid, &config);
+        eprintln!("[ablation] {label}: valid F1 = {:.3}", trained.best_valid_f1);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                BinaryMatcher::train(&corpus, &labels, &train, &valid, &config).best_valid_f1
+            })
+        });
+    }
+
+    // --- GNN aggregation + intra-edge ablations ---
+    let mcfg = matcher_config(Scale::Tiny, 13);
+    let ctx = PipelineContext::new(bench, &mcfg).expect("valid benchmark");
+    let base = InParallelModel::fit(&ctx, &mcfg).expect("fit base");
+    let embeddings: Vec<Matrix> = base.outputs.iter().map(|o| o.embeddings.clone()).collect();
+    let labels = ctx.benchmark.labels.column(0);
+    let train = ctx.train_idx();
+    let valid = ctx.valid_idx();
+
+    let variants: [(&str, usize, Aggregation); 3] = [
+        ("gnn_relation_typed_k6", 6, Aggregation::RelationTyped),
+        ("gnn_pooled_k6", 6, Aggregation::Pooled),
+        ("gnn_relation_typed_k0", 0, Aggregation::RelationTyped),
+    ];
+    for (label, k, aggregation) in variants {
+        let graph = build_intent_graph(&embeddings, k);
+        let config = GnnConfig {
+            hidden_dim: 32,
+            epochs: 30,
+            patience: 30,
+            aggregation,
+            ..Default::default()
+        };
+        let trained = train_for_intent(&graph, 0, &labels, &train, &valid, &config);
+        let mut preds = LabelMatrix::zeros(ctx.benchmark.n_pairs(), 1);
+        for (i, &p) in trained.preds.iter().enumerate() {
+            preds.set(i, 0, p);
+        }
+        let f1 = evaluate_intent_on_split(&ctx.benchmark, &preds, 0, Split::Test).f1;
+        eprintln!("[ablation] {label}: test F1 = {f1:.3}");
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                train_for_intent(&graph, 0, &labels, &train, &valid, &config).best_valid_f1
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

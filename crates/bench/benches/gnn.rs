@@ -1,0 +1,42 @@
+//! Criterion bench for GNN training epochs (Table 9's 2L vs 3L columns):
+//! one full-batch epoch over a tiny AmazonMI multiplex graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexer_bench::{matcher_config, DatasetKind};
+use flexer_core::{InParallelModel, PipelineContext};
+use flexer_graph::{build_intent_graph, train_for_intent, GnnConfig};
+use flexer_nn::Matrix;
+use flexer_types::Scale;
+
+fn bench_gnn(c: &mut Criterion) {
+    let bench = DatasetKind::AmazonMi.generate(Scale::Tiny, 5);
+    let mcfg = matcher_config(Scale::Tiny, 5);
+    let ctx = PipelineContext::new(bench, &mcfg).expect("valid benchmark");
+    let base = InParallelModel::fit(&ctx, &mcfg).expect("fit in-parallel");
+    let embeddings: Vec<Matrix> = base.outputs.iter().map(|o| o.embeddings.clone()).collect();
+    let graph = build_intent_graph(&embeddings, 6);
+    let labels = ctx.benchmark.labels.column(0);
+    let train = ctx.train_idx();
+    let valid = ctx.valid_idx();
+
+    let mut group = c.benchmark_group("gnn_train");
+    group.sample_size(10);
+    for &layers in &[2usize, 3] {
+        group.bench_with_input(BenchmarkId::new("epochs10", format!("{layers}L")), &layers, |b, &l| {
+            b.iter(|| {
+                let config = GnnConfig {
+                    n_layers: l,
+                    hidden_dim: 32,
+                    epochs: 10,
+                    patience: 10,
+                    ..Default::default()
+                };
+                train_for_intent(&graph, 0, &labels, &train, &valid, &config).best_valid_f1
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gnn);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for the nearest-neighbour computation (Table 9's NN
+//! column): exact flat search vs. the IVF heuristic the paper alludes to.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexer_ann::{FlatIndex, IvfConfig, IvfIndex, VectorIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_rows(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let dim = 48;
+    let mut group = c.benchmark_group("knn");
+    group.sample_size(10);
+    for &n in &[500usize, 2000] {
+        let rows = random_rows(n, dim, 7);
+        let flat = FlatIndex::from_rows(dim, &rows);
+        let mut ivf = IvfIndex::build(dim, &rows, IvfConfig { nlist: 32, ..Default::default() });
+        ivf.set_nprobe(4);
+        let queries: Vec<&[f32]> = (0..64).map(|i| &rows[i * dim..(i + 1) * dim]).collect();
+
+        group.bench_with_input(BenchmarkId::new("flat_exact", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for q in &queries {
+                    acc += flat.search(q, 6).len();
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ivf_nprobe4", n), &n, |b, _| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for q in &queries {
+                    acc += ivf.search(q, 6).len();
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_knn);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for the matcher stage: featurization, one training run
+//! and full-candidate-set inference on a tiny benchmark — the "preparatory
+//! phase" whose cost Table 9 compares the GNN against.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexer_bench::{matcher_config, DatasetKind};
+use flexer_matcher::train::PairCorpus;
+use flexer_matcher::BinaryMatcher;
+use flexer_types::{Scale, Split};
+
+fn bench_matcher(c: &mut Criterion) {
+    let bench = DatasetKind::AmazonMi.generate(Scale::Tiny, 9);
+    let config = matcher_config(Scale::Tiny, 9);
+    let corpus = PairCorpus::from_benchmark(&bench, &config);
+    let labels = bench.labels.column(0);
+    let train = bench.split_indices(Split::Train);
+    let valid = bench.split_indices(Split::Valid);
+    let trained = BinaryMatcher::train(&corpus, &labels, &train, &valid, &config);
+
+    let mut group = c.benchmark_group("matcher");
+    group.sample_size(10);
+    group.bench_function("featurize_benchmark", |b| {
+        b.iter(|| PairCorpus::from_benchmark(&bench, &config).len())
+    });
+    group.bench_function("train_binary", |b| {
+        b.iter(|| {
+            BinaryMatcher::train(&corpus, &labels, &train, &valid, &config).best_valid_f1
+        })
+    });
+    group.bench_function("infer_all_pairs", |b| {
+        b.iter(|| trained.infer(&corpus.features).preds.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matcher);
+criterion_main!(benches);

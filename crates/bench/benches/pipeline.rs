@@ -1,0 +1,39 @@
+//! Criterion bench for the end-to-end pipeline at tiny scale: dataset
+//! generation, the full FlexER fit, and the baseline fits it subsumes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flexer_bench::{flexer_config, matcher_config, DatasetKind};
+use flexer_core::prelude::*;
+use flexer_core::{FlexErModel, InParallelModel, NaiveModel};
+use flexer_types::Scale;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(10);
+
+    group.bench_function("generate_amazonmi_tiny", |b| {
+        b.iter(|| DatasetKind::AmazonMi.generate(Scale::Tiny, 1).n_pairs())
+    });
+
+    let bench = DatasetKind::AmazonMi.generate(Scale::Tiny, 1);
+    let mcfg = matcher_config(Scale::Tiny, 1);
+    let ctx = PipelineContext::new(bench, &mcfg).expect("valid benchmark");
+    group.bench_function("fit_naive", |b| {
+        b.iter(|| NaiveModel::fit(&ctx, &mcfg).unwrap().predictions.n_pairs())
+    });
+
+    let base = InParallelModel::fit(&ctx, &mcfg).expect("fit base");
+    let fcfg = flexer_config(Scale::Tiny, 1);
+    group.bench_function("fit_flexer_from_embeddings", |b| {
+        b.iter(|| {
+            FlexErModel::fit_from_embeddings(&ctx, &base.embeddings(), &fcfg)
+                .unwrap()
+                .predictions
+                .n_pairs()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Table 3 — benchmark cardinalities: records |D|, candidate pairs |C| and
+//! intent counts |Π| for the three generated benchmarks, next to the
+//! paper's numbers.
+
+use flexer_bench::{banner, DatasetKind, HarnessArgs};
+use flexer_eval::TextTable;
+use flexer_types::Scale;
+
+fn main() {
+    let args = HarnessArgs::parse_with_default(Scale::Paper);
+    banner("Table 3: benchmark datasets", &args);
+
+    let mut table = TextTable::new(&[
+        "Dataset",
+        "#Records",
+        "#Pairs",
+        "#Intents",
+        "PAPER #Records",
+        "PAPER #Pairs",
+        "PAPER #Intents",
+    ]);
+    for kind in DatasetKind::ALL {
+        let bench = kind.generate(args.scale, args.seed);
+        bench.validate().expect("benchmark validates");
+        let (records, pairs, intents) = kind.paper_cardinalities();
+        table.row(&[
+            kind.name().to_string(),
+            bench.dataset.len().to_string(),
+            bench.n_pairs().to_string(),
+            bench.n_intents().to_string(),
+            records.to_string(),
+            pairs.to_string(),
+            intents.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+    if args.scale != Scale::Paper {
+        println!(
+            "\n(note: at --scale {} cardinalities are intentionally ~{}x smaller than the paper)",
+            args.scale,
+            match args.scale {
+                Scale::Small => "5",
+                Scale::Tiny => "40",
+                Scale::Paper => "1",
+            }
+        );
+    }
+}

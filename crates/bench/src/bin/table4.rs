@@ -1,0 +1,36 @@
+//! Table 4 — positive-label proportion (%Pos) per dataset, intent and
+//! split, next to the paper's proportions. This is the calibration check of
+//! the synthetic generators.
+
+use flexer_bench::{banner, DatasetKind, HarnessArgs};
+use flexer_eval::TextTable;
+use flexer_types::{Scale, Split};
+
+fn main() {
+    let args = HarnessArgs::parse_with_default(Scale::Paper);
+    banner("Table 4: positive label proportion by dataset and intent", &args);
+
+    for kind in DatasetKind::ALL {
+        let bench = kind.generate(args.scale, args.seed);
+        println!("{}", kind.name());
+        let mut table = TextTable::new(&[
+            "Intent", "Train", "Valid", "Test", "PAPER Train", "PAPER Valid", "PAPER Test",
+        ]);
+        for (p, (name, paper)) in kind.paper_positive_rates().iter().enumerate() {
+            let ours: Vec<String> = Split::ALL
+                .iter()
+                .map(|&s| format!("{:.1}%", 100.0 * bench.positive_rate(p, s)))
+                .collect();
+            table.row(&[
+                format!("({}) {}", p + 1, name),
+                ours[0].clone(),
+                ours[1].clone(),
+                ours[2].clone(),
+                format!("{:.1}%", 100.0 * paper[0]),
+                format!("{:.1}%", 100.0 * paper[1]),
+                format!("{:.1}%", 100.0 * paper[2]),
+            ]);
+        }
+        println!("{}\n", table.render());
+    }
+}

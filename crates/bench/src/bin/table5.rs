@@ -1,0 +1,58 @@
+//! Table 5 — the MIER headline result: MI-P, MI-R, MI-F (Eq. 8), MI-Acc
+//! (Eq. 9) and MI-E_F (Eq. 7, residual-error reduction of FlexER over the
+//! In-parallel baseline) for Naïve / In-parallel / Multi-label / FlexER on
+//! all three benchmarks.
+
+use flexer_bench::{banner, DatasetKind, HarnessArgs, ModelSuite};
+use flexer_core::evaluate_on_split;
+use flexer_eval::report::{fmt_metric, fmt_percent};
+use flexer_eval::{residual_error_reduction, TextTable};
+use flexer_types::Split;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner("Table 5: multiple intent results", &args);
+
+    for kind in DatasetKind::ALL {
+        let bench = kind.generate(args.scale, args.seed);
+        eprintln!("[table5] fitting 4 models on {} ({} pairs)...", kind.name(), bench.n_pairs());
+        let suite = ModelSuite::fit(bench, args.scale, args.seed);
+
+        let mut table = TextTable::new(&[
+            "Model", "MI-P", "MI-R", "MI-F", "MI-Acc", "MI-EF", "| PAPER", "MI-P", "MI-R",
+            "MI-F", "MI-Acc", "MI-EF",
+        ]);
+        let baseline_f1 = evaluate_on_split(
+            &suite.ctx.benchmark,
+            &suite.in_parallel.predictions,
+            Split::Test,
+        )
+        .mi_f1;
+        for ((name, preds), (_, paper)) in suite.rows().iter().zip(kind.paper_table5()) {
+            let r = evaluate_on_split(&suite.ctx.benchmark, preds, Split::Test);
+            let ef = if *name == "FlexER" {
+                fmt_percent(residual_error_reduction(r.mi_f1, baseline_f1))
+            } else {
+                "-".to_string()
+            };
+            let paper_ef =
+                if paper[4].is_nan() { "-".to_string() } else { fmt_percent(paper[4]) };
+            table.row(&[
+                name.to_string(),
+                fmt_metric(r.mi_precision),
+                fmt_metric(r.mi_recall),
+                fmt_metric(r.mi_f1),
+                fmt_metric(r.mi_accuracy),
+                ef,
+                "|".to_string(),
+                fmt_metric(paper[0]),
+                fmt_metric(paper[1]),
+                fmt_metric(paper[2]),
+                fmt_metric(paper[3]),
+                paper_ef,
+            ]);
+        }
+        println!("{}", kind.name());
+        println!("{}\n", table.render());
+    }
+}

@@ -1,0 +1,59 @@
+//! Table 6 — the equivalence intent (universal entity resolution):
+//! P, R, F1, Acc and E_F (FlexER's residual-error reduction over the
+//! In-parallel/DITTO baseline) per dataset.
+
+use flexer_bench::{banner, DatasetKind, HarnessArgs, ModelSuite};
+use flexer_core::evaluate_intent_on_split;
+use flexer_eval::report::{fmt_metric, fmt_percent};
+use flexer_eval::{residual_error_reduction, TextTable};
+use flexer_types::Split;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner("Table 6: equivalence intent results", &args);
+
+    for kind in DatasetKind::ALL {
+        let bench = kind.generate(args.scale, args.seed);
+        eprintln!("[table6] fitting models on {}...", kind.name());
+        let suite = ModelSuite::fit(bench, args.scale, args.seed);
+        let eq = suite.ctx.equivalence_id().expect("benchmarks declare Eq.");
+
+        let models = [
+            ("In-parallel", &suite.in_parallel.predictions),
+            ("Multi-label", &suite.multi_label.predictions),
+            ("FlexER", &suite.flexer.predictions),
+        ];
+        let baseline =
+            evaluate_intent_on_split(&suite.ctx.benchmark, &suite.in_parallel.predictions, eq, Split::Test)
+                .f1;
+        let mut table = TextTable::new(&[
+            "Model", "P", "R", "F", "Acc", "EF", "| PAPER", "P", "R", "F", "Acc", "EF",
+        ]);
+        for ((name, preds), (_, paper)) in models.iter().zip(kind.paper_table6()) {
+            let r = evaluate_intent_on_split(&suite.ctx.benchmark, preds, eq, Split::Test);
+            let ef = if *name == "FlexER" {
+                fmt_percent(residual_error_reduction(r.f1, baseline))
+            } else {
+                "-".to_string()
+            };
+            let paper_ef =
+                if paper[4].is_nan() { "-".to_string() } else { fmt_percent(paper[4]) };
+            table.row(&[
+                name.to_string(),
+                fmt_metric(r.precision),
+                fmt_metric(r.recall),
+                fmt_metric(r.f1),
+                fmt_metric(r.accuracy),
+                ef,
+                "|".to_string(),
+                fmt_metric(paper[0]),
+                fmt_metric(paper[1]),
+                fmt_metric(paper[2]),
+                fmt_metric(paper[3]),
+                paper_ef,
+            ]);
+        }
+        println!("{}", kind.name());
+        println!("{}\n", table.render());
+    }
+}

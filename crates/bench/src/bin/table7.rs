@@ -1,0 +1,79 @@
+//! Table 7 — single-intent results for every intent *except* equivalence:
+//! P, R, F1, Acc and E_F per dataset/intent/model. The paper reads this
+//! table for the subsumption story: Set-Cat. and Main-Cat. & Set-Cat.
+//! (both subsumed by Main-Cat.) gain the most from FlexER.
+
+use flexer_bench::{banner, DatasetKind, HarnessArgs, ModelSuite};
+use flexer_core::evaluate_intent_on_split;
+use flexer_eval::report::{fmt_metric, fmt_percent};
+use flexer_eval::{residual_error_reduction, TextTable};
+use flexer_types::Split;
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner("Table 7: single intent results except equivalence", &args);
+
+    for kind in DatasetKind::ALL {
+        let bench = kind.generate(args.scale, args.seed);
+        eprintln!("[table7] fitting models on {}...", kind.name());
+        let suite = ModelSuite::fit(bench, args.scale, args.seed);
+        let eq = suite.ctx.equivalence_id().expect("benchmarks declare Eq.");
+
+        let mut table = TextTable::new(&[
+            "Intent", "Model", "P", "R", "F", "Acc", "EF", "| PAPER", "P", "R", "F", "Acc", "EF",
+        ]);
+        let paper_rows = kind.paper_table7();
+        let mut paper_iter = paper_rows.iter();
+        for p in 0..suite.ctx.n_intents() {
+            if p == eq {
+                continue;
+            }
+            let intent_name = suite.ctx.benchmark.intents[p].name.clone();
+            let models = [
+                ("DITTO (In-parallel)", &suite.in_parallel.predictions),
+                ("Multi-label", &suite.multi_label.predictions),
+                ("FlexER", &suite.flexer.predictions),
+            ];
+            let baseline = evaluate_intent_on_split(
+                &suite.ctx.benchmark,
+                &suite.in_parallel.predictions,
+                p,
+                Split::Test,
+            )
+            .f1;
+            for (name, preds) in models {
+                let r = evaluate_intent_on_split(&suite.ctx.benchmark, preds, p, Split::Test);
+                let ef = if name == "FlexER" {
+                    fmt_percent(residual_error_reduction(r.f1, baseline))
+                } else {
+                    "-".to_string()
+                };
+                let paper = paper_iter.next();
+                let (pp, pef) = match paper {
+                    Some((_, _, vals)) => (
+                        vals[..4].iter().map(|&v| fmt_metric(v)).collect::<Vec<_>>(),
+                        if vals[4].is_nan() { "-".to_string() } else { fmt_percent(vals[4]) },
+                    ),
+                    None => (vec!["-".into(); 4], "-".to_string()),
+                };
+                table.row(&[
+                    intent_name.clone(),
+                    name.to_string(),
+                    fmt_metric(r.precision),
+                    fmt_metric(r.recall),
+                    fmt_metric(r.f1),
+                    fmt_metric(r.accuracy),
+                    ef,
+                    "|".to_string(),
+                    pp[0].clone(),
+                    pp[1].clone(),
+                    pp[2].clone(),
+                    pp[3].clone(),
+                    pef,
+                ]);
+            }
+        }
+        println!("{}", kind.name());
+        println!("{}\n", table.render());
+    }
+}

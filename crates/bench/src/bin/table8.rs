@@ -1,0 +1,61 @@
+//! Table 8 — intra-layer edge analysis: equivalence-intent F1 with k = 0
+//! (no intra-layer edges) vs. the average over k ∈ {2,4,6,8,10}, per
+//! dataset. The paper's finding: every positive k beats k = 0, with no
+//! single k dominating.
+
+use flexer_bench::{banner, flexer_config, matcher_config, DatasetKind, HarnessArgs};
+use flexer_core::prelude::*;
+use flexer_core::{evaluate_intent_on_split, InParallelModel};
+use flexer_eval::report::fmt_metric;
+use flexer_eval::TextTable;
+use flexer_types::Split;
+
+const K_VALUES: [usize; 5] = [2, 4, 6, 8, 10];
+
+fn main() {
+    let args = HarnessArgs::parse();
+    banner("Table 8: analysis of k value (equivalence-intent F1)", &args);
+
+    let mut table = TextTable::new(&[
+        "Dataset", "k=0", "avg k>0", "best k>0", "| PAPER", "k=0", "avg k>0",
+    ]);
+    for kind in DatasetKind::ALL {
+        let bench = kind.generate(args.scale, args.seed);
+        eprintln!("[table8] sweeping k on {}...", kind.name());
+        let mcfg = matcher_config(args.scale, args.seed);
+        let ctx = PipelineContext::new(bench, &mcfg).expect("valid benchmark");
+        let base = InParallelModel::fit(&ctx, &mcfg).expect("fit in-parallel");
+        let eq = ctx.equivalence_id().expect("Eq. declared");
+        let embeddings = base.embeddings();
+
+        let f1_at = |k: usize| -> f64 {
+            let config = flexer_config(args.scale, args.seed).with_k(k);
+            let model = FlexErModel::fit_from_embeddings(&ctx, &embeddings, &config)
+                .expect("fit flexer");
+            evaluate_intent_on_split(&ctx.benchmark, &model.predictions, eq, Split::Test).f1
+        };
+        let f0 = f1_at(0);
+        let mut best = (0usize, f64::MIN);
+        let mut sum = 0.0;
+        for k in K_VALUES {
+            let f = f1_at(k);
+            eprintln!("[table8]   {} k={k}: F1={f:.3}", kind.name());
+            sum += f;
+            if f > best.1 {
+                best = (k, f);
+            }
+        }
+        let avg = sum / K_VALUES.len() as f64;
+        let (paper_k0, paper_avg) = kind.paper_table8();
+        table.row(&[
+            kind.name().to_string(),
+            fmt_metric(f0),
+            format!("{} ({:+.2}%)", fmt_metric(avg), 100.0 * (avg - f0)),
+            format!("k={} {}", best.0, fmt_metric(best.1)),
+            "|".to_string(),
+            fmt_metric(paper_k0),
+            format!("{} (+{:.2}%)", fmt_metric(paper_avg), 100.0 * (paper_avg - paper_k0)),
+        ]);
+    }
+    println!("{}", table.render());
+}

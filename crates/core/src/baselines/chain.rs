@@ -1,0 +1,235 @@
+//! Classifier chains — the other decomposition of Read et al. \[48\].
+//!
+//! The paper adopts binary relevance ("in-parallel") from Read et al.; the
+//! same work's headline method is the *classifier chain*: train intents
+//! sequentially, feeding each matcher the predictions of the intents
+//! before it in the chain. Chains capture intent interrelationships
+//! *explicitly through features* rather than through FlexER's learned
+//! message passing — a natural middle ground between In-parallel and
+//! FlexER, included here as an extension baseline (stacked variant:
+//! predicted labels are used both at training and inference time, which
+//! avoids train/test feature skew).
+
+use crate::context::PipelineContext;
+use crate::error::CoreError;
+use flexer_matcher::MatcherConfig;
+use flexer_nn::activation::{relu_backward_inplace, relu_inplace, softmax_rows};
+use flexer_nn::loss::softmax_cross_entropy;
+use flexer_nn::{Adam, AdamConfig, Linear, Mlp, MlpConfig, Optimizer, SparseMatrix};
+use flexer_types::{IntentId, LabelMatrix};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A trained classifier chain over `P` intents.
+#[derive(Debug, Clone)]
+pub struct ChainModel {
+    /// The chain order (intent ids, first trained first).
+    pub order: Vec<IntentId>,
+    /// Predictions over every candidate pair.
+    pub predictions: LabelMatrix,
+    /// Match likelihood per (pair, intent).
+    pub scores: Vec<Vec<f32>>,
+}
+
+impl ChainModel {
+    /// Trains the chain in ascending intent-id order.
+    pub fn fit(ctx: &PipelineContext, config: &MatcherConfig) -> Result<Self, CoreError> {
+        let order: Vec<IntentId> = (0..ctx.n_intents()).collect();
+        Self::fit_with_order(ctx, config, &order)
+    }
+
+    /// Trains the chain in an explicit order (e.g. broad-to-narrow so the
+    /// narrow intents can consume the broad predictions).
+    pub fn fit_with_order(
+        ctx: &PipelineContext,
+        config: &MatcherConfig,
+        order: &[IntentId],
+    ) -> Result<Self, CoreError> {
+        let n_intents = ctx.n_intents();
+        if order.is_empty() {
+            return Err(CoreError::EmptyIntentSubset);
+        }
+        let mut seen = vec![false; n_intents];
+        for &p in order {
+            if p >= n_intents {
+                return Err(CoreError::IntentOutOfRange(p, n_intents));
+            }
+            seen[p] = true;
+        }
+        if seen.iter().any(|&s| !s) {
+            return Err(CoreError::IntentOutOfRange(order.len(), n_intents));
+        }
+
+        let base_dim = ctx.corpus.featurizer.total_dim();
+        let n_pairs = ctx.benchmark.n_pairs();
+        let train = ctx.train_idx();
+        let valid = ctx.valid_idx();
+
+        // Chain features: one extra column per already-trained intent,
+        // carrying its predicted likelihood (scaled to match hashed-feature
+        // magnitudes).
+        let mut chain_scores: Vec<Vec<f32>> = Vec::new();
+        let mut scores_by_intent: Vec<Vec<f32>> = vec![Vec::new(); n_intents];
+        let mut preds_by_intent: Vec<Vec<bool>> = vec![Vec::new(); n_intents];
+
+        for (step, &intent) in order.iter().enumerate() {
+            let total_dim = base_dim + step;
+            // Assemble the augmented sparse matrix for this step.
+            let rows: Vec<Vec<(u32, f32)>> = (0..n_pairs)
+                .map(|i| {
+                    let (cols, vals) = ctx.corpus.features.row(i);
+                    let mut row: Vec<(u32, f32)> =
+                        cols.iter().copied().zip(vals.iter().copied()).collect();
+                    for (q, prev) in chain_scores.iter().enumerate() {
+                        row.push(((base_dim + q) as u32, prev[i]));
+                    }
+                    row
+                })
+                .collect();
+            let features = SparseMatrix::from_rows(total_dim, &rows);
+            let labels = ctx.benchmark.labels.column(intent);
+            let seed = config.seed.wrapping_add(0xC4A1).wrapping_add(intent as u64);
+            let (scores, preds) =
+                train_link(&features, &labels, &train, &valid, config, seed);
+            chain_scores.push(scores.clone());
+            scores_by_intent[intent] = scores;
+            preds_by_intent[intent] = preds;
+        }
+
+        let predictions = LabelMatrix::from_columns(&preds_by_intent).expect("P >= 1");
+        Ok(Self { order: order.to_vec(), predictions, scores: scores_by_intent })
+    }
+}
+
+/// Trains one chain link: sparse input layer + small MLP head, CE loss,
+/// Adam, validation-F1 model selection — the same recipe as
+/// `BinaryMatcher` but over the augmented feature space.
+fn train_link(
+    features: &SparseMatrix,
+    labels: &[bool],
+    train_idx: &[usize],
+    valid_idx: &[usize],
+    config: &MatcherConfig,
+    seed: u64,
+) -> (Vec<f32>, Vec<bool>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut input = Linear::new(&mut rng, features.cols(), config.hidden_dim);
+    let mut head = Mlp::new(
+        &mut rng,
+        &MlpConfig {
+            input_dim: config.hidden_dim,
+            hidden: vec![config.embedding_dim],
+            output_dim: 2,
+        },
+    );
+    let mut opt = Adam::new(AdamConfig { lr: config.learning_rate, ..Default::default() });
+
+    let infer = |input: &Linear, head: &Mlp, x: &SparseMatrix| -> Vec<f32> {
+        let mut h = input.forward_sparse(x);
+        relu_inplace(&mut h);
+        let probs = softmax_rows(&head.forward(&h));
+        (0..probs.rows()).map(|i| probs.get(i, 1)).collect()
+    };
+
+    let mut best: Option<(f64, Vec<f32>)> = None;
+    for _epoch in 0..config.epochs {
+        let mut order: Vec<usize> = train_idx.to_vec();
+        order.shuffle(&mut rng);
+        for batch in order.chunks(config.batch_size.max(1)) {
+            let x = features.select_rows(batch);
+            let targets: Vec<usize> = batch.iter().map(|&i| labels[i] as usize).collect();
+            let mut h = input.forward_sparse(&x);
+            relu_inplace(&mut h);
+            let trace = head.forward_trace(&h);
+            let (_, grad_logits) = softmax_cross_entropy(trace.output(), &targets, None);
+            input.zero_grad();
+            head.zero_grad();
+            let mut dh = head.backward(&trace, &grad_logits);
+            relu_backward_inplace(&mut dh, &h);
+            input.backward_sparse(&x, &dh);
+            opt.begin_step();
+            let used = input.apply(&mut opt, 0);
+            head.apply(&mut opt, used);
+        }
+        let scores = infer(&input, &head, features);
+        let vp: Vec<bool> = valid_idx.iter().map(|&i| scores[i] > 0.5).collect();
+        let vl: Vec<bool> = valid_idx.iter().map(|&i| labels[i]).collect();
+        let f1 = f1(&vp, &vl);
+        if best.as_ref().map_or(true, |(b, _)| f1 > *b) {
+            best = Some((f1, scores));
+        }
+    }
+    let (_, scores) = best.expect("epochs >= 1");
+    let preds = scores.iter().map(|&s| s > 0.5).collect();
+    (scores, preds)
+}
+
+fn f1(preds: &[bool], labels: &[bool]) -> f64 {
+    let tp = preds.iter().zip(labels).filter(|(&p, &l)| p && l).count() as f64;
+    let fp = preds.iter().zip(labels).filter(|(&p, &l)| p && !l).count() as f64;
+    let fn_ = preds.iter().zip(labels).filter(|(&p, &l)| !p && l).count() as f64;
+    if tp == 0.0 {
+        0.0
+    } else {
+        2.0 * tp / (2.0 * tp + fp + fn_)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::evaluate_on_split;
+    use flexer_datasets::AmazonMiConfig;
+    use flexer_types::{Scale, Split};
+
+    fn ctx() -> (PipelineContext, MatcherConfig) {
+        let bench = AmazonMiConfig::at_scale(Scale::Tiny).with_seed(61).generate();
+        let config = MatcherConfig::fast();
+        let ctx = PipelineContext::new(bench, &config).unwrap();
+        (ctx, config)
+    }
+
+    #[test]
+    fn chain_fits_and_solves_mier() {
+        let (ctx, config) = ctx();
+        let chain = ChainModel::fit(&ctx, &config).unwrap();
+        assert_eq!(chain.order, vec![0, 1, 2, 3, 4]);
+        assert_eq!(chain.predictions.n_intents(), ctx.n_intents());
+        let report = evaluate_on_split(&ctx.benchmark, &chain.predictions, Split::Test);
+        assert!(report.mi_f1 > 0.55, "MI-F = {:.3}", report.mi_f1);
+    }
+
+    #[test]
+    fn custom_order_broad_to_narrow() {
+        let (ctx, config) = ctx();
+        // Main-Cat first, Eq last: narrow intents see broad predictions.
+        let chain = ChainModel::fit_with_order(&ctx, &config, &[3, 2, 4, 1, 0]).unwrap();
+        assert_eq!(chain.order[0], 3);
+        let report = evaluate_on_split(&ctx.benchmark, &chain.predictions, Split::Test);
+        assert!(report.mi_f1 > 0.55, "MI-F = {:.3}", report.mi_f1);
+    }
+
+    #[test]
+    fn order_validation() {
+        let (ctx, config) = ctx();
+        assert!(matches!(
+            ChainModel::fit_with_order(&ctx, &config, &[]),
+            Err(CoreError::EmptyIntentSubset)
+        ));
+        assert!(ChainModel::fit_with_order(&ctx, &config, &[0, 1, 9, 2, 3]).is_err());
+        // Missing intents are rejected too.
+        assert!(ChainModel::fit_with_order(&ctx, &config, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn scores_align_with_predictions() {
+        let (ctx, config) = ctx();
+        let chain = ChainModel::fit(&ctx, &config).unwrap();
+        for p in 0..ctx.n_intents() {
+            for i in 0..ctx.benchmark.n_pairs() {
+                assert_eq!(chain.predictions.get(i, p), chain.scores[p][i] > 0.5);
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! The Naïve baseline (§5.2.4): one-size-fits-all — a single universal
+//! (equivalence) matcher whose resolution is reused for *every* intent.
+//! The paper uses it to show that a universal solution "is fairly small and
+//! incomplete with respect to other interpretations": high precision, very
+//! low recall on broader intents (Table 5).
+
+use crate::context::PipelineContext;
+use crate::error::CoreError;
+use flexer_matcher::matcher::MatcherOutput;
+use flexer_matcher::{BinaryMatcher, MatcherConfig};
+use flexer_types::LabelMatrix;
+
+/// The universal matcher applied to all intents.
+#[derive(Debug, Clone)]
+pub struct NaiveModel {
+    /// The single equivalence matcher.
+    pub matcher: BinaryMatcher,
+    /// Its inference over every candidate pair.
+    pub output: MatcherOutput,
+    /// The equivalence prediction broadcast to every intent column.
+    pub predictions: LabelMatrix,
+}
+
+impl NaiveModel {
+    /// Trains the equivalence matcher and broadcasts its resolution.
+    pub fn fit(ctx: &PipelineContext, config: &MatcherConfig) -> Result<Self, CoreError> {
+        let eq = ctx.equivalence_id()?;
+        let labels = ctx.benchmark.labels.column(eq);
+        let matcher = BinaryMatcher::train(
+            &ctx.corpus,
+            &labels,
+            &ctx.train_idx(),
+            &ctx.valid_idx(),
+            config,
+        );
+        let output = matcher.infer(&ctx.corpus.features);
+        let columns: Vec<Vec<bool>> = (0..ctx.n_intents()).map(|_| output.preds.clone()).collect();
+        let predictions = LabelMatrix::from_columns(&columns).expect("P >= 1");
+        Ok(Self { matcher, output, predictions })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::evaluate_on_split;
+    use flexer_datasets::AmazonMiConfig;
+    use flexer_types::{Scale, Split};
+
+    fn fit() -> (PipelineContext, NaiveModel) {
+        let bench = AmazonMiConfig::at_scale(Scale::Tiny).with_seed(29).generate();
+        let config = MatcherConfig::fast();
+        let ctx = PipelineContext::new(bench, &config).unwrap();
+        let model = NaiveModel::fit(&ctx, &config).unwrap();
+        (ctx, model)
+    }
+
+    #[test]
+    fn broadcasts_equivalence_to_all_intents() {
+        let (ctx, model) = fit();
+        for i in 0..ctx.benchmark.n_pairs() {
+            let row = model.predictions.row(i);
+            assert!(row.iter().all(|&v| v == row[0]), "row {i} not constant");
+        }
+    }
+
+    /// The paper's signature failure mode: recall collapses on broader
+    /// intents while the equivalence intent itself stays strong.
+    #[test]
+    fn recall_collapses_on_broad_intents() {
+        let (ctx, model) = fit();
+        let report = evaluate_on_split(&ctx.benchmark, &model.predictions, Split::Test);
+        let eq = report.per_intent[0];
+        // Main-Cat. (intent 3) has ~67% positives; equivalence predictions
+        // cover only ~15% of pairs, so recall must be far below eq recall.
+        let broad = report.per_intent[3];
+        assert!(broad.recall < 0.5, "broad recall = {:.3}", broad.recall);
+        assert!(eq.recall > broad.recall);
+        // MI-R is dragged down accordingly (Table 5's Naïve row).
+        assert!(report.mi_recall < 0.65);
+    }
+
+    #[test]
+    fn fails_without_equivalence_intent() {
+        let bench = AmazonMiConfig::at_scale(Scale::Tiny).with_seed(29).generate();
+        let config = MatcherConfig::fast();
+        let mut ctx = PipelineContext::new(bench, &config).unwrap();
+        // Strip the equivalence flag.
+        let names: Vec<String> =
+            ctx.benchmark.intents.iter().map(|i| i.name.clone()).collect();
+        ctx.benchmark.intents = flexer_types::IntentSet::new(
+            names
+                .into_iter()
+                .enumerate()
+                .map(|(i, name)| flexer_types::Intent { id: i, name, is_equivalence: false })
+                .collect(),
+        );
+        assert!(matches!(
+            NaiveModel::fit(&ctx, &config),
+            Err(CoreError::NoEquivalenceIntent)
+        ));
+    }
+}

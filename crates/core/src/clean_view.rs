@@ -1,0 +1,109 @@
+//! The merging phase (§2.1, Examples 2.1 and 2.4): a resolution induces
+//! equivalence classes over the dataset; one representative per class forms
+//! the clean view `D'`. Representatives are "heuristically chosen by
+//! order" — the smallest record id of each class, exactly the paper's
+//! examples.
+
+use crate::union_find::UnionFind;
+use flexer_types::{CandidateSet, RecordId, Resolution};
+
+/// Clusters and the derived clean view of a dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CleanView {
+    /// Equivalence classes (each sorted; ordered by smallest member).
+    pub clusters: Vec<Vec<RecordId>>,
+    /// The clean view `D'`: one representative per class, ascending.
+    pub representatives: Vec<RecordId>,
+}
+
+/// Derives the clean view of a dataset of `n_records` records from a
+/// resolution over a candidate set.
+pub fn clean_view(
+    n_records: usize,
+    candidates: &CandidateSet,
+    resolution: &Resolution,
+) -> CleanView {
+    let mut uf = UnionFind::new(n_records);
+    for (idx, pair) in candidates.iter() {
+        if resolution.contains(idx) {
+            uf.union(pair.a, pair.b);
+        }
+    }
+    let clusters = uf.clusters();
+    let representatives = clusters.iter().map(|c| c[0]).collect();
+    CleanView { clusters, representatives }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexer_types::PairRef;
+
+    fn candidates(pairs: &[(usize, usize)]) -> CandidateSet {
+        CandidateSet::from_pairs(
+            pairs.iter().map(|&(a, b)| PairRef::new(a, b).unwrap()).collect(),
+        )
+    }
+
+    /// Example 2.1: M = {(r1,r2), (r1,r3)} over six records clusters into
+    /// {{r1,r2,r3},{r4},{r5},{r6}} with clean view {r1,r4,r5,r6}.
+    /// (The paper's r1..r6 are our 0..5.)
+    #[test]
+    fn paper_example_2_1() {
+        let c = candidates(&[(0, 1), (0, 2), (0, 3), (3, 4), (4, 5)]);
+        let m = Resolution::from_indices(c.len(), &[0, 1]); // (r1,r2), (r1,r3)
+        let view = clean_view(6, &c, &m);
+        assert_eq!(
+            view.clusters,
+            vec![vec![0, 1, 2], vec![3], vec![4], vec![5]]
+        );
+        assert_eq!(view.representatives, vec![0, 3, 4, 5]);
+    }
+
+    /// Example 2.4's brand intent: pairs (r1,r2),(r2,r3),(r3,r4) matched ⇒
+    /// clean view {r1,r5,r6}.
+    #[test]
+    fn paper_example_2_4_brand() {
+        let c = candidates(&[(0, 1), (1, 2), (2, 3), (2, 4), (0, 5)]);
+        let m = Resolution::from_indices(c.len(), &[0, 1, 2]);
+        let view = clean_view(6, &c, &m);
+        assert_eq!(view.representatives, vec![0, 4, 5]);
+    }
+
+    #[test]
+    fn empty_resolution_keeps_every_record() {
+        let c = candidates(&[(0, 1), (1, 2)]);
+        let m = Resolution::empty(c.len());
+        let view = clean_view(4, &c, &m);
+        assert_eq!(view.representatives, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn transitive_closure_applied() {
+        // (0,1) and (1,2) matched but (0,2) not a candidate at all: merging
+        // still closes the class.
+        let c = candidates(&[(0, 1), (1, 2)]);
+        let m = Resolution::from_indices(c.len(), &[0, 1]);
+        let view = clean_view(3, &c, &m);
+        assert_eq!(view.clusters, vec![vec![0, 1, 2]]);
+        assert_eq!(view.representatives, vec![0]);
+    }
+
+    #[test]
+    fn records_outside_candidates_stay_singletons() {
+        let c = candidates(&[(0, 1)]);
+        let m = Resolution::from_indices(c.len(), &[0]);
+        let view = clean_view(5, &c, &m);
+        assert_eq!(view.representatives, vec![0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn representatives_are_cluster_minima() {
+        let c = candidates(&[(4, 2), (2, 0)]);
+        let m = Resolution::from_indices(c.len(), &[0, 1]);
+        let view = clean_view(5, &c, &m);
+        assert!(view.representatives.contains(&0));
+        assert!(!view.representatives.contains(&2));
+        assert!(!view.representatives.contains(&4));
+    }
+}

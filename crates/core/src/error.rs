@@ -1,0 +1,71 @@
+//! Errors of the FlexER pipeline.
+
+use flexer_types::TypesError;
+use std::fmt;
+
+/// Pipeline-level failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The benchmark failed internal validation.
+    InvalidBenchmark(TypesError),
+    /// A model that needs the equivalence intent got a benchmark without
+    /// one (the Naïve baseline, Table 6 slices).
+    NoEquivalenceIntent,
+    /// The candidate set is empty — nothing to resolve.
+    EmptyCandidateSet,
+    /// An intent id was out of range; holds `(intent, n_intents)`.
+    IntentOutOfRange(usize, usize),
+    /// A requested intent subset was empty.
+    EmptyIntentSubset,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidBenchmark(e) => write!(f, "invalid benchmark: {e}"),
+            CoreError::NoEquivalenceIntent => {
+                write!(f, "the benchmark declares no equivalence intent")
+            }
+            CoreError::EmptyCandidateSet => write!(f, "the candidate set is empty"),
+            CoreError::IntentOutOfRange(p, n) => {
+                write!(f, "intent {p} out of range (benchmark has {n})")
+            }
+            CoreError::EmptyIntentSubset => write!(f, "intent subset must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::InvalidBenchmark(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TypesError> for CoreError {
+    fn from(e: TypesError) -> Self {
+        CoreError::InvalidBenchmark(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::InvalidBenchmark(TypesError::NoIntents);
+        assert!(e.to_string().contains("invalid benchmark"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&CoreError::NoEquivalenceIntent).is_none());
+        assert!(CoreError::IntentOutOfRange(7, 3).to_string().contains('7'));
+    }
+
+    #[test]
+    fn from_types_error() {
+        let e: CoreError = TypesError::NoIntents.into();
+        assert!(matches!(e, CoreError::InvalidBenchmark(_)));
+    }
+}

@@ -1,0 +1,128 @@
+//! Disjoint-set forest for the merging phase: resolutions assume
+//! reflexivity, symmetry and transitivity (§2.1), so matched pairs are
+//! closed into equivalence classes before choosing representatives.
+
+/// Union-find with path compression and union by rank.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n).collect(), rank: vec![0; n] }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set (with path compression).
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut root = x;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = x;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Merges the sets of `a` and `b`; returns true if they were separate.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// Whether `a` and `b` share a set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Groups elements into clusters (each sorted ascending; clusters
+    /// ordered by their smallest element).
+    pub fn clusters(&mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut by_root: std::collections::HashMap<usize, Vec<usize>> =
+            std::collections::HashMap::new();
+        for x in 0..n {
+            let r = self.find(x);
+            by_root.entry(r).or_default().push(x);
+        }
+        let mut out: Vec<Vec<usize>> = by_root.into_values().collect();
+        for c in &mut out {
+            c.sort_unstable();
+        }
+        out.sort_by_key(|c| c[0]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_initially() {
+        let mut uf = UnionFind::new(3);
+        assert!(!uf.connected(0, 1));
+        assert_eq!(uf.clusters(), vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn union_connects_transitively() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(uf.connected(0, 2));
+        assert!(!uf.union(0, 2)); // already merged
+        assert_eq!(uf.clusters(), vec![vec![0, 1, 2], vec![3], vec![4]]);
+    }
+
+    #[test]
+    fn symmetry_and_reflexivity() {
+        let mut uf = UnionFind::new(4);
+        uf.union(2, 3);
+        assert!(uf.connected(3, 2));
+        assert!(uf.connected(1, 1));
+    }
+
+    #[test]
+    fn clusters_sorted_by_min_element() {
+        let mut uf = UnionFind::new(6);
+        uf.union(5, 3);
+        uf.union(4, 0);
+        let c = uf.clusters();
+        assert_eq!(c, vec![vec![0, 4], vec![1], vec![2], vec![3, 5]]);
+    }
+
+    #[test]
+    fn empty() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert!(uf.clusters().is_empty());
+    }
+}

@@ -1,0 +1,199 @@
+//! The AmazonMI benchmark generator — the paper's new MIER benchmark
+//! (§5.1): 3,835 records, 15,404 candidate pairs, five intents
+//! (Eq., Brand, Set-Cat., Main-Cat., Main-Cat. & Set-Cat.) with the
+//! positive proportions of Table 4 (Eq. ≈ 15%, Brand ≈ 20%,
+//! Set-Cat. ≈ 49%, Main-Cat. ≈ 67%, Main&Set ≈ 49%).
+//!
+//! Only product titles feed the matchers; brand and the ordered category
+//! set exist solely for labelling — exactly the paper's setup.
+
+use crate::catalog::{Catalog, CatalogConfig, RecordCountDist};
+use crate::intents::IntentDef;
+use crate::mixture::{assemble_benchmark, component, sample_candidate_pairs, PairClass};
+use crate::perturb::NoiseConfig;
+use crate::taxonomy::{amazonmi_spec, Taxonomy, TaxonomyConfig};
+use flexer_types::{MierBenchmark, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Paper cardinalities (Table 3).
+pub const PAPER_RECORDS: usize = 3_835;
+/// Paper candidate-pair count (Table 3).
+pub const PAPER_PAIRS: usize = 15_404;
+
+/// Configuration of the AmazonMI generator.
+#[derive(Debug, Clone)]
+pub struct AmazonMiConfig {
+    /// Scale preset.
+    pub scale: Scale,
+    /// Generation seed.
+    pub seed: u64,
+    /// Target record count `|D|`.
+    pub n_records: usize,
+    /// Target candidate-pair count `|C|`.
+    pub n_pairs: usize,
+    /// Title noise model.
+    pub noise: NoiseConfig,
+}
+
+impl AmazonMiConfig {
+    /// Preset at a scale; `Paper` matches Table 3 cardinalities.
+    pub fn at_scale(scale: Scale) -> Self {
+        Self {
+            scale,
+            seed: 0,
+            n_records: scale.scaled(PAPER_RECORDS),
+            n_pairs: scale.scaled(PAPER_PAIRS),
+            noise: NoiseConfig::default(),
+        }
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The calibrated pair-class mixture. Weights solve the Table 4 system:
+    /// Eq = .15; Brand = Eq + .02 + .03 = .20; Set-Cat = Eq + .02 + .32 =
+    /// .49; Main-Cat = Set-Cat + .03 + .16 = .68; Main&Set ≡ Set-Cat
+    /// (families are nested in main categories, giving the subsumption the
+    /// paper observes).
+    pub fn mixture() -> Vec<crate::mixture::MixtureComponent> {
+        vec![
+            component(PairClass::Duplicate, 0.15),
+            component(PairClass::SameFamilyDiffProduct(Some(true)), 0.02),
+            component(PairClass::SameMainDiffFamily(Some(true)), 0.03),
+            component(PairClass::SameFamilyDiffProduct(Some(false)), 0.32),
+            component(PairClass::SameMainDiffFamily(Some(false)), 0.16),
+            component(PairClass::DiffMain(None), 0.32),
+        ]
+    }
+
+    /// The intent list in Table 4 order.
+    pub fn intents() -> Vec<(IntentDef, &'static str)> {
+        vec![
+            (IntentDef::Equivalence, "Eq."),
+            (IntentDef::SameBrand, "Brand"),
+            (IntentDef::SimilarCategorySet, "Set-Cat."),
+            (IntentDef::SameMainCategory, "Main-Cat."),
+            (IntentDef::MainAndSet, "Main-Cat. & Set-Cat."),
+        ]
+    }
+
+    /// Generates the benchmark.
+    pub fn generate(&self) -> MierBenchmark {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0xA3A2_0501));
+        let taxonomy = Taxonomy::from_spec(&amazonmi_spec(), TaxonomyConfig::at_scale(self.scale));
+        let catalog = Catalog::generate(
+            taxonomy,
+            &CatalogConfig {
+                n_records: self.n_records,
+                record_counts: RecordCountDist([0.35, 0.35, 0.20, 0.10]),
+                noise: self.noise,
+            },
+            &mut rng,
+        );
+        let sampled = sample_candidate_pairs(&catalog, &Self::mixture(), self.n_pairs, &mut rng);
+        assemble_benchmark("AmazonMI", &catalog, &Self::intents(), sampled.candidates, self.seed)
+    }
+}
+
+impl Default for AmazonMiConfig {
+    fn default() -> Self {
+        Self::at_scale(Scale::Small)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexer_types::Split;
+
+    fn tiny() -> MierBenchmark {
+        AmazonMiConfig::at_scale(Scale::Tiny).with_seed(7).generate()
+    }
+
+    #[test]
+    fn benchmark_validates() {
+        tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn five_intents_in_table4_order() {
+        let b = tiny();
+        assert_eq!(b.n_intents(), 5);
+        assert_eq!(
+            b.intents.names(),
+            vec!["Eq.", "Brand", "Set-Cat.", "Main-Cat.", "Main-Cat. & Set-Cat."]
+        );
+        assert_eq!(b.intents.equivalence_id(), Some(0));
+    }
+
+    #[test]
+    fn positive_rates_track_table4() {
+        // Tolerances are loose at tiny scale; the table5 harness checks the
+        // small/paper scales.
+        let b = tiny();
+        let targets = [0.15, 0.20, 0.49, 0.67, 0.49];
+        for (p, &target) in targets.iter().enumerate() {
+            let rate = b.labels.positive_rate(p);
+            assert!(
+                (rate - target).abs() < 0.08,
+                "intent {p}: rate {rate:.3} vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn subsumption_structure_matches_paper() {
+        let b = tiny();
+        // Eq ⊆ Brand, Eq ⊆ Set-Cat ⊆ Main-Cat; Main&Set ≡ Set-Cat.
+        assert!(b.intent_subsumed_by(0, 1));
+        assert!(b.intent_subsumed_by(0, 2));
+        assert!(b.intent_subsumed_by(2, 3));
+        assert!(b.intent_subsumed_by(4, 2) && b.intent_subsumed_by(2, 4));
+        // Brand and Set-Cat overlap but neither subsumes the other.
+        let brand = b.golden_resolution(1);
+        let set = b.golden_resolution(2);
+        assert!(brand.overlaps(&set));
+        assert!(!brand.subsumed_by(&set) && !set.subsumed_by(&brand));
+    }
+
+    #[test]
+    fn rates_similar_across_splits() {
+        let b = tiny();
+        for p in 0..b.n_intents() {
+            let train = b.positive_rate(p, Split::Train);
+            let test = b.positive_rate(p, Split::Test);
+            assert!((train - test).abs() < 0.15, "intent {p}: {train:.3} vs {test:.3}");
+        }
+    }
+
+    #[test]
+    fn cardinalities_scale() {
+        let b = tiny();
+        let target_pairs = Scale::Tiny.scaled(PAPER_PAIRS);
+        assert!(b.n_pairs() as f64 >= 0.85 * target_pairs as f64);
+        // Per-class rounding may overshoot by at most one pair per class.
+        assert!(b.n_pairs() <= target_pairs + AmazonMiConfig::mixture().len());
+        let target_records = Scale::Tiny.scaled(PAPER_RECORDS);
+        assert!((b.dataset.len() as f64 - target_records as f64).abs() < 0.35 * target_records as f64);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = AmazonMiConfig::at_scale(Scale::Tiny).with_seed(3).generate();
+        let b = AmazonMiConfig::at_scale(Scale::Tiny).with_seed(3).generate();
+        assert_eq!(a.candidates, b.candidates);
+        assert_eq!(a.labels, b.labels);
+        let c = AmazonMiConfig::at_scale(Scale::Tiny).with_seed(4).generate();
+        assert_ne!(a.candidates, c.candidates);
+    }
+
+    #[test]
+    fn mixture_weights_sum_to_one() {
+        let total: f64 = AmazonMiConfig::mixture().iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,231 @@
+//! Intent labelling: entity mappings derived from product metadata.
+//!
+//! Section 5.1 defines every intent of the three benchmarks from record
+//! metadata; this module reproduces those definitions as entity mappings
+//! `θ_p : D → E_p` over a [`Catalog`]:
+//!
+//! * **Eq.** — same product (the unique identifier, AmazonMI's `asin`);
+//! * **Brand** — brand equality, with books/Kindle special-cased as their
+//!   own pseudo-brands;
+//! * **Main-Cat.** — the first element of the ordered category set;
+//! * **Set-Cat.** — Jaccard ≥ 0.4 between category sets, which the
+//!   taxonomy construction makes exactly the family equivalence;
+//! * **Main-Cat. & Set-Cat.** — the conjunction;
+//! * **General-Cat.** — the manually built general category (Walmart-Amazon)
+//!   or the merged WDC category (electronics/dressing).
+
+use crate::catalog::Catalog;
+use crate::taxonomy::jaccard;
+use flexer_types::EntityMap;
+use std::collections::HashMap;
+
+/// The intent definitions available to generators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntentDef {
+    /// Same product.
+    Equivalence,
+    /// Same brand attribute.
+    SameBrand,
+    /// Same main (first) category.
+    SameMainCategory,
+    /// Similar category set (Jaccard ≥ 0.4 ⇔ same family).
+    SimilarCategorySet,
+    /// Same main category AND similar category set.
+    MainAndSet,
+    /// Same general category.
+    SameGeneralCategory,
+}
+
+impl IntentDef {
+    /// The paper's reporting name for the intent.
+    pub fn name(self) -> &'static str {
+        match self {
+            IntentDef::Equivalence => "Eq.",
+            IntentDef::SameBrand => "Brand",
+            IntentDef::SameMainCategory => "Main-Cat.",
+            IntentDef::SimilarCategorySet => "Set-Cat.",
+            IntentDef::MainAndSet => "Main-Cat. & Set-Cat.",
+            IntentDef::SameGeneralCategory => "General-Cat.",
+        }
+    }
+
+    /// Builds the entity mapping of this intent over a catalogue: one
+    /// entity id per record, derived from its product's metadata.
+    pub fn entity_map(self, catalog: &Catalog) -> EntityMap {
+        let mut brand_ids: HashMap<&str, u64> = HashMap::new();
+        let assignments = catalog
+            .product_of
+            .iter()
+            .map(|&pid| {
+                let p = &catalog.products[pid];
+                match self {
+                    IntentDef::Equivalence => p.id as u64,
+                    IntentDef::SameBrand => {
+                        let next = brand_ids.len() as u64;
+                        *brand_ids.entry(p.brand.as_str()).or_insert(next)
+                    }
+                    IntentDef::SameMainCategory => p.main as u64,
+                    IntentDef::SimilarCategorySet => p.family as u64,
+                    // Family determines main, so the conjunction's classes
+                    // coincide with families; keep a distinct encoding to
+                    // make the construction explicit.
+                    IntentDef::MainAndSet => {
+                        (p.main as u64) * catalog.taxonomy.families.len() as u64 + p.family as u64
+                    }
+                    IntentDef::SameGeneralCategory => {
+                        assert_ne!(p.general, usize::MAX, "dataset has no general categories");
+                        p.general as u64
+                    }
+                }
+            })
+            .collect();
+        EntityMap::new(assignments)
+    }
+
+    /// Direct pair predicate on two products — used to cross-check the
+    /// entity-map encoding against the paper's textual definition.
+    pub fn pair_label(self, catalog: &Catalog, record_a: usize, record_b: usize) -> bool {
+        let pa = &catalog.products[catalog.product_of[record_a]];
+        let pb = &catalog.products[catalog.product_of[record_b]];
+        match self {
+            IntentDef::Equivalence => pa.id == pb.id,
+            IntentDef::SameBrand => pa.brand == pb.brand,
+            IntentDef::SameMainCategory => pa.category_set[0] == pb.category_set[0],
+            IntentDef::SimilarCategorySet => jaccard(&pa.category_set, &pb.category_set) >= 0.4,
+            IntentDef::MainAndSet => {
+                IntentDef::SameMainCategory.pair_label(catalog, record_a, record_b)
+                    && IntentDef::SimilarCategorySet.pair_label(catalog, record_a, record_b)
+            }
+            IntentDef::SameGeneralCategory => pa.general == pb.general,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{CatalogConfig, RecordCountDist};
+    use crate::perturb::NoiseConfig;
+    use crate::taxonomy::{amazonmi_spec, walmart_amazon_spec, Taxonomy, TaxonomyConfig};
+    use flexer_types::Scale;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn catalog(spec: crate::taxonomy::TaxonomySpec, seed: u64) -> Catalog {
+        let taxonomy = Taxonomy::from_spec(&spec, TaxonomyConfig::at_scale(Scale::Tiny));
+        let config = CatalogConfig {
+            n_records: 250,
+            record_counts: RecordCountDist([0.4, 0.4, 0.2, 0.0]),
+            noise: NoiseConfig::default(),
+        };
+        Catalog::generate(taxonomy, &config, &mut StdRng::seed_from_u64(seed))
+    }
+
+    /// The entity-map encoding and the §5.1 textual predicate must agree on
+    /// every record pair.
+    #[test]
+    fn entity_maps_agree_with_pair_predicates() {
+        let c = catalog(amazonmi_spec(), 1);
+        let intents = [
+            IntentDef::Equivalence,
+            IntentDef::SameBrand,
+            IntentDef::SameMainCategory,
+            IntentDef::SimilarCategorySet,
+            IntentDef::MainAndSet,
+        ];
+        let n = c.n_records();
+        for intent in intents {
+            let theta = intent.entity_map(&c);
+            for a in (0..n).step_by(7) {
+                for b in (0..n).step_by(11) {
+                    if a == b {
+                        continue;
+                    }
+                    assert_eq!(
+                        theta.corresponds(a, b).unwrap(),
+                        intent.pair_label(&c, a, b),
+                        "{} disagrees on ({a},{b})",
+                        intent.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subsumption_structure_holds() {
+        let c = catalog(amazonmi_spec(), 2);
+        let eq = IntentDef::Equivalence.entity_map(&c);
+        let brand = IntentDef::SameBrand.entity_map(&c);
+        let set = IntentDef::SimilarCategorySet.entity_map(&c);
+        let main = IntentDef::SameMainCategory.entity_map(&c);
+        let n = c.n_records();
+        for a in (0..n).step_by(5) {
+            for b in (0..n).step_by(13) {
+                if a == b {
+                    continue;
+                }
+                if eq.corresponds(a, b).unwrap() {
+                    assert!(brand.corresponds(a, b).unwrap(), "Eq ⊄ Brand");
+                    assert!(set.corresponds(a, b).unwrap(), "Eq ⊄ Set-Cat");
+                }
+                if set.corresponds(a, b).unwrap() {
+                    assert!(main.corresponds(a, b).unwrap(), "Set-Cat ⊄ Main-Cat");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn general_category_subsumes_main() {
+        let c = catalog(walmart_amazon_spec(), 3);
+        let main = IntentDef::SameMainCategory.entity_map(&c);
+        let general = IntentDef::SameGeneralCategory.entity_map(&c);
+        let n = c.n_records();
+        for a in (0..n).step_by(3) {
+            for b in (0..n).step_by(17) {
+                if a == b {
+                    continue;
+                }
+                if main.corresponds(a, b).unwrap() {
+                    assert!(general.corresponds(a, b).unwrap());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn books_brand_special_case() {
+        let c = catalog(amazonmi_spec(), 4);
+        // Two books with the 'book' pseudo-brand correspond under Brand even
+        // though they are different products.
+        let books: Vec<usize> = (0..c.n_records())
+            .filter(|&r| c.products[c.product_of[r]].brand == "book")
+            .collect();
+        if books.len() >= 2 {
+            let theta = IntentDef::SameBrand.entity_map(&c);
+            assert!(theta.corresponds(books[0], books[1]).unwrap());
+        }
+        // book vs Kindle differ.
+        let kindles: Vec<usize> = (0..c.n_records())
+            .filter(|&r| c.products[c.product_of[r]].brand == "Kindle")
+            .collect();
+        if !(books.is_empty() || kindles.is_empty()) {
+            let theta = IntentDef::SameBrand.entity_map(&c);
+            assert!(!theta.corresponds(books[0], kindles[0]).unwrap());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no general categories")]
+    fn general_on_amazonmi_panics() {
+        let c = catalog(amazonmi_spec(), 5);
+        let _ = IntentDef::SameGeneralCategory.entity_map(&c);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(IntentDef::Equivalence.name(), "Eq.");
+        assert_eq!(IntentDef::MainAndSet.name(), "Main-Cat. & Set-Cat.");
+    }
+}

@@ -1,0 +1,298 @@
+//! Title perturbation — the noise model behind record duplication.
+//!
+//! "Record duplication is usually the result of discordant representations
+//! (e.g., multi-lingual, synonyms, capitalizations), changes in the data
+//! over time, typos, etc." (§1.1). Each duplicate record of a product gets
+//! an independent stack of these perturbations, producing pairs like the
+//! paper's `Nike Men's Lunar Force 1 Duckboot` vs `NIKE Men Lunar Force 1
+//! Duckboot, Black/Dark Loden-BROGHT Crimson`.
+
+use rand::Rng;
+
+/// One perturbation operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Perturbation {
+    /// Upper-case the first token (brand): `Nike → NIKE`.
+    ShoutBrand,
+    /// Lower-case the whole title.
+    Lowercase,
+    /// Append a colour/spec suffix.
+    AppendSuffix,
+    /// Drop one interior token.
+    DropToken,
+    /// Introduce a typo in a random token (swap two adjacent characters).
+    Typo,
+    /// Strip apostrophes (`Men's → Mens`).
+    StripApostrophes,
+    /// Prepend a shop marker (`new-`), as in the paper's WDC example.
+    ShopPrefix,
+    /// Replace the trailing category noun with a merchant synonym
+    /// (`Shoe -> Trainer`): different shops name the same category
+    /// differently, which blurs the category signal across duplicate
+    /// records without changing any label.
+    NounSynonym,
+}
+
+/// Merchant synonyms for trailing category nouns.
+const NOUN_SYNONYMS: &[(&str, &str)] = &[
+    ("Shoe", "Trainer"),
+    ("Kit", "Set"),
+    ("Jacket", "Coat"),
+    ("Camera", "Cam"),
+    ("Laptop", "Ultrabook"),
+    ("Headphones", "Earphones"),
+    ("Novel", "Book"),
+    ("Story", "Tale"),
+    ("Chronicle", "Account"),
+    ("Blender", "Liquidiser"),
+    ("Skillet", "Frypan"),
+    ("Container", "Box"),
+    ("Tripod", "Stand"),
+    ("Lens", "Optic"),
+    ("Tablet", "Slate"),
+    ("Sneaker", "Kicks"),
+    ("Boot", "Bootie"),
+    ("Watch", "Timer"),
+    ("Timepiece", "Clock"),
+    ("Mixer", "Beater"),
+    ("Pan", "Tray"),
+    ("Organizer", "Caddy"),
+    ("Polish", "Shine"),
+    ("Desktop", "PC"),
+    ("Notebook", "Portable"),
+    ("Body", "Chassis"),
+    ("Loafer", "Slip-on"),
+];
+
+impl Perturbation {
+    /// All operators.
+    pub const ALL: [Perturbation; 8] = [
+        Perturbation::ShoutBrand,
+        Perturbation::Lowercase,
+        Perturbation::AppendSuffix,
+        Perturbation::DropToken,
+        Perturbation::Typo,
+        Perturbation::StripApostrophes,
+        Perturbation::ShopPrefix,
+        Perturbation::NounSynonym,
+    ];
+
+    /// Applies the operator; `suffix` supplies the colour/spec text for
+    /// [`Perturbation::AppendSuffix`].
+    pub fn apply(self, title: &str, suffix: &str, rng: &mut impl Rng) -> String {
+        match self {
+            Perturbation::ShoutBrand => {
+                let mut tokens: Vec<String> = title.split(' ').map(String::from).collect();
+                if let Some(first) = tokens.first_mut() {
+                    *first = first.to_uppercase();
+                }
+                tokens.join(" ")
+            }
+            Perturbation::Lowercase => title.to_lowercase(),
+            Perturbation::AppendSuffix => {
+                if suffix.is_empty() {
+                    title.to_string()
+                } else {
+                    format!("{title}, {suffix}")
+                }
+            }
+            Perturbation::DropToken => {
+                let tokens: Vec<&str> = title.split(' ').collect();
+                if tokens.len() <= 2 {
+                    return title.to_string();
+                }
+                // Keep the first (brand) and last (noun) tokens.
+                let drop = rng.gen_range(1..tokens.len() - 1);
+                tokens
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, t)| (i != drop).then_some(*t))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            }
+            Perturbation::Typo => {
+                let tokens: Vec<&str> = title.split(' ').collect();
+                if tokens.is_empty() {
+                    return title.to_string();
+                }
+                let which = rng.gen_range(0..tokens.len());
+                let out: Vec<String> = tokens
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| if i == which { swap_adjacent(t, rng) } else { t.to_string() })
+                    .collect();
+                out.join(" ")
+            }
+            Perturbation::StripApostrophes => title.replace('\'', ""),
+            Perturbation::ShopPrefix => format!("new-{title}"),
+            Perturbation::NounSynonym => {
+                let mut tokens: Vec<String> = title.split(' ').map(String::from).collect();
+                if let Some(last) = tokens.last_mut() {
+                    if let Some((_, syn)) =
+                        NOUN_SYNONYMS.iter().find(|(from, _)| from == last)
+                    {
+                        *last = syn.to_string();
+                    }
+                }
+                tokens.join(" ")
+            }
+        }
+    }
+}
+
+fn swap_adjacent(token: &str, rng: &mut impl Rng) -> String {
+    let mut chars: Vec<char> = token.chars().collect();
+    if chars.len() < 3 {
+        return token.to_string();
+    }
+    let i = rng.gen_range(0..chars.len() - 1);
+    chars.swap(i, i + 1);
+    chars.into_iter().collect()
+}
+
+/// Noise configuration for a generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseConfig {
+    /// Expected number of perturbations per duplicate record.
+    pub ops_per_duplicate: f64,
+    /// Probability that a *first* record of a product is perturbed at all
+    /// (base records are usually clean).
+    pub perturb_base: f64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        Self { ops_per_duplicate: 2.4, perturb_base: 0.25 }
+    }
+}
+
+/// Draws a perturbed variant of `title` applying a geometric-ish number of
+/// random operators.
+pub fn perturb_title(
+    title: &str,
+    suffix: &str,
+    noise: NoiseConfig,
+    rng: &mut impl Rng,
+) -> String {
+    let mut out = title.to_string();
+    let mut expected = noise.ops_per_duplicate;
+    while expected > 0.0 {
+        let p = expected.min(1.0);
+        if rng.gen_bool(p) {
+            let op = Perturbation::ALL[rng.gen_range(0..Perturbation::ALL.len())];
+            out = op.apply(&out, suffix, rng);
+        }
+        expected -= 1.0;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const TITLE: &str = "Nike Men's Lunar Force 1 Duckboot";
+
+    #[test]
+    fn shout_brand_uppercases_first_token_only() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = Perturbation::ShoutBrand.apply(TITLE, "", &mut rng);
+        assert!(out.starts_with("NIKE "));
+        assert!(out.contains("Men's"));
+    }
+
+    #[test]
+    fn suffix_appended_like_paper_example() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = Perturbation::AppendSuffix.apply(TITLE, "Black/Dark Loden", &mut rng);
+        assert_eq!(out, "Nike Men's Lunar Force 1 Duckboot, Black/Dark Loden");
+    }
+
+    #[test]
+    fn empty_suffix_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(Perturbation::AppendSuffix.apply(TITLE, "", &mut rng), TITLE);
+    }
+
+    #[test]
+    fn drop_token_preserves_brand_and_noun() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let out = Perturbation::DropToken.apply(TITLE, "", &mut rng);
+            assert!(out.starts_with("Nike "));
+            assert!(out.ends_with("Duckboot"));
+            assert_eq!(out.split(' ').count(), TITLE.split(' ').count() - 1);
+        }
+    }
+
+    #[test]
+    fn drop_token_short_title_untouched() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(Perturbation::DropToken.apply("Nike Shoe", "", &mut rng), "Nike Shoe");
+    }
+
+    #[test]
+    fn typo_changes_at_most_one_token() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let out = Perturbation::Typo.apply(TITLE, "", &mut rng);
+        let orig: Vec<&str> = TITLE.split(' ').collect();
+        let new: Vec<&str> = out.split(' ').collect();
+        assert_eq!(orig.len(), new.len());
+        let diffs = orig.iter().zip(&new).filter(|(a, b)| a != b).count();
+        assert!(diffs <= 1);
+    }
+
+    #[test]
+    fn strip_apostrophes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = Perturbation::StripApostrophes.apply(TITLE, "", &mut rng);
+        assert!(out.contains("Mens"));
+        assert!(!out.contains('\''));
+    }
+
+    #[test]
+    fn shop_prefix() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(Perturbation::ShopPrefix.apply(TITLE, "", &mut rng).starts_with("new-Nike"));
+    }
+
+    #[test]
+    fn noun_synonym_replaces_trailing_noun_only() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let out = Perturbation::NounSynonym.apply("Nike Air Max 90 Basketball Shoe", "", &mut rng);
+        assert_eq!(out, "Nike Air Max 90 Basketball Trainer");
+        // Unknown trailing token: identity.
+        let out = Perturbation::NounSynonym.apply("Nike Air Max 90", "", &mut rng);
+        assert_eq!(out, "Nike Air Max 90");
+    }
+
+    #[test]
+    fn perturb_title_deterministic_per_seed() {
+        let noise = NoiseConfig::default();
+        let a = perturb_title(TITLE, "Black", noise, &mut StdRng::seed_from_u64(11));
+        let b = perturb_title(TITLE, "Black", noise, &mut StdRng::seed_from_u64(11));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_noise_is_identity() {
+        let noise = NoiseConfig { ops_per_duplicate: 0.0, perturb_base: 0.0 };
+        let out = perturb_title(TITLE, "Black", noise, &mut StdRng::seed_from_u64(1));
+        assert_eq!(out, TITLE);
+    }
+
+    #[test]
+    fn heavy_noise_usually_changes_title() {
+        let noise = NoiseConfig { ops_per_duplicate: 3.0, perturb_base: 0.0 };
+        let mut changed = 0;
+        for seed in 0..20 {
+            let out = perturb_title(TITLE, "Black", noise, &mut StdRng::seed_from_u64(seed));
+            if out != TITLE {
+                changed += 1;
+            }
+        }
+        assert!(changed >= 15, "only {changed}/20 changed");
+    }
+}

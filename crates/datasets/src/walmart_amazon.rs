@@ -1,0 +1,178 @@
+//! The Walmart-Amazon benchmark generator (§5.1): a clean-clean product
+//! matching corpus (24,628 records, 10,242 candidate pairs) extended by the
+//! paper with four intents — Eq., Brand, Main-Cat. and General-Cat. — the
+//! last two over a manually built category hierarchy whose most general
+//! levels are electronics / personal equipment / house / cars.
+//!
+//! Table 4 targets: Eq ≈ 9.4%, Brand ≈ 76%, Main-Cat ≈ 80%,
+//! General-Cat ≈ 90%.
+
+use crate::catalog::{Catalog, CatalogConfig, RecordCountDist};
+use crate::intents::IntentDef;
+use crate::mixture::{assemble_benchmark, component, sample_candidate_pairs, PairClass};
+use crate::perturb::NoiseConfig;
+use crate::taxonomy::{walmart_amazon_spec, Taxonomy, TaxonomyConfig};
+use flexer_types::{MierBenchmark, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Paper cardinalities (Table 3).
+pub const PAPER_RECORDS: usize = 24_628;
+/// Paper candidate-pair count (Table 3).
+pub const PAPER_PAIRS: usize = 10_242;
+
+/// Configuration of the Walmart-Amazon generator.
+#[derive(Debug, Clone)]
+pub struct WalmartAmazonConfig {
+    /// Scale preset.
+    pub scale: Scale,
+    /// Generation seed.
+    pub seed: u64,
+    /// Target record count `|D|`.
+    pub n_records: usize,
+    /// Target candidate-pair count `|C|`.
+    pub n_pairs: usize,
+    /// Title noise model.
+    pub noise: NoiseConfig,
+}
+
+impl WalmartAmazonConfig {
+    /// Preset at a scale.
+    pub fn at_scale(scale: Scale) -> Self {
+        Self {
+            scale,
+            seed: 0,
+            n_records: scale.scaled(PAPER_RECORDS),
+            n_pairs: scale.scaled(PAPER_PAIRS),
+            noise: NoiseConfig { ops_per_duplicate: 2.8, perturb_base: 0.35 },
+        }
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The calibrated mixture solving the Table 4 system:
+    /// Eq = .094; Brand = .094 + .10 + .50 + .04 + .026 = .76;
+    /// Main = .094 + .60 + .106 = .80; General = .80 + .04 + .06 = .90.
+    pub fn mixture() -> Vec<crate::mixture::MixtureComponent> {
+        vec![
+            component(PairClass::Duplicate, 0.094),
+            component(PairClass::SameFamilyDiffProduct(Some(true)), 0.10),
+            component(PairClass::SameMainDiffFamily(Some(true)), 0.50),
+            component(PairClass::SameGeneralDiffMain(Some(true)), 0.04),
+            component(PairClass::DiffGeneral(Some(true)), 0.026),
+            component(PairClass::SameMainDiffFamily(Some(false)), 0.106),
+            component(PairClass::SameGeneralDiffMain(Some(false)), 0.06),
+            component(PairClass::DiffGeneral(Some(false)), 0.074),
+        ]
+    }
+
+    /// The intent list in Table 4 order.
+    pub fn intents() -> Vec<(IntentDef, &'static str)> {
+        vec![
+            (IntentDef::Equivalence, "Eq."),
+            (IntentDef::SameBrand, "Brand"),
+            (IntentDef::SameMainCategory, "Main-Cat."),
+            (IntentDef::SameGeneralCategory, "General-Cat."),
+        ]
+    }
+
+    /// Generates the benchmark.
+    pub fn generate(&self) -> MierBenchmark {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0x5A11_0402));
+        let taxonomy =
+            Taxonomy::from_spec(&walmart_amazon_spec(), TaxonomyConfig::at_scale(self.scale));
+        let catalog = Catalog::generate(
+            taxonomy,
+            &CatalogConfig {
+                n_records: self.n_records,
+                // Clean-clean: most products appear once per source.
+                record_counts: RecordCountDist([0.70, 0.30, 0.0, 0.0]),
+                noise: self.noise,
+            },
+            &mut rng,
+        );
+        let sampled = sample_candidate_pairs(&catalog, &Self::mixture(), self.n_pairs, &mut rng);
+        assemble_benchmark(
+            "Walmart-Amazon",
+            &catalog,
+            &Self::intents(),
+            sampled.candidates,
+            self.seed,
+        )
+    }
+}
+
+impl Default for WalmartAmazonConfig {
+    fn default() -> Self {
+        Self::at_scale(Scale::Small)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MierBenchmark {
+        WalmartAmazonConfig::at_scale(Scale::Tiny).with_seed(5).generate()
+    }
+
+    #[test]
+    fn benchmark_validates() {
+        tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn four_intents_in_order() {
+        let b = tiny();
+        assert_eq!(b.intents.names(), vec!["Eq.", "Brand", "Main-Cat.", "General-Cat."]);
+    }
+
+    #[test]
+    fn positive_rates_track_table4() {
+        let b = tiny();
+        let targets = [0.094, 0.76, 0.80, 0.90];
+        for (p, &target) in targets.iter().enumerate() {
+            let rate = b.labels.positive_rate(p);
+            assert!(
+                (rate - target).abs() < 0.09,
+                "intent {p}: rate {rate:.3} vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn subsumption_structure() {
+        let b = tiny();
+        // Eq ⊆ Brand, Eq ⊆ Main ⊆ General.
+        assert!(b.intent_subsumed_by(0, 1));
+        assert!(b.intent_subsumed_by(0, 2));
+        assert!(b.intent_subsumed_by(2, 3));
+        // Brand is NOT subsumed by General (cross-general same-brand pairs
+        // exist by construction: w4-class pairs).
+        assert!(!b.intent_subsumed_by(1, 3));
+    }
+
+    #[test]
+    fn many_records_few_pairs() {
+        // Walmart-Amazon's signature shape: |D| exceeds |C| proportionally.
+        let b = tiny();
+        assert!(b.dataset.len() as f64 > b.n_pairs() as f64 * 1.5);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = WalmartAmazonConfig::at_scale(Scale::Tiny).with_seed(1).generate();
+        let b = WalmartAmazonConfig::at_scale(Scale::Tiny).with_seed(1).generate();
+        assert_eq!(a.candidates, b.candidates);
+    }
+
+    #[test]
+    fn mixture_sums_to_one() {
+        let total: f64 = WalmartAmazonConfig::mixture().iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,175 @@
+//! The WDC product corpus generator (§5.1): 10,935 records and 30,673
+//! candidate pairs across four sub-corpora (computers, cameras, watches,
+//! shoes). The paper labels a **category** intent from sub-corpus
+//! membership, expands the candidate set with blocked cross-category pairs,
+//! and adds a **general category** intent merging computers+cameras into
+//! electronics and watches+shoes into dressing.
+//!
+//! Table 4 targets: Eq ≈ 11.6%, Cat ≈ 43.8%, General-Cat ≈ 67%.
+
+use crate::catalog::{Catalog, CatalogConfig, RecordCountDist};
+use crate::intents::IntentDef;
+use crate::mixture::{assemble_benchmark, component, sample_candidate_pairs, PairClass};
+use crate::perturb::NoiseConfig;
+use crate::taxonomy::{wdc_spec, Taxonomy, TaxonomyConfig};
+use flexer_types::{MierBenchmark, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Paper cardinalities (Table 3).
+pub const PAPER_RECORDS: usize = 10_935;
+/// Paper candidate-pair count (Table 3, after cross-category expansion).
+pub const PAPER_PAIRS: usize = 30_673;
+
+/// Configuration of the WDC generator.
+#[derive(Debug, Clone)]
+pub struct WdcConfig {
+    /// Scale preset.
+    pub scale: Scale,
+    /// Generation seed.
+    pub seed: u64,
+    /// Target record count `|D|`.
+    pub n_records: usize,
+    /// Target candidate-pair count `|C|`.
+    pub n_pairs: usize,
+    /// Title noise model (multi-shop noise is heavier than Amazon's).
+    pub noise: NoiseConfig,
+}
+
+impl WdcConfig {
+    /// Preset at a scale.
+    pub fn at_scale(scale: Scale) -> Self {
+        Self {
+            scale,
+            seed: 0,
+            n_records: scale.scaled(PAPER_RECORDS),
+            n_pairs: scale.scaled(PAPER_PAIRS),
+            noise: NoiseConfig { ops_per_duplicate: 3.2, perturb_base: 0.45 },
+        }
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The calibrated mixture solving the Table 4 system:
+    /// Eq = .116; Cat = .116 + .10 + .222 = .438;
+    /// General = .438 + .232 = .67. The cross-general remainder (.33) and
+    /// the cross-category-within-general pairs (.232) play the role of the
+    /// paper's blocked cross-category expansion.
+    pub fn mixture() -> Vec<crate::mixture::MixtureComponent> {
+        vec![
+            component(PairClass::Duplicate, 0.116),
+            component(PairClass::SameFamilyDiffProduct(None), 0.10),
+            component(PairClass::SameMainDiffFamily(None), 0.222),
+            component(PairClass::SameGeneralDiffMain(None), 0.232),
+            component(PairClass::DiffGeneral(None), 0.33),
+        ]
+    }
+
+    /// The intent list in Table 4 order.
+    pub fn intents() -> Vec<(IntentDef, &'static str)> {
+        vec![
+            (IntentDef::Equivalence, "Eq."),
+            (IntentDef::SameMainCategory, "Cat."),
+            (IntentDef::SameGeneralCategory, "General-Cat."),
+        ]
+    }
+
+    /// Generates the benchmark.
+    pub fn generate(&self) -> MierBenchmark {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0x3DC0_0403));
+        let taxonomy = Taxonomy::from_spec(&wdc_spec(), TaxonomyConfig::at_scale(self.scale));
+        let catalog = Catalog::generate(
+            taxonomy,
+            &CatalogConfig {
+                n_records: self.n_records,
+                // Multi-shop corpus: offers cluster per product.
+                record_counts: RecordCountDist([0.45, 0.25, 0.20, 0.10]),
+                noise: self.noise,
+            },
+            &mut rng,
+        );
+        let sampled = sample_candidate_pairs(&catalog, &Self::mixture(), self.n_pairs, &mut rng);
+        assemble_benchmark("WDC", &catalog, &Self::intents(), sampled.candidates, self.seed)
+    }
+}
+
+impl Default for WdcConfig {
+    fn default() -> Self {
+        Self::at_scale(Scale::Small)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MierBenchmark {
+        WdcConfig::at_scale(Scale::Tiny).with_seed(9).generate()
+    }
+
+    #[test]
+    fn benchmark_validates() {
+        tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn three_intents_in_order() {
+        let b = tiny();
+        assert_eq!(b.intents.names(), vec!["Eq.", "Cat.", "General-Cat."]);
+    }
+
+    #[test]
+    fn positive_rates_track_table4() {
+        let b = tiny();
+        let targets = [0.116, 0.438, 0.67];
+        for (p, &target) in targets.iter().enumerate() {
+            let rate = b.labels.positive_rate(p);
+            assert!(
+                (rate - target).abs() < 0.08,
+                "intent {p}: rate {rate:.3} vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn category_chain_subsumption() {
+        let b = tiny();
+        // Eq ⊆ Cat ⊆ General.
+        assert!(b.intent_subsumed_by(0, 1));
+        assert!(b.intent_subsumed_by(1, 2));
+        // General does not subsume Cat (cross-category-same-general pairs).
+        assert!(!b.intent_subsumed_by(2, 1));
+    }
+
+    #[test]
+    fn cross_category_pairs_exist() {
+        // The WDC expansion: pairs spanning different categories within the
+        // same general category, labelled 0 for Cat but 1 for General.
+        let b = tiny();
+        let mut found = 0;
+        for i in 0..b.n_pairs() {
+            if !b.labels.get(i, 1) && b.labels.get(i, 2) {
+                found += 1;
+            }
+        }
+        assert!(found > 0, "no cross-category same-general pairs");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = WdcConfig::at_scale(Scale::Tiny).with_seed(2).generate();
+        let b = WdcConfig::at_scale(Scale::Tiny).with_seed(2).generate();
+        assert_eq!(a.candidates, b.candidates);
+        assert_eq!(a.splits, b.splits);
+    }
+
+    #[test]
+    fn mixture_sums_to_one() {
+        let total: f64 = WdcConfig::mixture().iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,63 @@
+//! Single-intent evaluation report (the P/R/F/Acc columns of Tables 6–7).
+
+use crate::confusion::Confusion;
+
+/// Precision/recall/F1/accuracy of one intent's resolution against its
+/// golden standard.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BinaryReport {
+    /// Precision (Eq. 6).
+    pub precision: f64,
+    /// Recall (Eq. 6).
+    pub recall: f64,
+    /// F1.
+    pub f1: f64,
+    /// Accuracy.
+    pub accuracy: f64,
+}
+
+impl BinaryReport {
+    /// Evaluates predictions against labels.
+    pub fn from_predictions(preds: &[bool], labels: &[bool]) -> Self {
+        let c = Confusion::from_predictions(preds, labels);
+        Self { precision: c.precision(), recall: c.recall(), f1: c.f1(), accuracy: c.accuracy() }
+    }
+
+    /// The value of a named measure (`P`, `R`, `F`, `Acc`).
+    pub fn measure(&self, name: &str) -> Option<f64> {
+        match name {
+            "P" => Some(self.precision),
+            "R" => Some(self.recall),
+            "F" => Some(self.f1),
+            "Acc" => Some(self.accuracy),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_confusion() {
+        let r = BinaryReport::from_predictions(
+            &[true, true, false, false],
+            &[true, false, true, false],
+        );
+        assert_eq!(r.precision, 0.5);
+        assert_eq!(r.recall, 0.5);
+        assert_eq!(r.f1, 0.5);
+        assert_eq!(r.accuracy, 0.5);
+    }
+
+    #[test]
+    fn measures_in_unit_interval() {
+        let r = BinaryReport::from_predictions(&[true, false, true], &[false, false, true]);
+        for m in ["P", "R", "F", "Acc"] {
+            let v = r.measure(m).unwrap();
+            assert!((0.0..=1.0).contains(&v));
+        }
+        assert_eq!(r.measure("X"), None);
+    }
+}

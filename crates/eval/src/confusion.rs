@@ -1,0 +1,130 @@
+//! Confusion counts over binary predictions.
+
+/// True/false positive/negative counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// Predicted 1, label 1.
+    pub tp: usize,
+    /// Predicted 1, label 0.
+    pub fp: usize,
+    /// Predicted 0, label 1.
+    pub fn_: usize,
+    /// Predicted 0, label 0.
+    pub tn: usize,
+}
+
+impl Confusion {
+    /// Counts a prediction/label stream.
+    pub fn from_predictions(preds: &[bool], labels: &[bool]) -> Self {
+        assert_eq!(preds.len(), labels.len(), "prediction/label length mismatch");
+        let mut c = Self::default();
+        for (&p, &l) in preds.iter().zip(labels) {
+            match (p, l) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, true) => c.fn_ += 1,
+                (false, false) => c.tn += 1,
+            }
+        }
+        c
+    }
+
+    /// Total number of examples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.fn_ + self.tn
+    }
+
+    /// Precision `|M ∩ M*| / |M|` (Eq. 6); 0 when nothing is predicted.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Recall `|M ∩ M*| / |M*|` (Eq. 6); 0 when there are no positives.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// F1 — harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting() {
+        let c = Confusion::from_predictions(
+            &[true, true, false, false],
+            &[true, false, true, false],
+        );
+        assert_eq!(c, Confusion { tp: 1, fp: 1, fn_: 1, tn: 1 });
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn perfect_prediction() {
+        let c = Confusion::from_predictions(&[true, false], &[true, false]);
+        assert_eq!(c.precision(), 1.0);
+        assert_eq!(c.recall(), 1.0);
+        assert_eq!(c.f1(), 1.0);
+        assert_eq!(c.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero_not_nan() {
+        // No predictions at all.
+        let c = Confusion::from_predictions(&[false, false], &[true, true]);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        // No positives in the gold standard.
+        let c = Confusion::from_predictions(&[true], &[false]);
+        assert_eq!(c.recall(), 0.0);
+        // Empty stream.
+        let c = Confusion::from_predictions(&[], &[]);
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        // P = 1/2, R = 1/3 → F1 = 2·(1/2·1/3)/(1/2+1/3) = 0.4
+        let c = Confusion { tp: 1, fp: 1, fn_: 2, tn: 0 };
+        assert!((c.f1() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_checked() {
+        let _ = Confusion::from_predictions(&[true], &[]);
+    }
+}

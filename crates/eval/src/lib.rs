@@ -1,0 +1,26 @@
+//! # flexer-eval
+//!
+//! The evaluation measures of the FlexER paper (§5.2.3):
+//!
+//! * precision / recall / F1 / accuracy per intent (Eq. 6),
+//! * reduction of residual error `E_V` (Eq. 7),
+//! * multi-intent macro averages `MI-V` (Eq. 8),
+//! * exact-match multi-label accuracy `MI-Acc` (Eq. 9),
+//! * preventable error `PE` (Eq. 10) for the subsumption ablation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binary;
+pub mod confusion;
+pub mod multi;
+pub mod preventable;
+pub mod report;
+pub mod residual;
+
+pub use binary::BinaryReport;
+pub use confusion::Confusion;
+pub use multi::MultiIntentReport;
+pub use preventable::preventable_error;
+pub use report::TextTable;
+pub use residual::residual_error_reduction;

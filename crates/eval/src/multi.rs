@@ -1,0 +1,119 @@
+//! Multi-intent evaluation (Eqs. 8–9): the `MI-P`, `MI-R`, `MI-F` macro
+//! averages and the strict exact-match `MI-Acc` of Table 5.
+
+use crate::binary::BinaryReport;
+use flexer_types::LabelMatrix;
+
+/// Multi-intent report over a prediction matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiIntentReport {
+    /// Per-intent single-intent reports (id order).
+    pub per_intent: Vec<BinaryReport>,
+    /// Macro-average precision (Eq. 8 with V = P).
+    pub mi_precision: f64,
+    /// Macro-average recall.
+    pub mi_recall: f64,
+    /// Macro-average F1.
+    pub mi_f1: f64,
+    /// Exact-match multi-label accuracy (Eq. 9): the fraction of pairs
+    /// whose *entire* intent vector is predicted correctly.
+    pub mi_accuracy: f64,
+}
+
+impl MultiIntentReport {
+    /// Evaluates a predicted label matrix against the golden one. Both must
+    /// share the same shape (pairs × intents).
+    pub fn evaluate(predictions: &LabelMatrix, golden: &LabelMatrix) -> Self {
+        assert_eq!(predictions.n_pairs(), golden.n_pairs(), "pair count mismatch");
+        assert_eq!(predictions.n_intents(), golden.n_intents(), "intent count mismatch");
+        let n_intents = golden.n_intents();
+        let per_intent: Vec<BinaryReport> = (0..n_intents)
+            .map(|p| BinaryReport::from_predictions(&predictions.column(p), &golden.column(p)))
+            .collect();
+        let avg = |f: fn(&BinaryReport) -> f64| -> f64 {
+            if per_intent.is_empty() {
+                0.0
+            } else {
+                per_intent.iter().map(f).sum::<f64>() / per_intent.len() as f64
+            }
+        };
+        let n_pairs = golden.n_pairs();
+        let exact = (0..n_pairs)
+            .filter(|&i| (0..n_intents).all(|p| predictions.get(i, p) == golden.get(i, p)))
+            .count();
+        let mi_accuracy = if n_pairs == 0 { 0.0 } else { exact as f64 / n_pairs as f64 };
+        Self {
+            mi_precision: avg(|r| r.precision),
+            mi_recall: avg(|r| r.recall),
+            mi_f1: avg(|r| r.f1),
+            mi_accuracy,
+            per_intent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(cols: &[Vec<bool>]) -> LabelMatrix {
+        LabelMatrix::from_columns(cols).unwrap()
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let golden = labels(&[vec![true, false, true], vec![false, false, true]]);
+        let r = MultiIntentReport::evaluate(&golden, &golden);
+        assert_eq!(r.mi_f1, 1.0);
+        assert_eq!(r.mi_accuracy, 1.0);
+        assert_eq!(r.per_intent.len(), 2);
+    }
+
+    #[test]
+    fn macro_average_is_mean_of_intents() {
+        let golden = labels(&[vec![true, true, false, false], vec![true, true, true, true]]);
+        // Intent 0 predicted perfectly; intent 1 predicted half right
+        // (recall 0.5, precision 1.0).
+        let preds = labels(&[vec![true, true, false, false], vec![true, true, false, false]]);
+        let r = MultiIntentReport::evaluate(&preds, &golden);
+        let f0 = r.per_intent[0].f1;
+        let f1 = r.per_intent[1].f1;
+        assert_eq!(f0, 1.0);
+        assert!((f1 - 2.0 / 3.0).abs() < 1e-12);
+        assert!((r.mi_f1 - (f0 + f1) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mi_acc_stricter_than_mi_f1() {
+        // One wrong intent per pair makes MI-Acc 0 even though per-intent
+        // scores stay high — the "far more strict" note of §5.2.3.
+        let golden = labels(&[vec![true, true], vec![true, true]]);
+        let preds = labels(&[vec![true, false], vec![false, true]]);
+        let r = MultiIntentReport::evaluate(&preds, &golden);
+        assert_eq!(r.mi_accuracy, 0.0);
+        assert!(r.mi_f1 > 0.5);
+    }
+
+    #[test]
+    fn exact_match_counting() {
+        let golden = labels(&[vec![true, false, true, false]]);
+        let preds = labels(&[vec![true, true, true, false]]);
+        let r = MultiIntentReport::evaluate(&preds, &golden);
+        assert_eq!(r.mi_accuracy, 0.75);
+    }
+
+    #[test]
+    fn empty_matrices() {
+        let golden = LabelMatrix::zeros(0, 2);
+        let r = MultiIntentReport::evaluate(&golden, &golden);
+        assert_eq!(r.mi_accuracy, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "intent count mismatch")]
+    fn shape_checked() {
+        let a = LabelMatrix::zeros(2, 2);
+        let b = LabelMatrix::zeros(2, 3);
+        let _ = MultiIntentReport::evaluate(&a, &b);
+    }
+}

@@ -1,0 +1,133 @@
+//! Preventable error (Eq. 10) — the subsumption ablation measure of §5.5.2.
+//!
+//! For an intent `π` subsumed by intents `Q`, a false positive of `π` on a
+//! pair is *preventable* when at least one `q ∈ Q` issued a correct
+//! negative prediction on that pair: since `π ⊆ q`, "`q` says no" implies
+//! "`π` must say no". `PE` is the ratio of such preventable false positives
+//! to the pairs carrying at least one correct subsuming negative — how
+//! often the model ignores information that was available to it.
+
+/// Computes `PE_{π,M*}(M)`.
+///
+/// * `preds` / `golden` — predictions and gold labels of intent `π`;
+/// * `subsuming_preds` / `subsuming_golden` — one slice per subsuming
+///   intent `q ∈ Q`, aligned with `preds`.
+///
+/// Returns 0 when no pair carries a correct subsuming negative.
+pub fn preventable_error(
+    preds: &[bool],
+    golden: &[bool],
+    subsuming_preds: &[&[bool]],
+    subsuming_golden: &[&[bool]],
+) -> f64 {
+    let n = preds.len();
+    assert_eq!(golden.len(), n, "golden length mismatch");
+    assert_eq!(
+        subsuming_preds.len(),
+        subsuming_golden.len(),
+        "subsuming preds/golden count mismatch"
+    );
+    for (sp, sg) in subsuming_preds.iter().zip(subsuming_golden) {
+        assert_eq!(sp.len(), n, "subsuming prediction length mismatch");
+        assert_eq!(sg.len(), n, "subsuming golden length mismatch");
+    }
+    let mut denominator = 0usize; // pairs with ≥1 correct subsuming negative
+    let mut numerator = 0usize; // …that π still falsely marks positive
+    for i in 0..n {
+        let correct_negative = subsuming_preds
+            .iter()
+            .zip(subsuming_golden)
+            .any(|(sp, sg)| !sp[i] && !sg[i]);
+        if correct_negative {
+            denominator += 1;
+            if preds[i] && !golden[i] {
+                numerator += 1;
+            }
+        }
+    }
+    if denominator == 0 {
+        0.0
+    } else {
+        numerator as f64 / denominator as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_subsuming_intents_gives_zero() {
+        assert_eq!(preventable_error(&[true], &[false], &[], &[]), 0.0);
+    }
+
+    #[test]
+    fn fully_preventable() {
+        // π false-positive everywhere while the subsuming intent correctly
+        // says no everywhere.
+        let preds = [true, true];
+        let golden = [false, false];
+        let q_preds = [false, false];
+        let q_golden = [false, false];
+        let pe = preventable_error(&preds, &golden, &[&q_preds], &[&q_golden]);
+        assert_eq!(pe, 1.0);
+    }
+
+    #[test]
+    fn listening_model_has_zero_pe() {
+        // Model already predicts negative wherever the subsuming intent
+        // does: nothing preventable remains.
+        let preds = [false, false, true];
+        let golden = [false, false, true];
+        let q_preds = [false, false, true];
+        let q_golden = [false, false, true];
+        let pe = preventable_error(&preds, &golden, &[&q_preds], &[&q_golden]);
+        assert_eq!(pe, 0.0);
+    }
+
+    #[test]
+    fn incorrect_subsuming_negative_does_not_count() {
+        // q predicts negative but is WRONG (gold positive): that negative is
+        // not a "correct negative prediction", so the pair is excluded.
+        let preds = [true];
+        let golden = [false];
+        let q_preds = [false];
+        let q_golden = [true];
+        let pe = preventable_error(&preds, &golden, &[&q_preds], &[&q_golden]);
+        assert_eq!(pe, 0.0);
+    }
+
+    #[test]
+    fn any_of_multiple_subsumers_suffices() {
+        let preds = [true];
+        let golden = [false];
+        let q1_preds = [true]; // q1 says yes — no help
+        let q1_golden = [false];
+        let q2_preds = [false]; // q2 gives the correct negative
+        let q2_golden = [false];
+        let pe = preventable_error(
+            &preds,
+            &golden,
+            &[&q1_preds, &q2_preds],
+            &[&q1_golden, &q2_golden],
+        );
+        assert_eq!(pe, 1.0);
+    }
+
+    #[test]
+    fn ratio_counts_only_denominator_pairs() {
+        // 4 pairs with correct subsuming negatives, 1 preventable FP → 0.25.
+        let preds = [true, false, false, false, true];
+        let golden = [false, false, false, false, true];
+        let q_preds = [false, false, false, false, true];
+        let q_golden = [false, false, false, false, true];
+        let pe = preventable_error(&preds, &golden, &[&q_preds], &[&q_golden]);
+        assert_eq!(pe, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn shape_checked() {
+        let _ = preventable_error(&[true], &[true, false], &[], &[]);
+    }
+}

@@ -1,0 +1,53 @@
+//! Reduction of residual error (Eq. 7).
+//!
+//! Benchmarks profiled as "easy" leave little headroom; the paper therefore
+//! reports `E_V = 100 · (V(new) − V(base)) / (1 − V(base))` — the share of
+//! the baseline's *remaining* error that the new model removes.
+
+/// `E_V` in percent. Returns 0 when the baseline is already perfect
+/// (no residual error to reduce).
+pub fn residual_error_reduction(v_new: f64, v_baseline: f64) -> f64 {
+    let residual = 1.0 - v_baseline;
+    if residual <= 0.0 {
+        return 0.0;
+    }
+    100.0 * (v_new - v_baseline) / residual
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halving_the_error_is_fifty_percent() {
+        assert!((residual_error_reduction(0.95, 0.90) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_example_amazonmi_eq() {
+        // Table 6: In-parallel F .901 → FlexER .958 ⇒ E_F ≈ 57.6%.
+        let e = residual_error_reduction(0.958, 0.901);
+        assert!((e - 57.57).abs() < 0.1, "E_F = {e}");
+    }
+
+    #[test]
+    fn regression_is_negative() {
+        assert!(residual_error_reduction(0.80, 0.90) < 0.0);
+    }
+
+    #[test]
+    fn no_change_is_zero() {
+        assert_eq!(residual_error_reduction(0.9, 0.9), 0.0);
+    }
+
+    #[test]
+    fn perfect_baseline_guarded() {
+        assert_eq!(residual_error_reduction(1.0, 1.0), 0.0);
+        assert_eq!(residual_error_reduction(0.99, 1.0), 0.0);
+    }
+
+    #[test]
+    fn reaching_perfection_is_hundred_percent() {
+        assert!((residual_error_reduction(1.0, 0.6) - 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,116 @@
+//! Intent-graph construction (§4.1): stacks per-intent pair embeddings into
+//! node features and wires intra-layer k-NN edges via the exact flat index
+//! (the Faiss substitute) plus inter-layer peer edges.
+
+use crate::multiplex::MultiplexGraph;
+use flexer_ann::knn_graph::knn_graph;
+use flexer_ann::FlatIndex;
+use flexer_nn::Matrix;
+
+/// Builds the multiplex intents graph from one embedding matrix per intent
+/// (all `n_pairs × dim`, same `dim` — independently trained matchers with a
+/// shared architecture produce this shape). `k` is the intra-layer
+/// neighbour count; `k = 0` disables intra-layer edges (the Table 8
+/// ablation point).
+pub fn build_intent_graph(embeddings: &[Matrix], k: usize) -> MultiplexGraph {
+    assert!(!embeddings.is_empty(), "at least one intent layer required");
+    let n_pairs = embeddings[0].rows();
+    let dim = embeddings[0].cols();
+    for e in embeddings {
+        assert_eq!(e.rows(), n_pairs, "every layer must cover the same pairs");
+        assert_eq!(e.cols(), dim, "intent representations must share dimensionality");
+    }
+    let n_layers = embeddings.len();
+
+    // Stacked features, layer-major.
+    let mut features = Matrix::zeros(n_pairs * n_layers, dim);
+    for (p, emb) in embeddings.iter().enumerate() {
+        for i in 0..n_pairs {
+            features.row_mut(p * n_pairs + i).copy_from_slice(emb.row(i));
+        }
+    }
+
+    // Per-layer k-NN over the *initial* representations (fixed thereafter,
+    // §4.1.3).
+    let knn_per_layer: Vec<Vec<Vec<usize>>> = embeddings
+        .iter()
+        .map(|emb| {
+            if k == 0 || n_pairs < 2 {
+                return vec![Vec::new(); n_pairs];
+            }
+            let index = FlatIndex::from_rows(dim, emb.data());
+            knn_graph(&index, k)
+        })
+        .collect();
+
+    MultiplexGraph::assemble(n_pairs, n_layers, features, &knn_per_layer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn embeddings() -> Vec<Matrix> {
+        // Layer 0: pairs on a line; layer 1: reversed order.
+        let a = Matrix::from_fn(5, 2, |i, _| i as f32);
+        let b = Matrix::from_fn(5, 2, |i, _| (5 - i) as f32);
+        vec![a, b]
+    }
+
+    #[test]
+    fn edge_counts_match_formulas() {
+        let g = build_intent_graph(&embeddings(), 2);
+        // |C|·P·k intra, |C|·P·(P−1) inter.
+        assert_eq!(g.n_intra_edges(), 5 * 2 * 2);
+        assert_eq!(g.n_inter_edges(), 5 * 2 * 1);
+        assert_eq!(g.n_nodes(), 10);
+        assert_eq!(g.dim, 2);
+    }
+
+    #[test]
+    fn knn_respects_layer_geometry() {
+        let g = build_intent_graph(&embeddings(), 1);
+        // In layer 0, pair 0's nearest other pair is 1.
+        assert_eq!(g.intra.in_neighbors(g.node_id(0, 0)), &[g.node_id(0, 1) as u32]);
+        // Same geometric relation holds in layer 1 despite reversal.
+        assert_eq!(g.intra.in_neighbors(g.node_id(1, 0)), &[g.node_id(1, 1) as u32]);
+    }
+
+    #[test]
+    fn k_zero_disables_intra_edges() {
+        let g = build_intent_graph(&embeddings(), 0);
+        assert_eq!(g.n_intra_edges(), 0);
+        assert_eq!(g.n_inter_edges(), 10);
+    }
+
+    #[test]
+    fn k_clamped_by_layer_size() {
+        let g = build_intent_graph(&embeddings(), 100);
+        // Each node can have at most n_pairs − 1 = 4 neighbours.
+        assert_eq!(g.n_intra_edges(), 5 * 2 * 4);
+    }
+
+    #[test]
+    fn features_stacked_layer_major() {
+        let e = embeddings();
+        let g = build_intent_graph(&e, 1);
+        assert_eq!(g.features.row(g.node_id(0, 3)), e[0].row(3));
+        assert_eq!(g.features.row(g.node_id(1, 3)), e[1].row(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "share dimensionality")]
+    fn dimension_mismatch_rejected() {
+        let a = Matrix::zeros(3, 2);
+        let b = Matrix::zeros(3, 3);
+        let _ = build_intent_graph(&[a, b], 2);
+    }
+
+    #[test]
+    fn single_pair_graph() {
+        let a = Matrix::zeros(1, 4);
+        let g = build_intent_graph(&[a.clone(), a], 3);
+        assert_eq!(g.n_intra_edges(), 0); // no other pair to connect to
+        assert_eq!(g.n_inter_edges(), 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! CSR adjacency with mean aggregation — the message-passing kernel.
+//!
+//! Rows store *incoming* neighbours: `in_neighbors(v)` are the nodes whose
+//! messages `v` receives (the paper's `N(v)`, "connected by incoming
+//! edges"). Mean aggregation and its backward pass are the only two kernels
+//! the GNN needs.
+
+use flexer_nn::Matrix;
+
+/// Compressed sparse row directed graph keyed by *destination* node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    indptr: Vec<usize>,
+    indices: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Builds from per-destination incoming-neighbour lists.
+    pub fn from_in_neighbors(lists: &[Vec<usize>]) -> Self {
+        let mut indptr = Vec::with_capacity(lists.len() + 1);
+        let mut indices = Vec::new();
+        indptr.push(0);
+        for l in lists {
+            for &u in l {
+                indices.push(u as u32);
+            }
+            indptr.push(indices.len());
+        }
+        Self { indptr, indices }
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Number of directed edges.
+    pub fn n_edges(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Incoming neighbours of `v`.
+    pub fn in_neighbors(&self, v: usize) -> &[u32] {
+        &self.indices[self.indptr[v]..self.indptr[v + 1]]
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: usize) -> usize {
+        self.indptr[v + 1] - self.indptr[v]
+    }
+
+    /// `out[v] = mean_{u ∈ N(v)} h[u]` (zero vector for isolated nodes) —
+    /// Eq. 3 with a mean aggregator.
+    pub fn mean_aggregate(&self, h: &Matrix) -> Matrix {
+        assert_eq!(h.rows(), self.n_nodes(), "feature/node count mismatch");
+        let dim = h.cols();
+        let mut out = Matrix::zeros(self.n_nodes(), dim);
+        for v in 0..self.n_nodes() {
+            let neighbors = self.in_neighbors(v);
+            if neighbors.is_empty() {
+                continue;
+            }
+            let inv = 1.0 / neighbors.len() as f32;
+            let row = out.row_mut(v);
+            for &u in neighbors {
+                for (o, &x) in row.iter_mut().zip(h.row(u as usize)) {
+                    *o += x * inv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward of [`CsrGraph::mean_aggregate`]: scatters `d_out[v]/deg(v)`
+    /// back to every source `u ∈ N(v)`.
+    pub fn mean_aggregate_backward(&self, d_out: &Matrix) -> Matrix {
+        assert_eq!(d_out.rows(), self.n_nodes(), "gradient/node count mismatch");
+        let dim = d_out.cols();
+        let mut dh = Matrix::zeros(self.n_nodes(), dim);
+        for v in 0..self.n_nodes() {
+            let neighbors = self.in_neighbors(v);
+            if neighbors.is_empty() {
+                continue;
+            }
+            let inv = 1.0 / neighbors.len() as f32;
+            for &u in neighbors {
+                let src = dh.row_mut(u as usize);
+                for (s, &g) in src.iter_mut().zip(d_out.row(v)) {
+                    *s += g * inv;
+                }
+            }
+        }
+        dh
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> CsrGraph {
+        // 0 → 1 → 2 (node 1 receives from 0, node 2 from 1), node 0 isolated.
+        CsrGraph::from_in_neighbors(&[vec![], vec![0], vec![1]])
+    }
+
+    #[test]
+    fn structure() {
+        let g = path_graph();
+        assert_eq!(g.n_nodes(), 3);
+        assert_eq!(g.n_edges(), 2);
+        assert_eq!(g.in_neighbors(1), &[0]);
+        assert_eq!(g.in_degree(0), 0);
+    }
+
+    #[test]
+    fn mean_aggregation_averages() {
+        let g = CsrGraph::from_in_neighbors(&[vec![1, 2], vec![], vec![]]);
+        let h = Matrix::from_vec(3, 2, vec![9.0, 9.0, 2.0, 4.0, 4.0, 8.0]);
+        let out = g.mean_aggregate(&h);
+        assert_eq!(out.row(0), &[3.0, 6.0]);
+        assert_eq!(out.row(1), &[0.0, 0.0]); // isolated → zero
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let g = CsrGraph::from_in_neighbors(&[vec![1, 2], vec![2], vec![]]);
+        let h = Matrix::from_vec(3, 2, vec![0.5, -1.0, 2.0, 0.3, -0.7, 1.1]);
+        // Loss = sum of aggregate outputs → d_out = ones.
+        let ones = Matrix::from_fn(3, 2, |_, _| 1.0);
+        let dh = g.mean_aggregate_backward(&ones);
+        let loss = |h: &Matrix| -> f32 { g.mean_aggregate(h).data().iter().sum() };
+        let eps = 1e-2;
+        for i in 0..3 {
+            for j in 0..2 {
+                let mut hp = h.clone();
+                hp.set(i, j, hp.get(i, j) + eps);
+                let mut hm = h.clone();
+                hm.set(i, j, hm.get(i, j) - eps);
+                let num = (loss(&hp) - loss(&hm)) / (2.0 * eps);
+                assert!((num - dh.get(i, j)).abs() < 1e-3, "d[{i},{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_in_neighbors(&[]);
+        assert_eq!(g.n_nodes(), 0);
+        let out = g.mean_aggregate(&Matrix::zeros(0, 4));
+        assert_eq!(out.rows(), 0);
+    }
+
+    #[test]
+    fn aggregation_is_linear() {
+        let g = path_graph();
+        let a = Matrix::from_fn(3, 2, |i, j| (i + j) as f32);
+        let b = Matrix::from_fn(3, 2, |i, j| (i * j) as f32 + 1.0);
+        let mut sum = a.clone();
+        sum.add_scaled(&b, 1.0);
+        let lhs = g.mean_aggregate(&sum);
+        let mut rhs = g.mean_aggregate(&a);
+        rhs.add_scaled(&g.mean_aggregate(&b), 1.0);
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+}

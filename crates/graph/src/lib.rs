@@ -1,0 +1,32 @@
+//! # flexer-graph
+//!
+//! The multiplex intents graph (§4.1) and the GraphSAGE-style GNN (§4.2)
+//! at the heart of FlexER.
+//!
+//! * [`MultiplexGraph`] — one node per (candidate pair, intent); directed
+//!   intra-layer k-NN edges over the initial intent-based representations
+//!   and directed inter-layer peer edges between the same pair's nodes.
+//! * [`SageLayer`] — the multiplex adjustment of GraphSAGE's update
+//!   (Eqs. 3–4, following the relation-typed aggregation of R-GCN \[50\]):
+//!   `h' = σ(W · [h_self ; mean_intra(N) ; mean_inter(N)])`.
+//! * [`GnnModel`] / [`train_for_intent`] — a 2- or 3-layer GNN with a
+//!   per-intent prediction head (Eq. 5), trained transductively with Adam
+//!   (lr 0.01, weight decay 5e-4, CE loss, up to 150 epochs) and
+//!   validation-F1 model selection, exactly the §5.2.1 protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod csr;
+pub mod model;
+pub mod multiplex;
+pub mod sage;
+pub mod train;
+
+pub use build::build_intent_graph;
+pub use csr::CsrGraph;
+pub use model::GnnModel;
+pub use multiplex::MultiplexGraph;
+pub use sage::SageLayer;
+pub use train::{train_for_intent, GnnConfig, TrainedGnn};

@@ -1,0 +1,222 @@
+//! The stacked GNN with a per-intent prediction head (Eqs. 4–5).
+
+use crate::multiplex::MultiplexGraph;
+use crate::sage::{Aggregation, SageCache, SageLayer};
+use flexer_nn::activation::{relu_backward_inplace, relu_inplace, softmax_rows};
+use flexer_nn::{Linear, Matrix, Optimizer};
+use rand::Rng;
+
+/// A q-layer multiplex GraphSAGE network plus the fully connected
+/// prediction head of Eq. 5.
+#[derive(Debug, Clone)]
+pub struct GnnModel {
+    layers: Vec<SageLayer>,
+    head: Linear,
+}
+
+/// Forward cache of the whole network.
+#[derive(Debug, Clone)]
+pub struct GnnTrace {
+    caches: Vec<SageCache>,
+}
+
+impl GnnTrace {
+    /// Final hidden states `h(q)` of all nodes.
+    pub fn final_hidden(&self) -> &Matrix {
+        &self.caches.last().expect("at least one layer").output
+    }
+}
+
+impl GnnModel {
+    /// Builds the network. `hidden_dims` are the per-layer output widths
+    /// (the paper's 2-layer setting uses `[h1, h1]`; 3-layer uses
+    /// `[h1, h1/2, h1/2]`).
+    pub fn new(
+        rng: &mut impl Rng,
+        input_dim: usize,
+        hidden_dims: &[usize],
+        aggregation: Aggregation,
+    ) -> Self {
+        assert!(!hidden_dims.is_empty(), "at least one GNN layer required");
+        let mut layers = Vec::with_capacity(hidden_dims.len());
+        let mut in_dim = input_dim;
+        for &out_dim in hidden_dims {
+            layers.push(SageLayer::new(rng, in_dim, out_dim, aggregation));
+            in_dim = out_dim;
+        }
+        let head = Linear::new(rng, in_dim, 2);
+        Self { layers, head }
+    }
+
+    /// Number of GNN layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Full forward pass: ReLU between layers, none after the last
+    /// (§5.2.1).
+    pub fn forward(&self, graph: &MultiplexGraph) -> GnnTrace {
+        let mut caches: Vec<SageCache> = Vec::with_capacity(self.layers.len());
+        let mut h = graph.features.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            let mut cache = layer.forward(graph, &h);
+            if i + 1 < self.layers.len() {
+                relu_inplace(&mut cache.output);
+            }
+            h = cache.output.clone();
+            caches.push(cache);
+        }
+        GnnTrace { caches }
+    }
+
+    /// Per-pair logits of one intent layer (Eq. 5 before softmax): the head
+    /// applied to that layer's final hidden states.
+    pub fn intent_logits(&self, graph: &MultiplexGraph, trace: &GnnTrace, layer: usize) -> Matrix {
+        let rows: Vec<usize> = graph.layer_nodes(layer).collect();
+        let h = trace.final_hidden().select_rows(&rows);
+        self.head.forward(&h)
+    }
+
+    /// Match likelihoods (`softmax` second entry) per pair for one intent.
+    pub fn intent_scores(&self, graph: &MultiplexGraph, trace: &GnnTrace, layer: usize) -> Vec<f32> {
+        let probs = softmax_rows(&self.intent_logits(graph, trace, layer));
+        (0..probs.rows()).map(|i| probs.get(i, 1)).collect()
+    }
+
+    /// Backward pass given the gradient of the loss w.r.t. the logits of
+    /// one intent layer. Accumulates every parameter gradient.
+    pub fn backward(
+        &mut self,
+        graph: &MultiplexGraph,
+        trace: &GnnTrace,
+        layer: usize,
+        grad_logits: &Matrix,
+    ) {
+        let rows: Vec<usize> = graph.layer_nodes(layer).collect();
+        let final_h = trace.final_hidden().select_rows(&rows);
+        self.head.zero_grad();
+        let d_layer_h = self.head.backward(&final_h, grad_logits);
+
+        // Scatter the head gradient back into the full node-state gradient.
+        let n_nodes = graph.n_nodes();
+        let dim = trace.final_hidden().cols();
+        let mut grad = Matrix::zeros(n_nodes, dim);
+        for (local, &node) in rows.iter().enumerate() {
+            grad.row_mut(node).copy_from_slice(d_layer_h.row(local));
+        }
+
+        for i in (0..self.layers.len()).rev() {
+            if i + 1 < self.layers.len() {
+                relu_backward_inplace(&mut grad, &trace.caches[i].output);
+            }
+            self.layers[i].zero_grad();
+            grad = self.layers[i].backward(graph, &trace.caches[i], &grad);
+        }
+    }
+
+    /// Applies an optimizer to all parameters.
+    pub fn apply(&mut self, opt: &mut impl Optimizer) {
+        let mut slot = 0;
+        for layer in &mut self.layers {
+            slot += layer.apply(opt, slot);
+        }
+        self.head.apply(opt, slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy_graph() -> MultiplexGraph {
+        let features = Matrix::from_fn(8, 4, |i, j| ((i * 7 + j * 3) % 11) as f32 * 0.2 - 1.0);
+        MultiplexGraph::assemble(
+            4,
+            2,
+            features,
+            &[
+                vec![vec![1], vec![0], vec![3], vec![2]],
+                vec![vec![2], vec![3], vec![0], vec![1]],
+            ],
+        )
+    }
+
+    #[test]
+    fn forward_shapes_two_and_three_layers() {
+        let g = toy_graph();
+        let mut rng = StdRng::seed_from_u64(0);
+        let two = GnnModel::new(&mut rng, 4, &[6, 6], Aggregation::RelationTyped);
+        let three = GnnModel::new(&mut rng, 4, &[6, 3, 3], Aggregation::RelationTyped);
+        assert_eq!(two.n_layers(), 2);
+        assert_eq!(three.n_layers(), 3);
+        let t2 = two.forward(&g);
+        assert_eq!(t2.final_hidden().rows(), 8);
+        assert_eq!(t2.final_hidden().cols(), 6);
+        let t3 = three.forward(&g);
+        assert_eq!(t3.final_hidden().cols(), 3);
+    }
+
+    #[test]
+    fn intent_logits_cover_pairs() {
+        let g = toy_graph();
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = GnnModel::new(&mut rng, 4, &[5, 5], Aggregation::RelationTyped);
+        let trace = m.forward(&g);
+        for layer in 0..2 {
+            let logits = m.intent_logits(&g, &trace, layer);
+            assert_eq!(logits.rows(), 4);
+            assert_eq!(logits.cols(), 2);
+            let scores = m.intent_scores(&g, &trace, layer);
+            assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+        }
+    }
+
+    #[test]
+    fn layers_see_the_graph() {
+        // Changing a neighbour's features changes a node's output even when
+        // the node's own features stay fixed.
+        let g = toy_graph();
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = GnnModel::new(&mut rng, 4, &[5, 5], Aggregation::RelationTyped);
+        let base = m.intent_scores(&g, &m.forward(&g), 0);
+
+        let mut g2 = g.clone();
+        // Perturb the features of pair 1 in layer 0 (a neighbour of pair 0).
+        let victim = g2.node_id(0, 1);
+        for v in g2.features.row_mut(victim) {
+            *v += 5.0;
+        }
+        let changed = m.intent_scores(&g2, &m.forward(&g2), 0);
+        assert!((base[0] - changed[0]).abs() > 1e-6, "message passing inert");
+    }
+
+    /// Loss gradient check through the full network.
+    #[test]
+    fn backward_matches_finite_difference_on_features() {
+        use flexer_nn::loss::softmax_cross_entropy;
+        let g = toy_graph();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = GnnModel::new(&mut rng, 4, &[5, 5], Aggregation::RelationTyped);
+        let targets = [1usize, 0, 1, 0];
+        // Analytic gradients for the head (cheap proxy: verify loss drops
+        // after a few SGD steps — full FD across graph features is done in
+        // sage.rs).
+        let mut opt = flexer_nn::Sgd::new(0.1);
+        let mut losses = Vec::new();
+        for _ in 0..25 {
+            let trace = m.forward(&g);
+            let logits = m.intent_logits(&g, &trace, 0);
+            let (loss, grad) = softmax_cross_entropy(&logits, &targets, None);
+            losses.push(loss);
+            m.backward(&g, &trace, 0, &grad);
+            opt.begin_step();
+            m.apply(&mut opt);
+        }
+        assert!(
+            losses.last().unwrap() < &(losses[0] * 0.8),
+            "loss did not decrease: {losses:?}"
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! Transductive GNN training per target intent (§4.3, §5.2.1).
+//!
+//! The graph spans train ∪ validation ∪ test pairs; the cross-entropy loss
+//! is computed on the target intent's layer restricted to *training* pairs
+//! (a sample-weight mask), model selection uses validation F1, and the
+//! reported predictions come from the best epoch. "FlexER is trained over
+//! P versions of the same graph, one for each intent" — callers invoke
+//! this once per target intent.
+
+use crate::model::GnnModel;
+use crate::multiplex::MultiplexGraph;
+use crate::sage::Aggregation;
+use flexer_nn::loss::softmax_cross_entropy;
+use flexer_nn::{Adam, AdamConfig, Optimizer};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// GNN training hyperparameters — defaults follow §5.2.1: Adam lr 0.01,
+/// weight decay 5e-4, up to 150 epochs, 2 GraphSAGE layers of width `h1`
+/// (3-layer uses `h1/2` past the first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GnnConfig {
+    /// First hidden width `h1` (paper sweeps {100..500}).
+    pub hidden_dim: usize,
+    /// Number of GraphSAGE layers (2 or 3 in the paper).
+    pub n_layers: usize,
+    /// Maximum epochs (paper: 150).
+    pub epochs: usize,
+    /// Early-stop patience on validation F1 (the paper trains the full 150
+    /// epochs; patience keeps CPU runs economical without changing the
+    /// protocol — set `patience = epochs` to disable).
+    pub patience: usize,
+    /// Adam learning rate (paper: 0.01).
+    pub learning_rate: f32,
+    /// L2 weight decay (paper: 5e-4).
+    pub weight_decay: f32,
+    /// Relation handling (the ablation switch; FlexER uses relation-typed).
+    pub aggregation: Aggregation,
+    /// Init/shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for GnnConfig {
+    fn default() -> Self {
+        Self {
+            hidden_dim: 100,
+            n_layers: 2,
+            epochs: 150,
+            patience: 25,
+            learning_rate: 0.01,
+            weight_decay: 5e-4,
+            aggregation: Aggregation::RelationTyped,
+            seed: 0,
+        }
+    }
+}
+
+impl GnnConfig {
+    /// Layer widths derived from `hidden_dim`/`n_layers` (3-layer models
+    /// halve the width after the first layer, §5.2.1).
+    pub fn layer_dims(&self) -> Vec<usize> {
+        assert!(self.n_layers >= 1, "at least one layer");
+        let mut dims = vec![self.hidden_dim];
+        for _ in 1..self.n_layers {
+            dims.push(if self.n_layers >= 3 { (self.hidden_dim / 2).max(1) } else { self.hidden_dim });
+        }
+        dims
+    }
+
+    /// Sets the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// A fast preset for unit tests.
+    pub fn fast() -> Self {
+        Self { hidden_dim: 24, epochs: 40, patience: 40, ..Default::default() }
+    }
+}
+
+/// Result of training one intent's GNN.
+#[derive(Debug, Clone)]
+pub struct TrainedGnn {
+    /// The selected (best-validation) model.
+    pub model: GnnModel,
+    /// Validation F1 of the selected epoch.
+    pub best_valid_f1: f64,
+    /// Match likelihood per pair (all pairs, selected epoch).
+    pub scores: Vec<f32>,
+    /// Binary prediction per pair (argmax of Eq. 5).
+    pub preds: Vec<bool>,
+    /// Number of epochs actually run (≤ `epochs` with early stopping).
+    pub epochs_run: usize,
+}
+
+/// Trains the GNN for one target intent over the multiplex graph.
+pub fn train_for_intent(
+    graph: &MultiplexGraph,
+    target_layer: usize,
+    labels: &[bool],
+    train_pairs: &[usize],
+    valid_pairs: &[usize],
+    config: &GnnConfig,
+) -> TrainedGnn {
+    assert!(target_layer < graph.n_layers, "target layer out of range");
+    assert_eq!(labels.len(), graph.n_pairs, "labels must cover every pair");
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x6E4E));
+    let mut model = GnnModel::new(&mut rng, graph.dim, &config.layer_dims(), config.aggregation);
+    let mut opt = Adam::new(AdamConfig {
+        lr: config.learning_rate,
+        weight_decay: config.weight_decay,
+        ..Default::default()
+    });
+
+    let targets: Vec<usize> = labels.iter().map(|&l| l as usize).collect();
+    let mut train_weight = vec![0.0f32; graph.n_pairs];
+    for &i in train_pairs {
+        train_weight[i] = 1.0;
+    }
+
+    let mut best: Option<TrainedGnn> = None;
+    let mut since_best = 0usize;
+    let mut epochs_run = 0usize;
+    for _epoch in 0..config.epochs {
+        epochs_run += 1;
+        let trace = model.forward(graph);
+        let logits = model.intent_logits(graph, &trace, target_layer);
+        // Evaluate the pre-update state this forward pass already computed,
+        // then update — one full-batch pass per epoch.
+        let scores = {
+            let probs = flexer_nn::activation::softmax_rows(&logits);
+            (0..probs.rows()).map(|i| probs.get(i, 1)).collect::<Vec<f32>>()
+        };
+        let preds: Vec<bool> = scores.iter().map(|&s| s > 0.5).collect();
+        let valid_preds: Vec<bool> = valid_pairs.iter().map(|&i| preds[i]).collect();
+        let valid_labels: Vec<bool> = valid_pairs.iter().map(|&i| labels[i]).collect();
+        let f1 = f1_binary(&valid_preds, &valid_labels);
+        let improved = best.as_ref().map_or(true, |b| f1 > b.best_valid_f1);
+        if improved {
+            best = Some(TrainedGnn {
+                model: model.clone(),
+                best_valid_f1: f1,
+                scores,
+                preds,
+                epochs_run,
+            });
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if since_best >= config.patience {
+                break;
+            }
+        }
+
+        let (_, grad_logits) = softmax_cross_entropy(&logits, &targets, Some(&train_weight));
+        model.backward(graph, &trace, target_layer, &grad_logits);
+        opt.begin_step();
+        model.apply(&mut opt);
+    }
+    let mut out = best.expect("epochs >= 1");
+    out.epochs_run = epochs_run;
+    out
+}
+
+/// Binary F1 (local copy to keep the crate decoupled from `flexer-eval`).
+fn f1_binary(preds: &[bool], labels: &[bool]) -> f64 {
+    let tp = preds.iter().zip(labels).filter(|(&p, &l)| p && l).count() as f64;
+    let fp = preds.iter().zip(labels).filter(|(&p, &l)| p && !l).count() as f64;
+    let fn_ = preds.iter().zip(labels).filter(|(&p, &l)| !p && l).count() as f64;
+    if tp == 0.0 {
+        return 0.0;
+    }
+    2.0 * tp / (2.0 * tp + fp + fn_)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::build_intent_graph;
+    use flexer_nn::Matrix;
+    use rand::Rng;
+
+    /// Synthetic two-intent setting where intent 0's labels are a noisy
+    /// function of its embedding and intent 1 carries the denoised signal —
+    /// the cross-layer structure FlexER is designed to exploit.
+    fn synthetic() -> (MultiplexGraph, Vec<bool>, Vec<usize>, Vec<usize>, Vec<usize>) {
+        let n = 120;
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut labels = Vec::with_capacity(n);
+        let mut e0 = Matrix::zeros(n, 8);
+        let mut e1 = Matrix::zeros(n, 8);
+        for i in 0..n {
+            let class = i % 2 == 0;
+            labels.push(class);
+            let center = if class { 1.0 } else { -1.0 };
+            for j in 0..8 {
+                // Layer 0: noisy view; layer 1: clean view.
+                e0.set(i, j, center + rng.gen_range(-1.5..1.5));
+                e1.set(i, j, center + rng.gen_range(-0.2..0.2));
+            }
+        }
+        let graph = build_intent_graph(&[e0, e1], 4);
+        let train: Vec<usize> = (0..n).filter(|i| i % 5 < 3).collect();
+        let valid: Vec<usize> = (0..n).filter(|i| i % 5 == 3).collect();
+        let test: Vec<usize> = (0..n).filter(|i| i % 5 == 4).collect();
+        (graph, labels, train, valid, test)
+    }
+
+    #[test]
+    fn learns_from_cross_layer_signal() {
+        let (graph, labels, train, valid, test) = synthetic();
+        let trained = train_for_intent(&graph, 0, &labels, &train, &valid, &GnnConfig::fast());
+        let test_preds: Vec<bool> = test.iter().map(|&i| trained.preds[i]).collect();
+        let test_labels: Vec<bool> = test.iter().map(|&i| labels[i]).collect();
+        let f1 = f1_binary(&test_preds, &test_labels);
+        assert!(f1 > 0.8, "test F1 = {f1:.3}");
+        assert!(trained.best_valid_f1 > 0.8);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (graph, labels, train, valid, _) = synthetic();
+        let a = train_for_intent(&graph, 0, &labels, &train, &valid, &GnnConfig::fast());
+        let b = train_for_intent(&graph, 0, &labels, &train, &valid, &GnnConfig::fast());
+        assert_eq!(a.preds, b.preds);
+        assert_eq!(a.scores, b.scores);
+    }
+
+    #[test]
+    fn early_stopping_bounds_epochs() {
+        let (graph, labels, train, valid, _) = synthetic();
+        let config = GnnConfig { epochs: 150, patience: 3, ..GnnConfig::fast() };
+        let trained = train_for_intent(&graph, 0, &labels, &train, &valid, &config);
+        assert!(trained.epochs_run <= 150);
+        // With patience 3 and quick convergence, far fewer epochs run.
+        assert!(trained.epochs_run < 150, "early stopping never triggered");
+    }
+
+    #[test]
+    fn layer_dims_follow_paper_rule() {
+        let two = GnnConfig { hidden_dim: 100, n_layers: 2, ..Default::default() };
+        assert_eq!(two.layer_dims(), vec![100, 100]);
+        let three = GnnConfig { hidden_dim: 100, n_layers: 3, ..Default::default() };
+        assert_eq!(three.layer_dims(), vec![100, 50, 50]);
+    }
+
+    #[test]
+    fn scores_and_preds_aligned() {
+        let (graph, labels, train, valid, _) = synthetic();
+        let trained = train_for_intent(&graph, 1, &labels, &train, &valid, &GnnConfig::fast());
+        assert_eq!(trained.scores.len(), graph.n_pairs);
+        for (p, s) in trained.preds.iter().zip(&trained.scores) {
+            assert_eq!(*p, *s > 0.5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target layer out of range")]
+    fn target_layer_checked() {
+        let (graph, labels, train, valid, _) = synthetic();
+        let _ = train_for_intent(&graph, 9, &labels, &train, &valid, &GnnConfig::fast());
+    }
+}

@@ -1,0 +1,112 @@
+//! Data augmentation: random span deletion.
+//!
+//! Of DITTO's augmentation operators the paper keeps only "deleting spans
+//! of tokens" (§5.2.1 — the single optimization that improved results).
+//! An augmented training example deletes a random span of up to
+//! `max_span` tokens from one side of the pair; the label is unchanged.
+
+use crate::tokenize::Token;
+use rand::Rng;
+
+/// Maximum deleted span length (DITTO's `del` operator uses short spans).
+pub const MAX_SPAN: usize = 4;
+
+/// Deletes one random span of 1..=`max_span` tokens; inputs of length ≤ 1
+/// are returned unchanged.
+pub fn delete_span(tokens: &[Token], max_span: usize, rng: &mut impl Rng) -> Vec<Token> {
+    if tokens.len() <= 1 || max_span == 0 {
+        return tokens.to_vec();
+    }
+    let span = rng.gen_range(1..=max_span.min(tokens.len() - 1));
+    let start = rng.gen_range(0..=tokens.len() - span);
+    tokens
+        .iter()
+        .enumerate()
+        .filter_map(|(i, t)| (i < start || i >= start + span).then(|| t.clone()))
+        .collect()
+}
+
+/// Augments a pair by deleting a span from one randomly chosen side.
+pub fn augment_pair(
+    a: &[Token],
+    b: &[Token],
+    rng: &mut impl Rng,
+) -> (Vec<Token>, Vec<Token>) {
+    if rng.gen_bool(0.5) {
+        (delete_span(a, MAX_SPAN, rng), b.to_vec())
+    } else {
+        (a.to_vec(), delete_span(b, MAX_SPAN, rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deletion_shrinks_but_never_empties() {
+        let tokens = tokenize("nike men's air max 2016 running shoe");
+        let mut rng = StdRng::seed_from_u64(0);
+        for _ in 0..50 {
+            let out = delete_span(&tokens, MAX_SPAN, &mut rng);
+            assert!(!out.is_empty());
+            assert!(out.len() < tokens.len());
+            assert!(out.len() >= tokens.len() - MAX_SPAN);
+        }
+    }
+
+    #[test]
+    fn deleted_tokens_form_contiguous_span() {
+        let tokens = tokenize("a b c d e f");
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..30 {
+            let out = delete_span(&tokens, 2, &mut rng);
+            // The survivors must be a subsequence obtained by removing one
+            // contiguous window: find the window and verify.
+            let texts: Vec<&str> = out.iter().map(|t| t.text.as_str()).collect();
+            let orig: Vec<&str> = tokens.iter().map(|t| t.text.as_str()).collect();
+            let removed = orig.len() - texts.len();
+            let mut found = false;
+            for start in 0..=orig.len() - removed {
+                let mut reconstructed: Vec<&str> = orig[..start].to_vec();
+                reconstructed.extend(&orig[start + removed..]);
+                if reconstructed == texts {
+                    found = true;
+                    break;
+                }
+            }
+            assert!(found, "{texts:?} not a contiguous deletion of {orig:?}");
+        }
+    }
+
+    #[test]
+    fn single_token_unchanged() {
+        let tokens = tokenize("nike");
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(delete_span(&tokens, MAX_SPAN, &mut rng), tokens);
+    }
+
+    #[test]
+    fn augment_pair_touches_exactly_one_side() {
+        let a = tokenize("nike air max 2016 running");
+        let b = tokenize("adidas ultra boost 21 sneaker");
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let (na, nb) = augment_pair(&a, &b, &mut rng);
+            let a_changed = na.len() != a.len();
+            let b_changed = nb.len() != b.len();
+            assert!(a_changed ^ b_changed);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = tokenize("one two three four five");
+        let x = delete_span(&a, 3, &mut StdRng::seed_from_u64(9));
+        let y = delete_span(&a, 3, &mut StdRng::seed_from_u64(9));
+        assert_eq!(x, y);
+    }
+}

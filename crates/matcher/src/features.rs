@@ -1,0 +1,339 @@
+//! Pair featurization: the stand-in for pre-trained contextual encoders.
+//!
+//! A fine-tuned cross-encoder sees both records at once and aligns them
+//! through attention. Our shallow substitute gets the same alignment signal
+//! explicitly: besides hashed bags of each side's word and character
+//! n-grams, it hashes the token *intersection* and *symmetric difference*
+//! (cross features) and exposes dense similarity scalars (Jaccard overlaps,
+//! numeric/code agreement, brand-position equality). The cross features are
+//! what make intent-specific decision boundaries learnable by an MLP; the
+//! `ablation` bench quantifies their contribution.
+
+use crate::summarize::{summarize, DfTable};
+use crate::tokenize::{char_ngrams, tokenize, Token, TokenKind};
+use flexer_nn::SparseMatrix;
+use flexer_types::MierBenchmark;
+
+/// Number of reserved dense feature slots (indices `0..N_DENSE`).
+pub const N_DENSE: usize = 8;
+
+/// Configuration + logic of pair featurization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairFeaturizer {
+    /// Hashed feature dimensionality (on top of the dense slots).
+    pub hash_dim: usize,
+    /// Character n-gram size.
+    pub char_ngram: usize,
+    /// Whether cross (intersection/difference) features are emitted — the
+    /// ablation switch.
+    pub use_cross: bool,
+    /// Summarization budget per side (DITTO's max input length, scaled to
+    /// titles).
+    pub max_tokens: usize,
+}
+
+impl Default for PairFeaturizer {
+    fn default() -> Self {
+        Self { hash_dim: 1 << 14, char_ngram: 3, use_cross: true, max_tokens: 32 }
+    }
+}
+
+impl PairFeaturizer {
+    /// Featurizer with a given hashed dimensionality.
+    pub fn new(hash_dim: usize) -> Self {
+        Self { hash_dim, ..Default::default() }
+    }
+
+    /// Total input dimensionality (dense slots + hashed space).
+    pub fn total_dim(&self) -> usize {
+        N_DENSE + self.hash_dim
+    }
+
+    /// Tokenizes and summarizes one title.
+    pub fn prepare(&self, title: &str, df: &DfTable) -> Vec<Token> {
+        summarize(&tokenize(title), df, self.max_tokens)
+    }
+
+    /// Sparse feature vector of one prepared pair.
+    pub fn features(&self, a: &[Token], b: &[Token]) -> Vec<(u32, f32)> {
+        let mut out: Vec<(u32, f32)> = Vec::with_capacity(128);
+
+        // --- Dense similarity slots ---
+        let words_a: Vec<&str> = a.iter().map(|t| t.text.as_str()).collect();
+        let words_b: Vec<&str> = b.iter().map(|t| t.text.as_str()).collect();
+        let grams_a = char_ngrams(a, self.char_ngram);
+        let grams_b = char_ngrams(b, self.char_ngram);
+        let word_j = jaccard_str(&words_a, &words_b);
+        let gram_j = jaccard_string(&grams_a, &grams_b);
+        let nums_a: Vec<&str> = a
+            .iter()
+            .filter(|t| t.kind != TokenKind::Word)
+            .map(|t| t.text.as_str())
+            .collect();
+        let nums_b: Vec<&str> = b
+            .iter()
+            .filter(|t| t.kind != TokenKind::Word)
+            .map(|t| t.text.as_str())
+            .collect();
+        let num_j = jaccard_str(&nums_a, &nums_b);
+        let first_eq = match (words_a.first(), words_b.first()) {
+            (Some(x), Some(y)) if x == y => 1.0,
+            _ => 0.0,
+        };
+        let inter = words_a.iter().filter(|w| words_b.contains(w)).count();
+        let containment = if words_a.is_empty() || words_b.is_empty() {
+            0.0
+        } else {
+            inter as f32 / words_a.len().min(words_b.len()) as f32
+        };
+        let len_ratio = if words_a.is_empty() || words_b.is_empty() {
+            0.0
+        } else {
+            words_a.len().min(words_b.len()) as f32 / words_a.len().max(words_b.len()) as f32
+        };
+        let code_eq = a
+            .iter()
+            .any(|t| t.kind == TokenKind::Code && b.iter().any(|u| u.text == t.text));
+        let dense = [
+            word_j,
+            gram_j,
+            num_j,
+            first_eq,
+            containment,
+            len_ratio,
+            1.0, // bias
+            if code_eq { 1.0 } else { 0.0 },
+        ];
+        for (i, &v) in dense.iter().enumerate() {
+            if v != 0.0 {
+                out.push((i as u32, v));
+            }
+        }
+
+        // --- Hashed bag features ---
+        let mut hashed: Vec<(u32, f32)> = Vec::with_capacity(96);
+        let emit = |namespace: &str, token: &str, hashed: &mut Vec<(u32, f32)>| {
+            let (idx, sign) = self.slot(namespace, token);
+            hashed.push((idx, sign));
+        };
+        for w in &words_a {
+            emit("A:w", w, &mut hashed);
+        }
+        for w in &words_b {
+            emit("B:w", w, &mut hashed);
+        }
+        if self.use_cross {
+            for w in &words_a {
+                let ns = if words_b.contains(w) { "S:w" } else { "D:w" };
+                emit(ns, w, &mut hashed);
+            }
+            for w in &words_b {
+                if !words_a.contains(w) {
+                    emit("D:w", w, &mut hashed);
+                }
+            }
+            for g in &grams_a {
+                let ns = if grams_b.contains(g) { "S:c" } else { "D:c" };
+                emit(ns, g, &mut hashed);
+            }
+            for g in &grams_b {
+                if !grams_a.contains(g) {
+                    emit("D:c", g, &mut hashed);
+                }
+            }
+            // Domain knowledge: shared numbers / codes as dedicated signals.
+            for t in a {
+                if t.kind != TokenKind::Word && nums_b.contains(&t.text.as_str()) {
+                    emit("S:n", &t.text, &mut hashed);
+                }
+            }
+        } else {
+            for g in &grams_a {
+                emit("A:c", g, &mut hashed);
+            }
+            for g in &grams_b {
+                emit("B:c", g, &mut hashed);
+            }
+        }
+
+        // L2-normalize the hashed portion so titles of different lengths
+        // produce comparable magnitudes.
+        let norm: f32 = hashed.iter().map(|(_, v)| v * v).sum::<f32>().sqrt();
+        if norm > 0.0 {
+            for (_, v) in hashed.iter_mut() {
+                *v /= norm;
+            }
+        }
+        out.extend(hashed);
+        out
+    }
+
+    fn slot(&self, namespace: &str, token: &str) -> (u32, f32) {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in namespace.bytes().chain([0xFFu8]).chain(token.bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        let idx = (h % self.hash_dim as u64) as u32 + N_DENSE as u32;
+        let sign = if (h >> 61) & 1 == 0 { 1.0 } else { -1.0 };
+        (idx, sign)
+    }
+
+    /// Featurizes every candidate pair of a benchmark into a sparse matrix
+    /// (row = pair index); the DF table is built from the whole dataset.
+    pub fn featurize_benchmark(&self, bench: &MierBenchmark) -> SparseMatrix {
+        let docs: Vec<Vec<Token>> =
+            bench.dataset.iter().map(|r| tokenize(r.title())).collect();
+        let refs: Vec<&[Token]> = docs.iter().map(|d| d.as_slice()).collect();
+        let df = DfTable::build(refs.into_iter());
+        let rows: Vec<Vec<(u32, f32)>> = bench
+            .candidates
+            .iter()
+            .map(|(_, pair)| {
+                let a = summarize(&docs[pair.a], &df, self.max_tokens);
+                let b = summarize(&docs[pair.b], &df, self.max_tokens);
+                self.features(&a, &b)
+            })
+            .collect();
+        SparseMatrix::from_rows(self.total_dim(), &rows)
+    }
+}
+
+fn jaccard_str(a: &[&str], b: &[&str]) -> f32 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.iter().filter(|x| b.contains(x)).count();
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f32 / union as f32
+    }
+}
+
+fn jaccard_string(a: &[String], b: &[String]) -> f32 {
+    let ar: Vec<&str> = a.iter().map(|s| s.as_str()).collect();
+    let br: Vec<&str> = b.iter().map(|s| s.as_str()).collect();
+    jaccard_str(&ar, &br)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feats(a: &str, b: &str) -> Vec<(u32, f32)> {
+        let f = PairFeaturizer::default();
+        let df = DfTable::default();
+        f.features(&f.prepare(a, &df), &f.prepare(b, &df))
+    }
+
+    fn dense_slot(fv: &[(u32, f32)], slot: u32) -> f32 {
+        fv.iter().find(|(i, _)| *i == slot).map(|(_, v)| *v).unwrap_or(0.0)
+    }
+
+    #[test]
+    fn identical_titles_have_max_similarity() {
+        let fv = feats("Nike Air Max 2016", "Nike Air Max 2016");
+        assert!((dense_slot(&fv, 0) - 1.0).abs() < 1e-6); // word jaccard
+        assert!((dense_slot(&fv, 1) - 1.0).abs() < 1e-6); // gram jaccard
+        assert!((dense_slot(&fv, 3) - 1.0).abs() < 1e-6); // first token eq
+    }
+
+    #[test]
+    fn disjoint_titles_have_zero_similarity() {
+        let fv = feats("alpha beta", "gamma delta");
+        assert_eq!(dense_slot(&fv, 0), 0.0);
+        assert_eq!(dense_slot(&fv, 3), 0.0);
+        assert_eq!(dense_slot(&fv, 6), 1.0); // bias always present
+    }
+
+    #[test]
+    fn case_insensitive_similarity() {
+        let fv = feats("NIKE DUCKBOOT", "nike duckboot");
+        assert!((dense_slot(&fv, 0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn shared_code_detected() {
+        let fv = feats("Targus TG-6660TR tripod", "new Targus TG-6660TR stand");
+        assert_eq!(dense_slot(&fv, 7), 1.0);
+        let fv2 = feats("Targus TG-6660TR tripod", "Targus TG-9999X stand");
+        assert_eq!(dense_slot(&fv2, 7), 0.0);
+    }
+
+    #[test]
+    fn indices_in_range_and_rows_build() {
+        let f = PairFeaturizer::default();
+        let fv = feats("Nike Air Max 2016 Running Shoe", "adidas D Rose 6 Basketball");
+        for (i, _) in &fv {
+            assert!((*i as usize) < f.total_dim());
+        }
+        // Must be constructible as a sparse row.
+        let m = SparseMatrix::from_rows(f.total_dim(), &[fv]);
+        assert_eq!(m.rows(), 1);
+        assert!(m.nnz() > 10);
+    }
+
+    #[test]
+    fn hashed_part_is_normalized() {
+        let f = PairFeaturizer::default();
+        let df = DfTable::default();
+        let fv = f.features(
+            &f.prepare("Nike Air Max Running Shoe Special Edition Long Title", &df),
+            &f.prepare("Totally different book about rivers", &df),
+        );
+        let hashed_norm: f32 = fv
+            .iter()
+            .filter(|(i, _)| *i as usize >= N_DENSE)
+            .map(|(_, v)| v * v)
+            .sum::<f32>();
+        // Signed hashing can cancel inside a bucket, so the norm is ≤ 1.
+        assert!(hashed_norm <= 1.0 + 1e-4);
+        assert!(hashed_norm > 0.5);
+    }
+
+    #[test]
+    fn cross_features_distinguish_alignment() {
+        // Same multiset of tokens on each side in both pairs, but different
+        // cross alignment: bags alone cannot tell these apart.
+        let with_cross = PairFeaturizer::default();
+        let df = DfTable::default();
+        let p1 = with_cross.features(
+            &with_cross.prepare("alpha beta", &df),
+            &with_cross.prepare("alpha beta", &df),
+        );
+        let p2 = with_cross.features(
+            &with_cross.prepare("alpha beta", &df),
+            &with_cross.prepare("beta gamma", &df),
+        );
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn no_cross_mode_drops_shared_namespaces() {
+        let f = PairFeaturizer { use_cross: false, ..Default::default() };
+        let df = DfTable::default();
+        let fv = f.features(&f.prepare("nike", &df), &f.prepare("nike", &df));
+        // With cross disabled the vector still builds and has hashed content.
+        assert!(fv.iter().any(|(i, _)| *i as usize >= N_DENSE));
+    }
+
+    #[test]
+    fn empty_titles_yield_bias_only_dense() {
+        let fv = feats("", "");
+        assert_eq!(dense_slot(&fv, 6), 1.0);
+        assert_eq!(dense_slot(&fv, 0), 0.0);
+    }
+
+    #[test]
+    fn featurize_benchmark_shapes() {
+        use flexer_datasets::AmazonMiConfig;
+        use flexer_types::Scale;
+        let bench = AmazonMiConfig::at_scale(Scale::Tiny).with_seed(1).generate();
+        let f = PairFeaturizer::default();
+        let m = f.featurize_benchmark(&bench);
+        assert_eq!(m.rows(), bench.n_pairs());
+        assert_eq!(m.cols(), f.total_dim());
+    }
+}

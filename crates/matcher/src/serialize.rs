@@ -1,0 +1,78 @@
+//! DITTO-style record pair serialization (Example 2.2).
+//!
+//! DITTO turns a record pair into one token sequence:
+//! `[CLS] [COL] a1 [VAL] v1 … [SEP] [COL] a1 [VAL] v1 …` and classifies the
+//! `[CLS]` position. We reproduce the same surface form; the featurizer
+//! consumes it (and the per-side raw titles) downstream.
+
+/// Special tokens.
+pub const CLS: &str = "[CLS]";
+/// Column-name marker.
+pub const COL: &str = "[COL]";
+/// Value marker.
+pub const VAL: &str = "[VAL]";
+/// Record separator.
+pub const SEP: &str = "[SEP]";
+
+/// Serializes one record side as `[COL] title [VAL] <text>`.
+pub fn serialize_record(title: &str) -> String {
+    format!("{COL} title {VAL} {title}")
+}
+
+/// Serializes a pair as `[CLS] <side a> [SEP] <side b>`.
+pub fn serialize_pair(a: &str, b: &str) -> String {
+    format!("{CLS} {} {SEP} {}", serialize_record(a), serialize_record(b))
+}
+
+/// Splits a serialized pair back into its two sides (drops the special
+/// scaffolding). Inverse of [`serialize_pair`] for titles that do not
+/// themselves contain special tokens.
+pub fn split_pair(serialized: &str) -> Option<(String, String)> {
+    let body = serialized.strip_prefix(CLS)?.trim_start();
+    let mut sides = body.splitn(2, SEP);
+    let a = strip_side(sides.next()?)?;
+    let b = strip_side(sides.next()?)?;
+    Some((a, b))
+}
+
+fn strip_side(side: &str) -> Option<String> {
+    let after_col = side.trim().strip_prefix(COL)?.trim_start();
+    let after_name = after_col.strip_prefix("title")?.trim_start();
+    let after_val = after_name.strip_prefix(VAL)?.trim_start();
+    Some(after_val.trim_end().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_layout_matches_ditto() {
+        let s = serialize_pair("Nike Duckboot", "NIKE duckboot black");
+        assert!(s.starts_with("[CLS] [COL] title [VAL] Nike Duckboot [SEP]"));
+        assert!(s.ends_with("[COL] title [VAL] NIKE duckboot black"));
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (a, b) = ("Nike Men's Air Max", "adidas D Rose 6");
+        let s = serialize_pair(a, b);
+        let (ra, rb) = split_pair(&s).unwrap();
+        assert_eq!(ra, a);
+        assert_eq!(rb, b);
+    }
+
+    #[test]
+    fn roundtrip_empty_titles() {
+        let s = serialize_pair("", "");
+        let (a, b) = split_pair(&s).unwrap();
+        assert_eq!(a, "");
+        assert_eq!(b, "");
+    }
+
+    #[test]
+    fn malformed_input_returns_none() {
+        assert!(split_pair("no tokens at all").is_none());
+        assert!(split_pair("[CLS] [COL] brand [VAL] x [SEP] [COL] title [VAL] y").is_none());
+    }
+}

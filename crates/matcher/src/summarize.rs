@@ -1,0 +1,128 @@
+//! Long-input summarization — DITTO's third optimization.
+//!
+//! DITTO retains the most informative tokens (by TF-IDF) when a serialized
+//! pair exceeds the transformer's input budget. We reproduce it with a
+//! corpus document-frequency table: when a title exceeds `max_tokens`, the
+//! rarest tokens are kept (ties broken by original position) and order is
+//! preserved.
+
+use crate::tokenize::Token;
+use std::collections::HashMap;
+
+/// Corpus document frequencies for summarization.
+#[derive(Debug, Clone, Default)]
+pub struct DfTable {
+    df: HashMap<String, u32>,
+    n_docs: u32,
+}
+
+impl DfTable {
+    /// Builds the table from an iterator of token lists (one per record).
+    pub fn build<'a>(docs: impl Iterator<Item = &'a [Token]>) -> Self {
+        let mut df: HashMap<String, u32> = HashMap::new();
+        let mut n_docs = 0;
+        for doc in docs {
+            n_docs += 1;
+            let mut seen: Vec<&str> = Vec::new();
+            for t in doc {
+                if !seen.contains(&t.text.as_str()) {
+                    seen.push(&t.text);
+                    *df.entry(t.text.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        Self { df, n_docs }
+    }
+
+    /// Inverse document frequency of a token (unseen tokens are maximally
+    /// informative).
+    pub fn idf(&self, token: &str) -> f64 {
+        let df = self.df.get(token).copied().unwrap_or(0) as f64;
+        ((self.n_docs as f64 + 1.0) / (df + 1.0)).ln()
+    }
+
+    /// Number of indexed documents.
+    pub fn n_docs(&self) -> u32 {
+        self.n_docs
+    }
+}
+
+/// Keeps at most `max_tokens` tokens, preferring high-IDF (informative)
+/// ones while preserving original order.
+pub fn summarize(tokens: &[Token], df: &DfTable, max_tokens: usize) -> Vec<Token> {
+    if tokens.len() <= max_tokens {
+        return tokens.to_vec();
+    }
+    let mut ranked: Vec<(usize, f64)> = tokens
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (i, df.idf(&t.text)))
+        .collect();
+    // Highest IDF first; ties keep earlier tokens.
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    let mut keep: Vec<usize> = ranked.into_iter().take(max_tokens).map(|(i, _)| i).collect();
+    keep.sort_unstable();
+    keep.into_iter().map(|i| tokens[i].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    fn table() -> DfTable {
+        let docs: Vec<Vec<Token>> = vec![
+            tokenize("nike air max running shoe"),
+            tokenize("nike lunar force basketball shoe"),
+            tokenize("adidas ultra boost running shoe"),
+        ];
+        let refs: Vec<&[Token]> = docs.iter().map(|d| d.as_slice()).collect();
+        DfTable::build(refs.into_iter())
+    }
+
+    #[test]
+    fn common_tokens_have_low_idf() {
+        let t = table();
+        assert!(t.idf("shoe") < t.idf("lunar"));
+        assert!(t.idf("nike") < t.idf("adidas"));
+    }
+
+    #[test]
+    fn unseen_token_is_most_informative() {
+        let t = table();
+        assert!(t.idf("zebra") >= t.idf("lunar"));
+    }
+
+    #[test]
+    fn summarize_keeps_rare_tokens_in_order() {
+        let t = table();
+        let tokens = tokenize("nike air max 90 ultra running shoe");
+        let kept = summarize(&tokens, &t, 3);
+        assert_eq!(kept.len(), 3);
+        // Order preserved.
+        let texts: Vec<&str> = kept.iter().map(|k| k.text.as_str()).collect();
+        let mut last = 0;
+        for text in &texts {
+            let pos = tokens.iter().position(|t| &t.text == text).unwrap();
+            assert!(pos >= last);
+            last = pos;
+        }
+        // "shoe" (df 3) must be dropped before "90" (unseen).
+        assert!(!texts.contains(&"shoe"));
+        assert!(texts.contains(&"90"));
+    }
+
+    #[test]
+    fn short_inputs_untouched() {
+        let t = table();
+        let tokens = tokenize("nike shoe");
+        assert_eq!(summarize(&tokens, &t, 10), tokens);
+    }
+
+    #[test]
+    fn empty_table_counts() {
+        let t = DfTable::default();
+        assert_eq!(t.n_docs(), 0);
+        assert!(t.idf("anything") >= 0.0);
+    }
+}

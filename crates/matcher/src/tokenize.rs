@@ -1,0 +1,130 @@
+//! Tokenization with domain-knowledge injection.
+//!
+//! DITTO injects domain knowledge by tagging spans (product codes, numbers)
+//! so the model can align them across records. We reproduce that as token
+//! *typing*: numeric tokens are additionally emitted as `[NUM]`-tagged
+//! features and letter-digit codes as `[ID]`-tagged ones.
+
+/// A typed token.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Token {
+    /// Normalized (lower-cased) surface form.
+    pub text: String,
+    /// Token kind from domain-knowledge injection.
+    pub kind: TokenKind,
+}
+
+/// Token classes for domain knowledge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TokenKind {
+    /// Plain word.
+    Word,
+    /// Pure number (`2016`).
+    Number,
+    /// Letter-digit product code (`tg-6660tr`).
+    Code,
+}
+
+/// Lower-cases and splits a title into typed word tokens; punctuation is
+/// separated except inside codes (`tg-6660tr` stays whole).
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut out = Vec::new();
+    for raw in text.split_whitespace() {
+        let cleaned: String = raw
+            .chars()
+            .filter(|c| c.is_alphanumeric() || *c == '-' || *c == '\'')
+            .collect::<String>()
+            .to_lowercase();
+        let trimmed = cleaned.trim_matches(['-', '\'']);
+        if trimmed.is_empty() {
+            continue;
+        }
+        out.push(Token { text: trimmed.to_string(), kind: classify(trimmed) });
+    }
+    out
+}
+
+fn classify(token: &str) -> TokenKind {
+    let has_digit = token.chars().any(|c| c.is_ascii_digit());
+    let has_alpha = token.chars().any(|c| c.is_alphabetic());
+    if has_digit && !has_alpha {
+        TokenKind::Number
+    } else if has_digit && has_alpha {
+        TokenKind::Code
+    } else {
+        TokenKind::Word
+    }
+}
+
+/// Character n-grams (of `n` chars) of a token list, joined with `_`
+/// boundaries — the sub-word signal that absorbs typos.
+pub fn char_ngrams(tokens: &[Token], n: usize) -> Vec<String> {
+    let joined = tokens
+        .iter()
+        .map(|t| t.text.as_str())
+        .collect::<Vec<_>>()
+        .join("_");
+    let chars: Vec<char> = format!("_{joined}_").chars().collect();
+    if chars.len() < n {
+        return vec![chars.iter().collect()];
+    }
+    chars.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_splits() {
+        let toks = tokenize("NIKE Men's Air Max");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["nike", "men's", "air", "max"]);
+        assert!(toks.iter().all(|t| t.kind == TokenKind::Word));
+    }
+
+    #[test]
+    fn classifies_numbers_and_codes() {
+        let toks = tokenize("Air Max 2016 TG-6660TR");
+        assert_eq!(toks[2].kind, TokenKind::Number);
+        assert_eq!(toks[3].kind, TokenKind::Code);
+        assert_eq!(toks[3].text, "tg-6660tr");
+    }
+
+    #[test]
+    fn punctuation_stripped() {
+        let toks = tokenize("Duckboot, Black/Dark Loden!");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, vec!["duckboot", "blackdark", "loden"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("  ,,, ").is_empty());
+    }
+
+    #[test]
+    fn char_ngrams_cover_token_boundaries() {
+        let toks = tokenize("ab cd");
+        let grams = char_ngrams(&toks, 3);
+        assert!(grams.contains(&"_ab".to_string()));
+        assert!(grams.contains(&"b_c".to_string()));
+        assert!(grams.contains(&"cd_".to_string()));
+    }
+
+    #[test]
+    fn char_ngrams_short_input() {
+        let toks = tokenize("a");
+        let grams = char_ngrams(&toks, 5);
+        assert_eq!(grams, vec!["_a_".to_string()]);
+    }
+
+    #[test]
+    fn typo_changes_few_ngrams() {
+        let a = char_ngrams(&tokenize("duckboot"), 3);
+        let b = char_ngrams(&tokenize("duckobot"), 3); // adjacent swap
+        let shared = a.iter().filter(|g| b.contains(g)).count();
+        assert!(shared * 2 >= a.len() - 2, "typo should preserve most n-grams");
+    }
+}

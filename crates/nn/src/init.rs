@@ -1,0 +1,49 @@
+//! Seeded weight initialization.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// Glorot/Xavier uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Suits the tanh/ReLU-ish shallow
+/// networks used here and keeps early logits small.
+pub fn xavier_uniform(rng: &mut impl Rng, fan_in: usize, fan_out: usize) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    Matrix::from_fn(fan_in, fan_out, |_, _| rng.gen_range(-a..=a))
+}
+
+/// Uniform initialization in `(-bound, bound)`.
+pub fn uniform(rng: &mut impl Rng, rows: usize, cols: usize, bound: f32) -> Matrix {
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-bound..=bound))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = xavier_uniform(&mut rng, 100, 50);
+        let a = (6.0 / 150.0f32).sqrt();
+        assert!(w.data().iter().all(|v| v.abs() <= a + 1e-6));
+        assert!(w.data().iter().any(|v| v.abs() > 1e-4)); // not degenerate
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = xavier_uniform(&mut StdRng::seed_from_u64(3), 4, 4);
+        let b = xavier_uniform(&mut StdRng::seed_from_u64(3), 4, 4);
+        let c = xavier_uniform(&mut StdRng::seed_from_u64(4), 4, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = uniform(&mut rng, 10, 10, 0.1);
+        assert!(w.data().iter().all(|v| v.abs() <= 0.1 + 1e-7));
+    }
+}

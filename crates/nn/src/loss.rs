@@ -1,0 +1,196 @@
+//! Training losses of the paper.
+//!
+//! * [`softmax_cross_entropy`] — the (binary, via 2 logits) cross entropy of
+//!   Eq. 1, used to fine-tune per-intent matchers and to train the GNN.
+//! * [`multilabel_bce_with_logits`] — the weighted multi-label adaptation of
+//!   Eq. 2 with per-intent weights `w_p` and element-wise sigmoid.
+//!
+//! Both return `(mean loss, gradient w.r.t. logits)` so callers can feed the
+//! gradient straight into [`crate::linear::Linear::backward`].
+
+use crate::activation::{sigmoid, softmax_rows};
+use crate::matrix::Matrix;
+
+/// Softmax cross entropy over class logits `[n, c]` with integer targets.
+/// Returns the mean loss and `d loss / d logits`.
+///
+/// `sample_weight`, when given, rescales each example's contribution (used
+/// to mask non-train nodes in transductive GNN training by weighting 0).
+pub fn softmax_cross_entropy(
+    logits: &Matrix,
+    targets: &[usize],
+    sample_weight: Option<&[f32]>,
+) -> (f32, Matrix) {
+    let n = logits.rows();
+    assert_eq!(targets.len(), n, "targets length mismatch");
+    if let Some(w) = sample_weight {
+        assert_eq!(w.len(), n, "sample weight length mismatch");
+    }
+    if n == 0 {
+        return (0.0, Matrix::zeros(0, logits.cols()));
+    }
+    let probs = softmax_rows(logits);
+    let total_weight: f32 = sample_weight.map_or(n as f32, |w| w.iter().sum());
+    let denom = if total_weight > 0.0 { total_weight } else { 1.0 };
+    let mut grad = probs.clone();
+    let mut loss = 0.0f32;
+    for i in 0..n {
+        let w = sample_weight.map_or(1.0, |ws| ws[i]);
+        let t = targets[i];
+        debug_assert!(t < logits.cols(), "target class out of range");
+        let p = probs.get(i, t).max(1e-12);
+        loss += -w * p.ln();
+        let row = grad.row_mut(i);
+        row[t] -= 1.0;
+        for v in row.iter_mut() {
+            *v *= w / denom;
+        }
+    }
+    (loss / denom, grad)
+}
+
+/// Weighted multi-label binary cross entropy with logits (Eq. 2):
+///
+/// `BCE = (1/P) Σ_p −w_p · (y_p·log σ(ŷ_p) + (1−y_p)·log(1−σ(ŷ_p)))`
+///
+/// averaged over the batch. `targets` is a `[n, P]` 0/1 matrix and
+/// `intent_weights` the `w_p` (the paper settles on equal weights).
+pub fn multilabel_bce_with_logits(
+    logits: &Matrix,
+    targets: &Matrix,
+    intent_weights: &[f32],
+) -> (f32, Matrix) {
+    let (n, p) = (logits.rows(), logits.cols());
+    assert_eq!((targets.rows(), targets.cols()), (n, p), "target shape mismatch");
+    assert_eq!(intent_weights.len(), p, "intent weight length mismatch");
+    if n == 0 {
+        return (0.0, Matrix::zeros(0, p));
+    }
+    let mut grad = Matrix::zeros(n, p);
+    let mut loss = 0.0f32;
+    let scale = 1.0 / (n as f32 * p as f32);
+    for i in 0..n {
+        for j in 0..p {
+            let w = intent_weights[j];
+            let z = logits.get(i, j);
+            let y = targets.get(i, j);
+            // Stable: log(1+e^z) = max(z,0) + ln(1 + e^{-|z|})
+            let log1p_exp = z.max(0.0) + (-z.abs()).exp().ln_1p();
+            loss += w * (log1p_exp - y * z);
+            grad.set(i, j, w * (sigmoid(z) - y) * scale);
+        }
+    }
+    (loss * scale, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ce_perfect_prediction_has_near_zero_loss() {
+        let logits = Matrix::from_vec(2, 2, vec![10.0, -10.0, -10.0, 10.0]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1], None);
+        assert!(loss < 1e-6);
+        assert!(grad.frobenius_norm() < 1e-6);
+    }
+
+    #[test]
+    fn ce_uniform_prediction_loss_is_ln_c() {
+        let logits = Matrix::zeros(4, 2);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 0, 1], None);
+        assert!((loss - (2.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ce_gradient_matches_finite_difference() {
+        let logits = Matrix::from_vec(2, 2, vec![0.3, -0.2, 1.0, 0.5]);
+        let targets = [1usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets, None);
+        let eps = 1e-3;
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut lp = logits.clone();
+                lp.set(i, j, lp.get(i, j) + eps);
+                let mut lm = logits.clone();
+                lm.set(i, j, lm.get(i, j) - eps);
+                let (l1, _) = softmax_cross_entropy(&lp, &targets, None);
+                let (l2, _) = softmax_cross_entropy(&lm, &targets, None);
+                let num = (l1 - l2) / (2.0 * eps);
+                assert!((num - grad.get(i, j)).abs() < 1e-3, "d[{i},{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn ce_sample_weights_mask_examples() {
+        let logits = Matrix::from_vec(2, 2, vec![5.0, -5.0, 5.0, -5.0]);
+        // Second example is wrong but masked out.
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1], Some(&[1.0, 0.0]));
+        assert!(loss < 1e-3);
+        assert_eq!(grad.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn ce_all_masked_is_safe() {
+        let logits = Matrix::zeros(2, 2);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1], Some(&[0.0, 0.0]));
+        assert_eq!(loss, 0.0);
+        assert!(grad.all_finite());
+    }
+
+    #[test]
+    fn ce_empty_batch() {
+        let logits = Matrix::zeros(0, 2);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[], None);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.rows(), 0);
+    }
+
+    #[test]
+    fn bce_perfect_prediction_near_zero() {
+        let logits = Matrix::from_vec(1, 3, vec![20.0, -20.0, 20.0]);
+        let targets = Matrix::from_vec(1, 3, vec![1.0, 0.0, 1.0]);
+        let (loss, _) = multilabel_bce_with_logits(&logits, &targets, &[1.0; 3]);
+        assert!(loss < 1e-6);
+    }
+
+    #[test]
+    fn bce_gradient_matches_finite_difference() {
+        let logits = Matrix::from_vec(2, 2, vec![0.1, -0.7, 0.4, 1.2]);
+        let targets = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        let w = [0.5, 2.0];
+        let (_, grad) = multilabel_bce_with_logits(&logits, &targets, &w);
+        let eps = 1e-3;
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut lp = logits.clone();
+                lp.set(i, j, lp.get(i, j) + eps);
+                let mut lm = logits.clone();
+                lm.set(i, j, lm.get(i, j) - eps);
+                let (l1, _) = multilabel_bce_with_logits(&lp, &targets, &w);
+                let (l2, _) = multilabel_bce_with_logits(&lm, &targets, &w);
+                let num = (l1 - l2) / (2.0 * eps);
+                assert!((num - grad.get(i, j)).abs() < 1e-3, "d[{i},{j}]");
+            }
+        }
+    }
+
+    #[test]
+    fn bce_intent_weights_rescale() {
+        let logits = Matrix::from_vec(1, 2, vec![0.0, 0.0]);
+        let targets = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        let (l1, _) = multilabel_bce_with_logits(&logits, &targets, &[1.0, 1.0]);
+        let (l2, _) = multilabel_bce_with_logits(&logits, &targets, &[2.0, 2.0]);
+        assert!((l2 - 2.0 * l1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_stable_for_extreme_logits() {
+        let logits = Matrix::from_vec(1, 2, vec![1000.0, -1000.0]);
+        let targets = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let (loss, grad) = multilabel_bce_with_logits(&logits, &targets, &[1.0, 1.0]);
+        assert!(loss.is_finite());
+        assert!(grad.all_finite());
+    }
+}

@@ -1,0 +1,344 @@
+//! Dense row-major `f32` matrices with the handful of kernels the
+//! matcher and GNN need. Loops are ordered `i,k,j` so LLVM vectorizes the
+//! inner accumulation.
+
+/// Dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from a flat row-major buffer; panics if the length mismatches.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must be rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Builds by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        Self::from_fn(n, n, |i, j| if i == j { 1.0 } else { 0.0 })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Immutable view of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable view of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Flat row-major buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat buffer.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// `self × other` — `[m,k] × [k,n] → [m,n]`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self × otherᵀ` — `[m,k] × [n,k]ᵀ → [m,n]`. Used by backprop to
+    /// compute input gradients without materializing transposes.
+    pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_transpose_b shape mismatch");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ × other` — `[m,k]ᵀ × [m,n] → [k,n]`. Used by backprop to
+    /// compute weight gradients.
+    pub fn matmul_transpose_a(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_transpose_a shape mismatch");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let b_row = other.row(i);
+            for (k, &aik) in a_row.iter().enumerate() {
+                if aik == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[k * other.cols..(k + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += aik * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+    }
+
+    /// Adds a row vector to every row (bias broadcast).
+    pub fn add_row_broadcast(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols, "bias length mismatch");
+        for i in 0..self.rows {
+            for (v, &b) in self.row_mut(i).iter_mut().zip(bias) {
+                *v += b;
+            }
+        }
+    }
+
+    /// Element-wise `self += alpha * other`.
+    pub fn add_scaled(&mut self, other: &Matrix, alpha: f32) {
+        assert_eq!(self.data.len(), other.data.len(), "add_scaled shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Element-wise multiply by a scalar.
+    pub fn scale(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Concatenates matrices horizontally (same row count).
+    pub fn hconcat(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "hconcat of nothing");
+        let rows = parts[0].rows;
+        for p in parts {
+            assert_eq!(p.rows, rows, "hconcat row mismatch");
+        }
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for i in 0..rows {
+            let mut off = 0;
+            for p in parts {
+                out.row_mut(i)[off..off + p.cols].copy_from_slice(p.row(i));
+                off += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Splits the matrix horizontally into slices of the given widths,
+    /// returning owned pieces. Widths must sum to `cols`.
+    pub fn hsplit(&self, widths: &[usize]) -> Vec<Matrix> {
+        assert_eq!(widths.iter().sum::<usize>(), self.cols, "hsplit widths must sum to cols");
+        let mut out: Vec<Matrix> = widths.iter().map(|&w| Matrix::zeros(self.rows, w)).collect();
+        for i in 0..self.rows {
+            let mut off = 0;
+            for (part, &w) in out.iter_mut().zip(widths) {
+                part.row_mut(i).copy_from_slice(&self.row(i)[off..off + w]);
+                off += w;
+            }
+        }
+        out
+    }
+
+    /// Gathers the given rows into a new matrix.
+    pub fn select_rows(&self, rows: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(rows.len(), self.cols);
+        for (dst, &src) in rows.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Whether all entries are finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Squared L2 distance between two rows of (possibly different)
+    /// matrices with equal column counts.
+    pub fn row_l2_sq(a: &Matrix, i: usize, b: &Matrix, j: usize) -> f32 {
+        debug_assert_eq!(a.cols, b.cols);
+        a.row(i)
+            .iter()
+            .zip(b.row(j))
+            .map(|(&x, &y)| (x - y) * (x - y))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, v: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec())
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_variants_agree_with_explicit_transpose() {
+        let a = m(2, 3, &[1.0, -2.0, 3.0, 0.5, 5.0, -6.0]);
+        let b = m(4, 3, &[1.0, 0.0, 2.0, -1.0, 3.0, 1.0, 0.0, 0.0, 1.0, 2.0, 2.0, 2.0]);
+        // a × bᵀ
+        let direct = a.matmul_transpose_b(&b);
+        let via_t = a.matmul(&b.transpose());
+        for (x, y) in direct.data().iter().zip(via_t.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+        // aᵀ × c
+        let c = m(2, 4, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let direct = a.matmul_transpose_a(&c);
+        let via_t = a.transpose().matmul(&c);
+        for (x, y) in direct.data().iter().zip(via_t.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bias_broadcast() {
+        let mut a = Matrix::zeros(2, 3);
+        a.add_row_broadcast(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.row(1), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn hconcat_hsplit_roundtrip() {
+        let a = m(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = m(2, 1, &[9.0, 8.0]);
+        let cat = Matrix::hconcat(&[&a, &b]);
+        assert_eq!(cat.cols(), 3);
+        assert_eq!(cat.row(0), &[1.0, 2.0, 9.0]);
+        let parts = cat.hsplit(&[2, 1]);
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn select_rows_gathers() {
+        let a = m(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let s = a.select_rows(&[2, 0]);
+        assert_eq!(s.row(0), &[5.0, 6.0]);
+        assert_eq!(s.row(1), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn add_scaled_and_scale() {
+        let mut a = m(1, 3, &[1.0, 2.0, 3.0]);
+        let b = m(1, 3, &[1.0, 1.0, 1.0]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a.data(), &[1.5, 2.5, 3.5]);
+        a.scale(2.0);
+        assert_eq!(a.data(), &[3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn row_l2_sq() {
+        let a = m(1, 2, &[0.0, 0.0]);
+        let b = m(1, 2, &[3.0, 4.0]);
+        assert_eq!(Matrix::row_l2_sq(&a, 0, &b, 0), 25.0);
+    }
+
+    #[test]
+    fn norm_and_finite() {
+        let a = m(1, 2, &[3.0, 4.0]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-6);
+        assert!(a.all_finite());
+        let bad = m(1, 1, &[f32::NAN]);
+        assert!(!bad.all_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_shape_checked() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,206 @@
+//! CSR sparse matrices for hashed text features.
+//!
+//! The matcher's input features are hashed n-gram bags: a few hundred
+//! non-zeros in a dimension of thousands. Storing them densely would make
+//! the first matcher layer dominate training; CSR keeps it proportional to
+//! the number of non-zeros.
+
+use crate::matrix::Matrix;
+
+/// Compressed sparse row matrix (`f32` values).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    /// Row start offsets (`rows + 1` entries).
+    indptr: Vec<usize>,
+    /// Column indices, row by row, strictly increasing inside a row.
+    indices: Vec<u32>,
+    /// Values aligned with `indices`.
+    values: Vec<f32>,
+}
+
+impl SparseMatrix {
+    /// Builds a CSR matrix from per-row `(column, value)` lists. Entries in
+    /// a row are sorted and duplicate columns are summed.
+    pub fn from_rows(cols: usize, rows: &[Vec<(u32, f32)>]) -> Self {
+        let mut indptr = Vec::with_capacity(rows.len() + 1);
+        let mut indices = Vec::new();
+        let mut values = Vec::new();
+        indptr.push(0);
+        for row in rows {
+            let mut entries: Vec<(u32, f32)> = row.clone();
+            entries.sort_unstable_by_key(|e| e.0);
+            let mut merged: Vec<(u32, f32)> = Vec::with_capacity(entries.len());
+            for (c, v) in entries {
+                assert!((c as usize) < cols, "column {c} out of range {cols}");
+                match merged.last_mut() {
+                    Some(last) if last.0 == c => last.1 += v,
+                    _ => merged.push((c, v)),
+                }
+            }
+            for (c, v) in merged {
+                indices.push(c);
+                values.push(v);
+            }
+            indptr.push(indices.len());
+        }
+        Self { rows: rows.len(), cols, indptr, indices, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `(columns, values)` of row `i`.
+    pub fn row(&self, i: usize) -> (&[u32], &[f32]) {
+        let (s, e) = (self.indptr[i], self.indptr[i + 1]);
+        (&self.indices[s..e], &self.values[s..e])
+    }
+
+    /// `self × dense` — `[m,k]sparse × [k,n] → [m,n]`.
+    pub fn matmul_dense(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(self.cols, dense.rows(), "spmm shape mismatch");
+        let n = dense.cols();
+        let mut out = Matrix::zeros(self.rows, n);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            let out_row = out.row_mut(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let d_row = dense.row(c as usize);
+                for (o, &d) in out_row.iter_mut().zip(d_row) {
+                    *o += v * d;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ × dense` — `[m,k]ᵀ × [m,n] → [k,n]`. The weight-gradient
+    /// kernel of a sparse input layer.
+    pub fn transpose_matmul_dense(&self, dense: &Matrix) -> Matrix {
+        assert_eq!(self.rows, dense.rows(), "spmmT shape mismatch");
+        let n = dense.cols();
+        let mut out = Matrix::zeros(self.cols, n);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            let d_row = dense.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                let out_row = out.row_mut(c as usize);
+                for (o, &d) in out_row.iter_mut().zip(d_row) {
+                    *o += v * d;
+                }
+            }
+        }
+        out
+    }
+
+    /// Gathers rows into a new sparse matrix.
+    pub fn select_rows(&self, rows: &[usize]) -> SparseMatrix {
+        let picked: Vec<Vec<(u32, f32)>> = rows
+            .iter()
+            .map(|&i| {
+                let (cols, vals) = self.row(i);
+                cols.iter().copied().zip(vals.iter().copied()).collect()
+            })
+            .collect();
+        SparseMatrix::from_rows(self.cols, &picked)
+    }
+
+    /// Densifies (tests / tiny inputs only).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            let (cols, vals) = self.row(i);
+            for (&c, &v) in cols.iter().zip(vals) {
+                out.set(i, c as usize, v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparseMatrix {
+        SparseMatrix::from_rows(
+            4,
+            &[
+                vec![(0, 1.0), (2, 2.0)],
+                vec![],
+                vec![(3, -1.0), (1, 0.5), (3, 0.5)], // dup col 3 merges to -0.5
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_sorts_and_merges() {
+        let s = sample();
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.nnz(), 4);
+        let (cols, vals) = s.row(2);
+        assert_eq!(cols, &[1, 3]);
+        assert_eq!(vals, &[0.5, -0.5]);
+        let (cols, _) = s.row(1);
+        assert!(cols.is_empty());
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let s = sample();
+        let d = Matrix::from_fn(4, 3, |i, j| (i * 3 + j) as f32 * 0.25 - 1.0);
+        let sparse_out = s.matmul_dense(&d);
+        let dense_out = s.to_dense().matmul(&d);
+        for (a, b) in sparse_out.data().iter().zip(dense_out.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn spmm_t_matches_dense() {
+        let s = sample();
+        let d = Matrix::from_fn(3, 2, |i, j| (i + j) as f32);
+        let sparse_out = s.transpose_matmul_dense(&d);
+        let dense_out = s.to_dense().matmul_transpose_a(&d);
+        for (a, b) in sparse_out.data().iter().zip(dense_out.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn select_rows_preserves_content() {
+        let s = sample();
+        let sel = s.select_rows(&[2, 0]);
+        assert_eq!(sel.rows(), 2);
+        assert_eq!(sel.row(0), s.row(2));
+        assert_eq!(sel.row(1), s.row(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_column_panics() {
+        let _ = SparseMatrix::from_rows(2, &[vec![(5, 1.0)]]);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let s = SparseMatrix::from_rows(3, &[]);
+        assert_eq!(s.rows(), 0);
+        assert_eq!(s.nnz(), 0);
+        let d = Matrix::zeros(3, 2);
+        assert_eq!(s.matmul_dense(&d).rows(), 0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the neural substrate: matrix algebra laws,
+//! loss-function invariants and optimizer behaviour under random inputs.
+
+use flexer_nn::activation::softmax_rows;
+use flexer_nn::loss::{multilabel_bce_with_logits, softmax_cross_entropy};
+use flexer_nn::{Adam, AdamConfig, Matrix, Optimizer, SparseMatrix};
+use proptest::prelude::*;
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// (A·B)·C = A·(B·C) within float tolerance.
+    #[test]
+    fn matmul_associativity(
+        a in matrix_strategy(3, 4),
+        b in matrix_strategy(4, 2),
+        c in matrix_strategy(2, 5),
+    ) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// A·(B+C) = A·B + A·C.
+    #[test]
+    fn matmul_distributivity(
+        a in matrix_strategy(3, 3),
+        b in matrix_strategy(3, 2),
+        c in matrix_strategy(3, 2),
+    ) {
+        let mut sum = b.clone();
+        sum.add_scaled(&c, 1.0);
+        let left = a.matmul(&sum);
+        let mut right = a.matmul(&b);
+        right.add_scaled(&a.matmul(&c), 1.0);
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// Transpose is an involution and (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn transpose_laws(a in matrix_strategy(4, 3), b in matrix_strategy(3, 2)) {
+        prop_assert_eq!(a.transpose().transpose(), a.clone());
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        for (x, y) in left.data().iter().zip(right.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// The fused transpose kernels agree with explicit transposition.
+    #[test]
+    fn fused_transpose_kernels(a in matrix_strategy(3, 4), b in matrix_strategy(5, 4)) {
+        let fused = a.matmul_transpose_b(&b);
+        let explicit = a.matmul(&b.transpose());
+        for (x, y) in fused.data().iter().zip(explicit.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+        let c = Matrix::from_fn(3, 2, |i, j| (i + 2 * j) as f32 * 0.5 - 1.0);
+        let fused = a.matmul_transpose_a(&c);
+        let explicit = a.transpose().matmul(&c);
+        for (x, y) in fused.data().iter().zip(explicit.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Softmax rows are probability distributions and order-preserving.
+    #[test]
+    fn softmax_is_a_distribution(logits in matrix_strategy(4, 5)) {
+        let p = softmax_rows(&logits);
+        for i in 0..p.rows() {
+            let row_sum: f32 = p.row(i).iter().sum();
+            prop_assert!((row_sum - 1.0).abs() < 1e-4);
+            for (j, &v) in p.row(i).iter().enumerate() {
+                prop_assert!(v >= 0.0);
+                for (k, &w) in p.row(i).iter().enumerate() {
+                    if logits.get(i, j) > logits.get(i, k) {
+                        prop_assert!(v >= w);
+                    }
+                }
+            }
+        }
+    }
+
+    /// CE loss is non-negative, finite, and its gradient rows sum to ~0
+    /// (softmax minus one-hot integrates to zero).
+    #[test]
+    fn cross_entropy_invariants(
+        logits in matrix_strategy(5, 2),
+        targets in prop::collection::vec(0usize..2, 5),
+    ) {
+        let (loss, grad) = softmax_cross_entropy(&logits, &targets, None);
+        prop_assert!(loss >= -1e-6);
+        prop_assert!(loss.is_finite());
+        prop_assert!(grad.all_finite());
+        for i in 0..grad.rows() {
+            let s: f32 = grad.row(i).iter().sum();
+            prop_assert!(s.abs() < 1e-4, "row {i} grad sum {s}");
+        }
+    }
+
+    /// Multi-label BCE is non-negative and its gradient sign points from
+    /// prediction toward target.
+    #[test]
+    fn bce_gradient_signs(
+        logits in matrix_strategy(3, 4),
+        bits in prop::collection::vec(any::<bool>(), 12),
+    ) {
+        let targets = Matrix::from_vec(
+            3, 4,
+            bits.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect(),
+        );
+        let (loss, grad) = multilabel_bce_with_logits(&logits, &targets, &[1.0; 4]);
+        prop_assert!(loss >= -1e-6);
+        for i in 0..3 {
+            for j in 0..4 {
+                let g = grad.get(i, j);
+                if targets.get(i, j) == 1.0 {
+                    prop_assert!(g <= 1e-6, "positive target must push logit up");
+                } else {
+                    prop_assert!(g >= -1e-6, "negative target must push logit down");
+                }
+            }
+        }
+    }
+
+    /// A single Adam step against a pure-quadratic gradient decreases the
+    /// distance to the optimum for small steps.
+    #[test]
+    fn adam_step_moves_toward_optimum(start in -5.0f32..5.0, target in -5.0f32..5.0) {
+        prop_assume!((start - target).abs() > 0.2);
+        let mut opt = Adam::new(AdamConfig { lr: 0.05, ..Default::default() });
+        let mut x = vec![start];
+        for _ in 0..50 {
+            opt.begin_step();
+            let g = vec![2.0 * (x[0] - target)];
+            opt.update(0, &mut x, &g);
+        }
+        prop_assert!((x[0] - target).abs() < (start - target).abs());
+    }
+
+    /// Sparse × dense always equals densified × dense.
+    #[test]
+    fn sparse_matmul_agrees_with_dense(
+        entries in prop::collection::vec((0u32..6, -2.0f32..2.0), 0..12),
+        dense in matrix_strategy(6, 3),
+    ) {
+        let sparse = SparseMatrix::from_rows(6, &[entries.clone(), entries]);
+        let a = sparse.matmul_dense(&dense);
+        let b = sparse.to_dense().matmul(&dense);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! The `MierBenchmark` bundle — everything a MIER experiment needs.
+//!
+//! A benchmark is the materialization of Problem 1: a dataset `D`, a
+//! candidate set `C ⊆ D × D`, a set of intents `{(E_1,θ_1) … (E_P,θ_P)}`
+//! with their ground-truth label matrix over `C`, and a 3:1:1 split.
+
+use crate::entity::EntityMap;
+use crate::error::TypesError;
+use crate::intent::{IntentId, IntentSet};
+use crate::labels::LabelMatrix;
+use crate::pair::CandidateSet;
+use crate::record::Dataset;
+use crate::resolution::Resolution;
+use crate::splits::{Split, SplitAssignment};
+
+/// A full multiple-intents entity resolution benchmark.
+#[derive(Debug, Clone)]
+pub struct MierBenchmark {
+    /// Benchmark name, e.g. `"AmazonMI"`.
+    pub name: String,
+    /// The record set `D`.
+    pub dataset: Dataset,
+    /// The candidate pair set `C`.
+    pub candidates: CandidateSet,
+    /// The intent set `Π`.
+    pub intents: IntentSet,
+    /// Ground-truth labels `y^p_ij` over `C × Π`.
+    pub labels: LabelMatrix,
+    /// Ground-truth entity mappings `θ_p`, one per intent, aligned with
+    /// `intents` ids.
+    pub entity_maps: Vec<EntityMap>,
+    /// Train/validation/test assignment over `C`.
+    pub splits: SplitAssignment,
+}
+
+impl MierBenchmark {
+    /// Validates internal consistency: aligned sizes, in-range record
+    /// references, labels consistent with the entity maps, and at least one
+    /// intent.
+    pub fn validate(&self) -> Result<(), TypesError> {
+        if self.intents.is_empty() {
+            return Err(TypesError::NoIntents);
+        }
+        self.candidates.validate_for(self.dataset.len())?;
+        if self.labels.n_pairs() != self.candidates.len() {
+            return Err(TypesError::LengthMismatch(self.candidates.len(), self.labels.n_pairs()));
+        }
+        if self.labels.n_intents() != self.intents.len() {
+            return Err(TypesError::LengthMismatch(self.intents.len(), self.labels.n_intents()));
+        }
+        if self.entity_maps.len() != self.intents.len() {
+            return Err(TypesError::LengthMismatch(self.intents.len(), self.entity_maps.len()));
+        }
+        if self.splits.len() != self.candidates.len() {
+            return Err(TypesError::LengthMismatch(self.candidates.len(), self.splits.len()));
+        }
+        for (p, theta) in self.entity_maps.iter().enumerate() {
+            theta.validate_for(self.dataset.len())?;
+            for (idx, pair) in self.candidates.iter() {
+                if self.labels.get(idx, p) != theta.corresponds(pair.a, pair.b)? {
+                    // Labels must be exactly the golden resolution of θ_p.
+                    return Err(TypesError::UnknownIntent(p));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of candidate pairs `|C|`.
+    pub fn n_pairs(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Number of intents `P`.
+    pub fn n_intents(&self) -> usize {
+        self.intents.len()
+    }
+
+    /// The titles of the two records of candidate pair `idx` — the only
+    /// record content the matching phase may consume.
+    pub fn pair_titles(&self, idx: usize) -> (&str, &str) {
+        let pair = self.candidates[idx];
+        (self.dataset[pair.a].title(), self.dataset[pair.b].title())
+    }
+
+    /// The golden-standard resolution `M*` of one intent over all of `C`.
+    pub fn golden_resolution(&self, intent: IntentId) -> Resolution {
+        Resolution::from_predictions(&self.labels.column(intent))
+    }
+
+    /// Pair indices of a split.
+    pub fn split_indices(&self, split: Split) -> Vec<usize> {
+        self.splits.indices_of(split)
+    }
+
+    /// Positive rate of an intent over one split (`%Pos` of Table 4).
+    pub fn positive_rate(&self, intent: IntentId, split: Split) -> f64 {
+        self.labels.positive_rate_over(intent, &self.split_indices(split))
+    }
+
+    /// Whether intent `a` is subsumed by intent `b` in the ground truth
+    /// (every positive of `a` is a positive of `b` over `C`).
+    pub fn intent_subsumed_by(&self, a: IntentId, b: IntentId) -> bool {
+        self.golden_resolution(a).subsumed_by(&self.golden_resolution(b))
+    }
+
+    /// Ground-truth subsumption map: `out[p]` lists intents that subsume `p`
+    /// (excluding `p` itself and intents identical to `p`'s resolution
+    /// unless their positives are a strict superset or equal set).
+    pub fn subsumption_map(&self) -> Vec<Vec<IntentId>> {
+        (0..self.n_intents())
+            .map(|p| {
+                (0..self.n_intents())
+                    .filter(|&q| q != p && self.intent_subsumed_by(p, q))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intent::Intent;
+    use crate::pair::PairRef;
+    use crate::record::Record;
+    use crate::splits::SplitRatios;
+
+    /// A miniature benchmark mirroring Table 1 / Example 2.3: records r1..r4
+    /// with eq and brand intents.
+    fn mini() -> MierBenchmark {
+        let dataset = Dataset::from_records(vec![
+            Record::with_title(0, "Nike Men's Lunar Force 1 Duckboot"),
+            Record::with_title(0, "NIKE Men Lunar Force 1 Duckboot, Black"),
+            Record::with_title(0, "NIKE Men's Air Max Stutter Step Basketball Shoe"),
+            Record::with_title(0, "The Man Who Tried to Get Away"),
+        ]);
+        let candidates = CandidateSet::from_pairs(vec![
+            PairRef::new(0, 1).unwrap(),
+            PairRef::new(0, 2).unwrap(),
+            PairRef::new(0, 3).unwrap(),
+        ]);
+        let intents = IntentSet::new(vec![Intent::equivalence(0), Intent::named(1, "Brand")]);
+        // eq entities: r0==r1; brand entities: r0==r1==r2 (Nike), r3 book.
+        let eq = EntityMap::new(vec![0, 0, 1, 2]);
+        let brand = EntityMap::new(vec![0, 0, 0, 1]);
+        let labels = LabelMatrix::from_columns(&[
+            vec![true, false, false],
+            vec![true, true, false],
+        ])
+        .unwrap();
+        let splits = SplitAssignment::random(3, SplitRatios::PAPER, 0).unwrap();
+        MierBenchmark {
+            name: "mini".into(),
+            dataset,
+            candidates,
+            intents,
+            labels,
+            entity_maps: vec![eq, brand],
+            splits,
+        }
+    }
+
+    #[test]
+    fn mini_benchmark_validates() {
+        mini().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_catches_label_entity_disagreement() {
+        let mut b = mini();
+        b.labels.set(0, 0, false);
+        assert!(b.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_missing_entity_map() {
+        let mut b = mini();
+        b.entity_maps.pop();
+        assert!(matches!(b.validate(), Err(TypesError::LengthMismatch(2, 1))));
+    }
+
+    #[test]
+    fn golden_resolution_matches_labels() {
+        let b = mini();
+        let m = b.golden_resolution(1);
+        assert_eq!(m.indices(), vec![0, 1]);
+        assert!(m.satisfies(&b.candidates, &b.entity_maps[1]).unwrap());
+    }
+
+    #[test]
+    fn eq_subsumed_by_brand() {
+        let b = mini();
+        assert!(b.intent_subsumed_by(0, 1));
+        assert!(!b.intent_subsumed_by(1, 0));
+        let map = b.subsumption_map();
+        assert_eq!(map[0], vec![1]);
+        assert!(map[1].is_empty());
+    }
+
+    #[test]
+    fn pair_titles_reads_titles_only() {
+        let b = mini();
+        let (a, bt) = b.pair_titles(2);
+        assert!(a.contains("Nike"));
+        assert!(bt.contains("Man Who Tried"));
+    }
+
+    #[test]
+    fn positive_rate_over_splits_in_unit_interval() {
+        let b = mini();
+        for split in Split::ALL {
+            for p in 0..b.n_intents() {
+                let r = b.positive_rate(p, split);
+                assert!((0.0..=1.0).contains(&r));
+            }
+        }
+    }
+}

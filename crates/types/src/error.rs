@@ -1,0 +1,77 @@
+//! Error type shared by the data-model constructors.
+
+use std::fmt;
+
+/// Errors raised when assembling or validating the shared data model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypesError {
+    /// A record id referenced a record that does not exist in the dataset.
+    UnknownRecord(usize),
+    /// An intent id referenced an intent outside the registered intent set.
+    UnknownIntent(usize),
+    /// Two aligned containers (e.g. labels vs. candidate pairs) disagree on
+    /// length; holds `(expected, got)`.
+    LengthMismatch(usize, usize),
+    /// An entity map does not cover every record of the dataset.
+    IncompleteEntityMap {
+        /// Number of records in the dataset.
+        records: usize,
+        /// Number of entries in the entity map.
+        mapped: usize,
+    },
+    /// A candidate pair paired a record with itself.
+    SelfPair(usize),
+    /// Split ratios do not form a valid partition (all zero).
+    InvalidSplitRatios,
+    /// The benchmark requires at least one intent.
+    NoIntents,
+}
+
+impl fmt::Display for TypesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypesError::UnknownRecord(id) => write!(f, "unknown record id {id}"),
+            TypesError::UnknownIntent(id) => write!(f, "unknown intent id {id}"),
+            TypesError::LengthMismatch(expected, got) => {
+                write!(f, "length mismatch: expected {expected}, got {got}")
+            }
+            TypesError::IncompleteEntityMap { records, mapped } => write!(
+                f,
+                "entity map covers {mapped} records but the dataset has {records}"
+            ),
+            TypesError::SelfPair(id) => write!(f, "record {id} paired with itself"),
+            TypesError::InvalidSplitRatios => write!(f, "split ratios must sum to a positive value"),
+            TypesError::NoIntents => write!(f, "a MIER benchmark requires at least one intent"),
+        }
+    }
+}
+
+impl std::error::Error for TypesError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let msgs = [
+            TypesError::UnknownRecord(3).to_string(),
+            TypesError::UnknownIntent(1).to_string(),
+            TypesError::LengthMismatch(4, 5).to_string(),
+            TypesError::IncompleteEntityMap { records: 10, mapped: 9 }.to_string(),
+            TypesError::SelfPair(7).to_string(),
+            TypesError::InvalidSplitRatios.to_string(),
+            TypesError::NoIntents.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+        }
+        assert!(TypesError::LengthMismatch(4, 5).to_string().contains('4'));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(TypesError::NoIntents);
+        assert!(e.to_string().contains("intent"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # flexer-types
+//!
+//! Shared data model for the FlexER workspace — the vocabulary of Section 2
+//! of *FlexER: Flexible Entity Resolution for Multiple Intents* (SIGMOD
+//! 2023): datasets of records, entity mappings, resolution intents,
+//! resolutions and their satisfaction/overlap/subsumption algebra, candidate
+//! pair sets, per-intent label matrices, and train/validation/test splits.
+//!
+//! Every other crate in the workspace (`flexer-datasets`, `flexer-matcher`,
+//! `flexer-graph`, `flexer-eval`, `flexer-core`) exchanges these types, so
+//! they are deliberately dependency-light and fully deterministic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmark;
+pub mod entity;
+pub mod error;
+pub mod intent;
+pub mod labels;
+pub mod pair;
+pub mod record;
+pub mod resolution;
+pub mod scale;
+pub mod splits;
+
+pub use benchmark::MierBenchmark;
+pub use entity::{EntityId, EntityMap};
+pub use error::TypesError;
+pub use intent::{Intent, IntentId, IntentSet};
+pub use labels::LabelMatrix;
+pub use pair::{CandidateSet, PairRef};
+pub use record::{Attribute, Dataset, Record, RecordId};
+pub use resolution::Resolution;
+pub use scale::Scale;
+pub use splits::{Split, SplitAssignment, SplitRatios};

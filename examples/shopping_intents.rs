@@ -1,0 +1,129 @@
+//! The paper's motivating scenario (§1.1): an online shop whose users hold
+//! different *intents* over the same catalogue — a pro player distinguishes
+//! basketball-shoe variants, a casual shopper just wants "Nike shoes".
+//!
+//! This example builds the Table 1 micro-dataset by hand, defines the four
+//! intents of Example 2.3 through explicit entity mappings, and shows how
+//! each intent induces a different resolution and a different clean view
+//! (Figure 1 / Example 2.4), then compares against the Naïve
+//! one-size-fits-all approach on a larger generated catalogue.
+//!
+//! ```sh
+//! cargo run --release --example shopping_intents
+//! ```
+
+use flexer::prelude::*;
+use flexer_core::{clean_view, evaluate_on_split, NaiveModel, PipelineContext};
+use flexer_matcher::MatcherConfig;
+use flexer_types::{Intent, LabelMatrix, SplitAssignment, SplitRatios};
+
+fn main() {
+    table1_walkthrough();
+    naive_vs_in_parallel();
+}
+
+/// Table 1 / Example 2.3–2.4, verbatim.
+fn table1_walkthrough() {
+    println!("=== Table 1 walkthrough ===");
+    let dataset = Dataset::from_records(vec![
+        Record::with_title(0, "Nike Men's Lunar Force 1 Duckboot"),
+        Record::with_title(0, "NIKE Men Lunar Force 1 Duckboot, Black/Dark Loden-BROGHT Crimson"),
+        Record::with_title(0, "NIKE Men's Air Max Stutter Step Ankle-High Basketball Shoe"),
+        Record::with_title(0, "Nike Men's Air Max 2016 Running Shoe"),
+        Record::with_title(0, "adidas Performance Men's D Rose 6 Boost Primeknit Basketball"),
+        Record::with_title(0, "The Man Who Tried to Get Away"),
+    ]);
+
+    // Candidate pairs: all pairs over the six records (C = D x D minus
+    // self-pairs, deduplicated).
+    let mut pairs = Vec::new();
+    for i in 0..dataset.len() {
+        for j in i + 1..dataset.len() {
+            pairs.push(PairRef::new(i, j).unwrap());
+        }
+    }
+    let candidates = CandidateSet::from_pairs(pairs);
+
+    // Example 2.3's intents as entity mappings over r1..r6 (our 0..5).
+    // eq:        r1=r2 duplicates.
+    // brand:     Nike {r1..r4}, adidas {r5}, book {r6}.
+    // category:  basketball shoes {r1,r2,r3,r5}, running {r4}, book {r6}
+    //            — merged at the "shoes" zoom level the paper discusses;
+    //            here we use the exact-category reading.
+    // brand+cat: Nike basketball shoes {r1,r2,r3}.
+    let eq = EntityMap::new(vec![0, 0, 1, 2, 3, 4]);
+    let brand = EntityMap::new(vec![0, 0, 0, 0, 1, 2]);
+    let category = EntityMap::new(vec![0, 0, 0, 1, 0, 2]);
+    let brand_cat = EntityMap::new(vec![0, 0, 0, 1, 2, 3]);
+
+    let intents = IntentSet::new(vec![
+        Intent::equivalence(0),
+        Intent::named(1, "Brand"),
+        Intent::named(2, "Cat."),
+        Intent::named(3, "Brand+Cat."),
+    ]);
+    let maps = [&eq, &brand, &category, &brand_cat];
+    let columns: Vec<Vec<bool>> = maps
+        .iter()
+        .map(|theta| {
+            Resolution::golden(&candidates, theta).expect("total maps").mask().to_vec()
+        })
+        .collect();
+    let labels = LabelMatrix::from_columns(&columns).unwrap();
+
+    for (p, intent) in intents.iter().enumerate() {
+        let resolution = Resolution::from_predictions(&labels.column(p));
+        let view = clean_view(dataset.len(), &candidates, &resolution);
+        let matched: Vec<(usize, usize)> = resolution
+            .indices()
+            .iter()
+            .map(|&i| (candidates[i].a + 1, candidates[i].b + 1)) // 1-based like the paper
+            .collect();
+        println!(
+            "{:<12} resolution {:?} -> clean view r{:?}",
+            intent.name,
+            matched,
+            view.representatives.iter().map(|r| r + 1).collect::<Vec<_>>()
+        );
+    }
+
+    // Subsumption structure of Example 2.3 (Definitions 3-4).
+    let m_eq = Resolution::golden(&candidates, &eq).unwrap();
+    let m_brand = Resolution::golden(&candidates, &brand).unwrap();
+    let m_cat = Resolution::golden(&candidates, &category).unwrap();
+    assert!(m_eq.subsumed_by(&m_brand), "Eq. is a sub-intent of Brand");
+    assert!(m_brand.overlaps(&m_cat) && !m_brand.subsumed_by(&m_cat));
+    println!("Eq ⊆ Brand holds; Brand and Cat. overlap without subsumption — as in §2.4\n");
+}
+
+/// Why a universal matcher cannot serve every user: Naïve vs. In-parallel
+/// on a generated shop catalogue.
+fn naive_vs_in_parallel() {
+    println!("=== one-size-fits-all vs. per-intent matchers ===");
+    let bench = AmazonMiConfig::at_scale(Scale::Tiny).with_seed(99).generate();
+    let config = MatcherConfig::fast();
+    let ctx = PipelineContext::new(bench, &config).expect("valid benchmark");
+    let naive = NaiveModel::fit(&ctx, &config).expect("fit naive");
+    let per_intent = flexer_core::InParallelModel::fit(&ctx, &config).expect("fit in-parallel");
+
+    let naive_report = evaluate_on_split(&ctx.benchmark, &naive.predictions, Split::Test);
+    let ip_report = evaluate_on_split(&ctx.benchmark, &per_intent.predictions, Split::Test);
+    println!(
+        "Naïve       MI-P={:.3} MI-R={:.3} MI-F={:.3}",
+        naive_report.mi_precision, naive_report.mi_recall, naive_report.mi_f1
+    );
+    println!(
+        "In-parallel MI-P={:.3} MI-R={:.3} MI-F={:.3}",
+        ip_report.mi_precision, ip_report.mi_recall, ip_report.mi_f1
+    );
+    println!(
+        "(the universal resolution is precise but drastically incomplete for broad intents: \
+         MI-R {:.3} vs {:.3})",
+        naive_report.mi_recall, ip_report.mi_recall
+    );
+}
+
+// Pull SplitAssignment/SplitRatios into scope for doc completeness even
+// though this example constructs labels directly.
+#[allow(dead_code)]
+fn _unused(_a: SplitAssignment, _r: SplitRatios) {}

@@ -1,0 +1,41 @@
+//! # flexer
+//!
+//! Facade crate for the FlexER workspace — a from-scratch Rust reproduction
+//! of *FlexER: Flexible Entity Resolution for Multiple Intents* (Genossar,
+//! Shraga, Gal — SIGMOD 2023).
+//!
+//! The workspace implements the multiple intents entity resolution (MIER)
+//! problem and the FlexER solution end-to-end: DITTO-substitute neural
+//! matchers, the multiplex intents graph, a GraphSAGE-style GNN, the
+//! Naïve / In-parallel / Multi-label baselines, calibrated synthetic
+//! versions of the AmazonMI, Walmart-Amazon and WDC benchmarks, the paper's
+//! evaluation measures, and a harness regenerating every table and figure.
+//!
+//! ```
+//! use flexer::prelude::*;
+//!
+//! // Generate a tiny AmazonMI-like benchmark and run the full pipeline.
+//! let bench = AmazonMiConfig::at_scale(Scale::Tiny).with_seed(7).generate();
+//! bench.validate().unwrap();
+//! assert_eq!(bench.n_intents(), 5);
+//! ```
+
+pub use flexer_ann as ann;
+pub use flexer_core as core;
+pub use flexer_datasets as datasets;
+pub use flexer_eval as eval;
+pub use flexer_graph as graph;
+pub use flexer_matcher as matcher;
+pub use flexer_nn as nn;
+pub use flexer_types as types;
+
+/// Convenient single-import surface for applications.
+pub mod prelude {
+    pub use flexer_core::prelude::*;
+    pub use flexer_datasets::{AmazonMiConfig, WalmartAmazonConfig, WdcConfig};
+    pub use flexer_eval::{BinaryReport, MultiIntentReport};
+    pub use flexer_types::{
+        CandidateSet, Dataset, EntityMap, Intent, IntentSet, LabelMatrix, MierBenchmark,
+        PairRef, Record, Resolution, Scale, Split,
+    };
+}

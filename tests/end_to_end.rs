@@ -1,0 +1,119 @@
+//! Cross-crate integration tests: the full pipeline — generation,
+//! featurization, baselines, FlexER — on every benchmark at tiny scale.
+
+use flexer::prelude::*;
+use flexer_core::{evaluate_intent_on_split, evaluate_on_split};
+use flexer_core::{FlexErModel, InParallelModel, MultiLabelModel, NaiveModel, PipelineContext};
+use flexer_matcher::MatcherConfig;
+
+fn all_benchmarks(seed: u64) -> Vec<MierBenchmark> {
+    vec![
+        AmazonMiConfig::at_scale(Scale::Tiny).with_seed(seed).generate(),
+        WalmartAmazonConfig::at_scale(Scale::Tiny).with_seed(seed).generate(),
+        WdcConfig::at_scale(Scale::Tiny).with_seed(seed).generate(),
+    ]
+}
+
+#[test]
+fn every_benchmark_supports_the_full_pipeline() {
+    for bench in all_benchmarks(101) {
+        let name = bench.name.clone();
+        let config = FlexErConfig::fast().with_seed(5);
+        let ctx = PipelineContext::new(bench, &config.matcher).expect("valid benchmark");
+        let base = InParallelModel::fit(&ctx, &config.matcher).expect("in-parallel fits");
+        let flexer = FlexErModel::fit_from_embeddings(&ctx, &base.embeddings(), &config)
+            .expect("flexer fits");
+        let report = evaluate_on_split(&ctx.benchmark, &flexer.predictions, Split::Test);
+        assert!(
+            report.mi_f1 > 0.5,
+            "{name}: FlexER MI-F unexpectedly low: {:.3}",
+            report.mi_f1
+        );
+        assert_eq!(flexer.predictions.n_pairs(), ctx.benchmark.n_pairs());
+        assert_eq!(flexer.predictions.n_intents(), ctx.n_intents());
+    }
+}
+
+#[test]
+fn naive_baseline_recall_collapses_on_broad_intents() {
+    // The paper's Table 5 signature: Naïve has high precision and very low
+    // recall on every benchmark (one resolution cannot serve all intents).
+    for bench in all_benchmarks(103) {
+        let name = bench.name.clone();
+        let config = MatcherConfig::fast();
+        let ctx = PipelineContext::new(bench, &config).expect("valid benchmark");
+        let naive = NaiveModel::fit(&ctx, &config).expect("naive fits");
+        let in_parallel = InParallelModel::fit(&ctx, &config).expect("in-parallel fits");
+        let naive_r = evaluate_on_split(&ctx.benchmark, &naive.predictions, Split::Test);
+        let ip_r = evaluate_on_split(&ctx.benchmark, &in_parallel.predictions, Split::Test);
+        assert!(
+            naive_r.mi_recall + 0.15 < ip_r.mi_recall,
+            "{name}: naive MI-R {:.3} not clearly below in-parallel {:.3}",
+            naive_r.mi_recall,
+            ip_r.mi_recall
+        );
+        assert!(naive_r.mi_f1 < ip_r.mi_f1, "{name}: naive should lose in MI-F");
+    }
+}
+
+#[test]
+fn multilabel_uses_single_training_phase_for_all_intents() {
+    let bench = AmazonMiConfig::at_scale(Scale::Tiny).with_seed(107).generate();
+    let config = MatcherConfig { epochs: 30, ..MatcherConfig::fast() };
+    let ctx = PipelineContext::new(bench, &config).expect("valid benchmark");
+    let ml = MultiLabelModel::fit(&ctx, &config).expect("multi-label fits");
+    assert_eq!(ml.predictions.n_intents(), ctx.n_intents());
+    let report = evaluate_on_split(&ctx.benchmark, &ml.predictions, Split::Test);
+    assert!(report.mi_f1 > 0.55, "MI-F = {:.3}", report.mi_f1);
+}
+
+#[test]
+fn predictions_respect_learned_subsumption_mostly() {
+    // FlexER is built to exploit Eq ⊆ Brand etc.; while not guaranteed pair
+    // by pair, gross violations (eq positive, every subsuming intent
+    // negative) should be rare on AmazonMI.
+    let bench = AmazonMiConfig::at_scale(Scale::Tiny).with_seed(109).generate();
+    let config = FlexErConfig::fast().with_seed(2);
+    let ctx = PipelineContext::new(bench, &config.matcher).expect("valid benchmark");
+    let flexer = FlexErModel::fit(&ctx, &config).expect("flexer fits");
+    let test = ctx.test_idx();
+    let violations = test
+        .iter()
+        .filter(|&&i| {
+            flexer.predictions.get(i, 0) // eq positive
+                && !flexer.predictions.get(i, 1) // brand negative
+                && !flexer.predictions.get(i, 3) // main-cat negative
+        })
+        .count();
+    assert!(
+        (violations as f64) < 0.1 * test.len() as f64,
+        "{violations} gross subsumption violations out of {}",
+        test.len()
+    );
+}
+
+#[test]
+fn full_determinism_across_pipeline_runs() {
+    let run = || {
+        let bench = WdcConfig::at_scale(Scale::Tiny).with_seed(111).generate();
+        let config = FlexErConfig::fast().with_seed(9);
+        let ctx = PipelineContext::new(bench, &config.matcher).expect("valid benchmark");
+        let flexer = FlexErModel::fit(&ctx, &config).expect("flexer fits");
+        flexer.predictions
+    };
+    assert_eq!(run(), run(), "pipeline must be deterministic per seed");
+}
+
+#[test]
+fn equivalence_intent_metrics_are_coherent() {
+    let bench = AmazonMiConfig::at_scale(Scale::Tiny).with_seed(113).generate();
+    let config = MatcherConfig::fast();
+    let ctx = PipelineContext::new(bench, &config).expect("valid benchmark");
+    let model = InParallelModel::fit(&ctx, &config).expect("fit");
+    let eq = ctx.equivalence_id().unwrap();
+    let single = evaluate_intent_on_split(&ctx.benchmark, &model.predictions, eq, Split::Test);
+    let multi = evaluate_on_split(&ctx.benchmark, &model.predictions, Split::Test);
+    // The MI report's per-intent slice must equal the single-intent call.
+    assert!((single.f1 - multi.per_intent[eq].f1).abs() < 1e-12);
+    assert!((single.precision - multi.per_intent[eq].precision).abs() < 1e-12);
+}

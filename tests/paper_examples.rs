@@ -1,0 +1,143 @@
+//! The paper's worked examples, verified end to end against the library:
+//! Table 1 / Example 2.1 (resolution + clean view), Example 2.3 (intent
+//! definitions), Example 2.4 (MIER solution and its clean views), and the
+//! Definition 3/4 relationships among them.
+
+use flexer::prelude::*;
+use flexer_core::clean_view;
+use flexer_types::Intent;
+
+/// Records r1..r6 of Table 1 (0-based here).
+fn table1() -> Dataset {
+    Dataset::from_records(vec![
+        Record::with_title(0, "Nike Men's Lunar Force 1 Duckboot"),
+        Record::with_title(0, "NIKE Men Lunar Force 1 Duckboot, Black/Dark Loden-BROGHT Crimson"),
+        Record::with_title(0, "NIKE Men's Air Max Stutter Step Ankle-High Basketball Shoe"),
+        Record::with_title(0, "Nike Men's Air Max 2016 Running Shoe"),
+        Record::with_title(0, "adidas Performance Men's D Rose 6 Boost Primeknit Basketball"),
+        Record::with_title(0, "The Man Who Tried to Get Away"),
+    ])
+}
+
+fn all_pairs(n: usize) -> CandidateSet {
+    let mut pairs = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            pairs.push(PairRef::new(i, j).unwrap());
+        }
+    }
+    CandidateSet::from_pairs(pairs)
+}
+
+/// Example 2.1: matcher scores 0.9 for (r1,r2), 0.8 for (r1,r3), < 0.5
+/// elsewhere; threshold 0.5 ⇒ M = {(r1,r2),(r1,r3)}, clusters
+/// {{r1,r2,r3},{r4},{r5},{r6}}, clean view {r1,r4,r5,r6}.
+#[test]
+fn example_2_1_resolution_and_clean_view() {
+    let d = table1();
+    let c = all_pairs(d.len());
+    let scores: Vec<f32> = c
+        .iter()
+        .map(|(_, p)| match (p.a, p.b) {
+            (0, 1) => 0.9,
+            (0, 2) => 0.8,
+            _ => 0.3,
+        })
+        .collect();
+    let m = Resolution::from_predictions(
+        &scores.iter().map(|&s| s > 0.5).collect::<Vec<bool>>(),
+    );
+    assert_eq!(m.len(), 2);
+    let view = clean_view(d.len(), &c, &m);
+    assert_eq!(view.clusters[0], vec![0, 1, 2]);
+    assert_eq!(view.representatives, vec![0, 3, 4, 5]);
+}
+
+/// Example 2.3/2.4: the four intents over Table 1 and their clean views
+/// {r1,r3,r4,r5,r6}, {r1,r5,r6}, {r1,r4,r6}, {r1,r4,r5,r6}.
+#[test]
+fn example_2_4_mier_solution() {
+    let d = table1();
+    let c = all_pairs(d.len());
+    // Intents as entity maps (π_eq, π_brand, π_cat, π_brand+cat).
+    let eq = EntityMap::new(vec![0, 0, 1, 2, 3, 4]);
+    let brand = EntityMap::new(vec![0, 0, 0, 0, 1, 2]);
+    let cat = EntityMap::new(vec![0, 0, 0, 1, 0, 2]);
+    let brand_cat = EntityMap::new(vec![0, 0, 0, 1, 2, 3]);
+
+    let views: Vec<Vec<usize>> = [&eq, &brand, &cat, &brand_cat]
+        .iter()
+        .map(|theta| {
+            let m = Resolution::golden(&c, theta).unwrap();
+            clean_view(d.len(), &c, &m).representatives
+        })
+        .collect();
+    assert_eq!(views[0], vec![0, 2, 3, 4, 5]); // {r1,r3,r4,r5,r6}
+    assert_eq!(views[1], vec![0, 4, 5]); // {r1,r5,r6}
+    assert_eq!(views[2], vec![0, 3, 5]); // {r1,r4,r6}
+    assert_eq!(views[3], vec![0, 3, 4, 5]); // {r1,r4,r5,r6}
+}
+
+/// §2.4's interrelationships: π_eq ⊆ π_brand; π_brand and π_cat overlap
+/// but neither subsumes the other ((r1,r5) ∈ M_cat \ M_brand).
+#[test]
+fn section_2_4_interrelationships() {
+    let d = table1();
+    let c = all_pairs(d.len());
+    let eq = Resolution::golden(&c, &EntityMap::new(vec![0, 0, 1, 2, 3, 4])).unwrap();
+    let brand = Resolution::golden(&c, &EntityMap::new(vec![0, 0, 0, 0, 1, 2])).unwrap();
+    let cat = Resolution::golden(&c, &EntityMap::new(vec![0, 0, 0, 1, 0, 2])).unwrap();
+
+    assert!(eq.subsumed_by(&brand));
+    assert!(!brand.subsumed_by(&eq));
+    assert!(brand.overlaps(&cat));
+    assert!(!brand.subsumed_by(&cat) && !cat.subsumed_by(&brand));
+
+    // The specific witness the paper names: (r1,r5) — our (0,4) — is in
+    // M_cat but not in M_brand.
+    let witness = c.iter().find(|(_, p)| (p.a, p.b) == (0, 4)).map(|(i, _)| i);
+    let idx = witness.expect("pair (r1,r5) is a candidate");
+    assert!(cat.contains(idx));
+    assert!(!brand.contains(idx));
+}
+
+/// A full MierBenchmark assembled from the Table 1 data validates and
+/// reports the expected subsumption map.
+#[test]
+fn table1_as_mier_benchmark() {
+    let d = table1();
+    let c = all_pairs(d.len());
+    let maps = vec![
+        EntityMap::new(vec![0, 0, 1, 2, 3, 4]),
+        EntityMap::new(vec![0, 0, 0, 0, 1, 2]),
+        EntityMap::new(vec![0, 0, 0, 1, 0, 2]),
+        EntityMap::new(vec![0, 0, 0, 1, 2, 3]),
+    ];
+    let columns: Vec<Vec<bool>> = maps
+        .iter()
+        .map(|t| Resolution::golden(&c, t).unwrap().mask().to_vec())
+        .collect();
+    let labels = LabelMatrix::from_columns(&columns).unwrap();
+    let splits =
+        flexer_types::SplitAssignment::random(c.len(), flexer_types::SplitRatios::PAPER, 0)
+            .unwrap();
+    let bench = MierBenchmark {
+        name: "table1".into(),
+        dataset: d,
+        candidates: c,
+        intents: IntentSet::new(vec![
+            Intent::equivalence(0),
+            Intent::named(1, "Brand"),
+            Intent::named(2, "Cat."),
+            Intent::named(3, "Brand+Cat."),
+        ]),
+        labels,
+        entity_maps: maps,
+        splits,
+    };
+    bench.validate().unwrap();
+    // Eq is subsumed by every other intent here; Brand+Cat ⊆ Brand ∩ Cat.
+    let map = bench.subsumption_map();
+    assert_eq!(map[0], vec![1, 2, 3]);
+    assert!(map[3].contains(&1) && map[3].contains(&2));
+}

@@ -1,0 +1,161 @@
+//! Property-based tests (proptest) over the core data-model invariants and
+//! the generators, spanning crates.
+
+use flexer::prelude::*;
+use flexer_core::union_find::UnionFind;
+use flexer_datasets::taxonomy::jaccard;
+use flexer_types::{SplitAssignment, SplitRatios};
+use proptest::prelude::*;
+
+fn entity_map_strategy(n: usize, max_entities: u64) -> impl Strategy<Value = EntityMap> {
+    prop::collection::vec(0..max_entities, n).prop_map(EntityMap::new)
+}
+
+fn candidate_strategy(n_records: usize, n_pairs: usize) -> impl Strategy<Value = CandidateSet> {
+    prop::collection::vec((0..n_records, 0..n_records), n_pairs).prop_map(|raw| {
+        CandidateSet::from_pairs(
+            raw.into_iter()
+                .filter(|(a, b)| a != b)
+                .map(|(a, b)| PairRef::new(a, b).unwrap())
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Definition 1: the golden resolution of θ always satisfies θ, and any
+    /// single bit-flip breaks satisfaction.
+    #[test]
+    fn golden_resolution_satisfies_theta(
+        theta in entity_map_strategy(12, 5),
+        candidates in candidate_strategy(12, 20),
+    ) {
+        let golden = Resolution::golden(&candidates, &theta).unwrap();
+        prop_assert!(golden.satisfies(&candidates, &theta).unwrap());
+        if candidates.len() > 0 {
+            let mut broken = golden.clone();
+            broken.set(0, !broken.contains(0));
+            prop_assert!(!broken.satisfies(&candidates, &theta).unwrap());
+        }
+    }
+
+    /// Subsumption (Def. 4) is reflexive and transitive; overlap (Def. 3)
+    /// is symmetric.
+    #[test]
+    fn resolution_algebra_laws(
+        a in prop::collection::vec(any::<bool>(), 16),
+        b in prop::collection::vec(any::<bool>(), 16),
+        c in prop::collection::vec(any::<bool>(), 16),
+    ) {
+        let (ra, rb, rc) = (
+            Resolution::from_mask(a),
+            Resolution::from_mask(b),
+            Resolution::from_mask(c),
+        );
+        prop_assert!(ra.subsumed_by(&ra));
+        if ra.subsumed_by(&rb) && rb.subsumed_by(&rc) {
+            prop_assert!(ra.subsumed_by(&rc));
+        }
+        prop_assert_eq!(ra.overlaps(&rb), rb.overlaps(&ra));
+        // Subsumption + non-emptiness implies overlap.
+        if !ra.is_empty() && ra.subsumed_by(&rb) {
+            prop_assert!(ra.overlaps(&rb));
+        }
+    }
+
+    /// A finer entity map's golden resolution is subsumed by a coarser
+    /// map's (merging entities only adds matches).
+    #[test]
+    fn coarsening_theta_grows_the_resolution(
+        assignments in prop::collection::vec(0u64..6, 10),
+        candidates in candidate_strategy(10, 18),
+    ) {
+        let fine = EntityMap::new(assignments.clone());
+        // Coarsen: merge entity ids by halving.
+        let coarse = EntityMap::new(assignments.iter().map(|e| e / 2).collect());
+        let m_fine = Resolution::golden(&candidates, &fine).unwrap();
+        let m_coarse = Resolution::golden(&candidates, &coarse).unwrap();
+        prop_assert!(m_fine.subsumed_by(&m_coarse));
+    }
+
+    /// Union-find clustering is a partition refinement of connectivity:
+    /// clusters cover 0..n exactly once and respect every union.
+    #[test]
+    fn union_find_partitions(
+        unions in prop::collection::vec((0usize..12, 0usize..12), 0..20),
+    ) {
+        let mut uf = UnionFind::new(12);
+        for &(a, b) in &unions {
+            uf.union(a, b);
+        }
+        let clusters = uf.clusters();
+        let mut seen: Vec<usize> = clusters.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..12).collect::<Vec<_>>());
+        for &(a, b) in &unions {
+            let ca = clusters.iter().position(|c| c.contains(&a));
+            let cb = clusters.iter().position(|c| c.contains(&b));
+            prop_assert_eq!(ca, cb);
+        }
+    }
+
+    /// Jaccard similarity is symmetric, bounded and 1 only on equal sets.
+    #[test]
+    fn jaccard_properties(
+        a in prop::collection::vec("[a-d]{1,3}", 0..6),
+        b in prop::collection::vec("[a-d]{1,3}", 0..6),
+    ) {
+        let mut a = a; a.sort(); a.dedup();
+        let mut b = b; b.sort(); b.dedup();
+        let j = jaccard(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        prop_assert!((j - jaccard(&b, &a)).abs() < 1e-12);
+        if j >= 1.0 - 1e-12 {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Split assignments always partition the pair set with exact counts.
+    #[test]
+    fn splits_partition_any_size(n in 0usize..200, seed in any::<u64>()) {
+        let s = SplitAssignment::random(n, SplitRatios::PAPER, seed).unwrap();
+        let total: usize = Split::ALL.iter().map(|&sp| s.count_of(sp)).sum();
+        prop_assert_eq!(total, n);
+        prop_assert_eq!(s.count_of(Split::Valid), n / 5);
+        prop_assert_eq!(s.count_of(Split::Test), n / 5);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Generator invariant sweep: for arbitrary seeds, every AmazonMI tiny
+    /// benchmark validates and exhibits the paper's subsumption structure.
+    #[test]
+    fn amazonmi_invariants_hold_for_any_seed(seed in 0u64..1000) {
+        let b = AmazonMiConfig::at_scale(Scale::Tiny).with_seed(seed).generate();
+        b.validate().unwrap();
+        prop_assert!(b.intent_subsumed_by(0, 1)); // Eq ⊆ Brand
+        prop_assert!(b.intent_subsumed_by(0, 2)); // Eq ⊆ Set-Cat
+        prop_assert!(b.intent_subsumed_by(2, 3)); // Set-Cat ⊆ Main-Cat
+        prop_assert!(b.intent_subsumed_by(4, 3)); // Main&Set ⊆ Main-Cat
+        // Rates stay inside generous windows around Table 4.
+        let targets = [0.15, 0.20, 0.49, 0.67, 0.49];
+        for (p, &t) in targets.iter().enumerate() {
+            let rate = b.labels.positive_rate(p);
+            prop_assert!((rate - t).abs() < 0.10, "intent {} rate {:.3}", p, rate);
+        }
+    }
+
+    /// Same sweep for WDC: category chain Eq ⊆ Cat ⊆ General.
+    #[test]
+    fn wdc_invariants_hold_for_any_seed(seed in 0u64..1000) {
+        let b = WdcConfig::at_scale(Scale::Tiny).with_seed(seed).generate();
+        b.validate().unwrap();
+        prop_assert!(b.intent_subsumed_by(0, 1));
+        prop_assert!(b.intent_subsumed_by(1, 2));
+        prop_assert!(!b.intent_subsumed_by(2, 1));
+    }
+}
