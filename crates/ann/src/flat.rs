@@ -63,10 +63,7 @@ impl VectorIndex for FlatIndex {
             if top.len() == k && dist >= top[k - 1].dist {
                 continue;
             }
-            let pos = top
-                .iter()
-                .position(|nb| dist < nb.dist)
-                .unwrap_or(top.len());
+            let pos = top.iter().position(|nb| dist < nb.dist).unwrap_or(top.len());
             top.insert(pos, Neighbor { id, dist });
             if top.len() > k {
                 top.pop();
@@ -143,6 +140,20 @@ mod tests {
         b.add(&[3.0, 4.0]);
         assert_eq!(a.len(), 2);
         assert_eq!(a.vector(1), b.vector(1));
+    }
+
+    #[test]
+    fn search_batch_matches_serial_searches_at_any_thread_count() {
+        let idx = grid_index();
+        let queries: Vec<Vec<f32>> = (0..9).map(|i| vec![i as f32 * 0.7, 0.3]).collect();
+        let refs: Vec<&[f32]> = queries.iter().map(|q| q.as_slice()).collect();
+        for threads in [1usize, 2, 5, 16] {
+            let batch = flexer_par::with_threads(threads, || idx.search_batch(&refs, 3));
+            assert_eq!(batch.len(), refs.len());
+            for (q, hits) in refs.iter().zip(&batch) {
+                assert_eq!(hits, &idx.search(q, 3), "{threads} threads");
+            }
+        }
     }
 
     #[test]

@@ -46,19 +46,13 @@ impl IvfIndex {
         assert!(dim > 0, "dimension must be positive");
         assert_eq!(rows.len() % dim, 0, "row data must be a multiple of dim");
         let n = rows.len() / dim;
-        let quantizer = KMeans::fit(rows, dim, config.nlist.max(1), config.train_iters, config.seed);
+        let quantizer =
+            KMeans::fit(rows, dim, config.nlist.max(1), config.train_iters, config.seed);
         let mut lists = vec![Vec::new(); quantizer.k.max(1)];
         for (i, &c) in quantizer.assignments.iter().enumerate() {
             lists[c].push(i);
         }
-        Self {
-            dim,
-            n,
-            quantizer,
-            lists,
-            data: rows.to_vec(),
-            nprobe: config.nprobe.max(1),
-        }
+        Self { dim, n, quantizer, lists, data: rows.to_vec(), nprobe: config.nprobe.max(1) }
     }
 
     fn vector(&self, id: usize) -> &[f32] {
@@ -171,7 +165,8 @@ mod tests {
         // The query's own vector lives in the probed (nearest) list.
         let dim = 3;
         let rows = pseudo_random_rows(90, dim, 11);
-        let ivf = IvfIndex::build(dim, &rows, IvfConfig { nlist: 6, nprobe: 1, ..Default::default() });
+        let ivf =
+            IvfIndex::build(dim, &rows, IvfConfig { nlist: 6, nprobe: 1, ..Default::default() });
         for q in [0usize, 13, 57] {
             let query = &rows[q * dim..(q + 1) * dim];
             let hits = ivf.search(query, 1);

@@ -56,10 +56,10 @@ impl KMeans {
             };
             centroids.extend_from_slice(row(pick));
             let c = centroids.len() / dim - 1;
-            for i in 0..n {
+            for (i, md) in min_dist.iter_mut().enumerate() {
                 let d = l2_sq(row(i), &centroids[c * dim..(c + 1) * dim]);
-                if d < min_dist[i] {
-                    min_dist[i] = d;
+                if d < *md {
+                    *md = d;
                 }
             }
         }
@@ -68,7 +68,7 @@ impl KMeans {
         let mut assignments = vec![0usize; n];
         for _ in 0..max_iters {
             let mut changed = false;
-            for i in 0..n {
+            for (i, a) in assignments.iter_mut().enumerate() {
                 let mut best = (f32::INFINITY, 0usize);
                 for c in 0..k {
                     let d = l2_sq(row(i), &centroids[c * dim..(c + 1) * dim]);
@@ -76,8 +76,8 @@ impl KMeans {
                         best = (d, c);
                     }
                 }
-                if assignments[i] != best.1 {
-                    assignments[i] = best.1;
+                if *a != best.1 {
+                    *a = best.1;
                     changed = true;
                 }
             }
@@ -86,8 +86,7 @@ impl KMeans {
             }
             let mut sums = vec![0.0f32; k * dim];
             let mut counts = vec![0usize; k];
-            for i in 0..n {
-                let c = assignments[i];
+            for (i, &c) in assignments.iter().enumerate() {
                 counts[c] += 1;
                 for (s, &v) in sums[c * dim..(c + 1) * dim].iter_mut().zip(row(i)) {
                     *s += v;

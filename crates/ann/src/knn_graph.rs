@@ -10,22 +10,23 @@ use crate::{Neighbor, VectorIndex};
 /// `n − 1`. Edges are directional: `j ∈ out[i]` does not imply
 /// `i ∈ out[j]` — matching the paper's note that intra-layer edges are not
 /// symmetric.
-pub fn knn_graph<I: VectorIndex + StoredVectors>(index: &I, k: usize) -> Vec<Vec<usize>> {
+///
+/// The per-node searches are independent and fan out across the
+/// `flexer-par` thread budget; each node runs the exact serial search, so
+/// the edge lists are identical at any thread count.
+pub fn knn_graph<I: VectorIndex + StoredVectors + Sync>(index: &I, k: usize) -> Vec<Vec<usize>> {
     let n = index.len();
     let k = k.min(n.saturating_sub(1));
-    let mut out = Vec::with_capacity(n);
-    for i in 0..n {
-        if k == 0 {
-            out.push(Vec::new());
-            continue;
-        }
+    if k == 0 {
+        return vec![Vec::new(); n];
+    }
+    flexer_par::parallel_map(n, |i| {
         // Ask for k+1 to absorb the self hit, then drop it.
         let hits: Vec<Neighbor> = index.search(index.stored(i), k + 1);
         let mut ids: Vec<usize> = hits.into_iter().map(|h| h.id).filter(|&id| id != i).collect();
         ids.truncate(k);
-        out.push(ids);
-    }
-    out
+        ids
+    })
 }
 
 /// Indexes that expose their stored vectors (needed to query each point

@@ -50,4 +50,18 @@ pub trait VectorIndex {
     /// Returns up to `k` nearest stored vectors to `query`, ascending by
     /// distance, ties broken by ascending id.
     fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor>;
+
+    /// Multi-query search: one result list per query, in query order.
+    /// Queries are independent, so they fan out across the `flexer-par`
+    /// thread budget; each query runs the exact single-query [`search`],
+    /// making the result bit-identical to a serial loop at any thread
+    /// count.
+    ///
+    /// [`search`]: VectorIndex::search
+    fn search_batch(&self, queries: &[&[f32]], k: usize) -> Vec<Vec<Neighbor>>
+    where
+        Self: Sync + Sized,
+    {
+        flexer_par::parallel_map(queries.len(), |q| self.search(queries[q], k))
+    }
 }

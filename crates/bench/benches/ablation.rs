@@ -34,9 +34,7 @@ fn bench_ablation(c: &mut Criterion) {
         let trained = BinaryMatcher::train(&corpus, &labels, &train, &valid, &config);
         eprintln!("[ablation] {label}: valid F1 = {:.3}", trained.best_valid_f1);
         group.bench_function(label, |b| {
-            b.iter(|| {
-                BinaryMatcher::train(&corpus, &labels, &train, &valid, &config).best_valid_f1
-            })
+            b.iter(|| BinaryMatcher::train(&corpus, &labels, &train, &valid, &config).best_valid_f1)
         });
     }
 
@@ -71,9 +69,7 @@ fn bench_ablation(c: &mut Criterion) {
         let f1 = evaluate_intent_on_split(&ctx.benchmark, &preds, 0, Split::Test).f1;
         eprintln!("[ablation] {label}: test F1 = {f1:.3}");
         group.bench_function(label, |b| {
-            b.iter(|| {
-                train_for_intent(&graph, 0, &labels, &train, &valid, &config).best_valid_f1
-            })
+            b.iter(|| train_for_intent(&graph, 0, &labels, &train, &valid, &config).best_valid_f1)
         });
     }
     group.finish();

@@ -22,18 +22,22 @@ fn bench_gnn(c: &mut Criterion) {
     let mut group = c.benchmark_group("gnn_train");
     group.sample_size(10);
     for &layers in &[2usize, 3] {
-        group.bench_with_input(BenchmarkId::new("epochs10", format!("{layers}L")), &layers, |b, &l| {
-            b.iter(|| {
-                let config = GnnConfig {
-                    n_layers: l,
-                    hidden_dim: 32,
-                    epochs: 10,
-                    patience: 10,
-                    ..Default::default()
-                };
-                train_for_intent(&graph, 0, &labels, &train, &valid, &config).best_valid_f1
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("epochs10", format!("{layers}L")),
+            &layers,
+            |b, &l| {
+                b.iter(|| {
+                    let config = GnnConfig {
+                        n_layers: l,
+                        hidden_dim: 32,
+                        epochs: 10,
+                        patience: 10,
+                        ..Default::default()
+                    };
+                    train_for_intent(&graph, 0, &labels, &train, &valid, &config).best_valid_f1
+                })
+            },
+        );
     }
     group.finish();
 }

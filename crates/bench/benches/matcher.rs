@@ -23,9 +23,7 @@ fn bench_matcher(c: &mut Criterion) {
         b.iter(|| PairCorpus::from_benchmark(&bench, &config).len())
     });
     group.bench_function("train_binary", |b| {
-        b.iter(|| {
-            BinaryMatcher::train(&corpus, &labels, &train, &valid, &config).best_valid_f1
-        })
+        b.iter(|| BinaryMatcher::train(&corpus, &labels, &train, &valid, &config).best_valid_f1)
     });
     group.bench_function("infer_all_pairs", |b| {
         b.iter(|| trained.infer(&corpus.features).preds.len())

@@ -30,8 +30,7 @@ fn main() {
 
         // Every subset of the non-eq intents, combined with eq (§5.5.1).
         let others: Vec<usize> = (0..ctx.n_intents()).filter(|&p| p != eq).collect();
-        let mut table =
-            TextTable::new(&["Intents", &format!("F1 (k={best_k})"), "F1 (avg k)"]);
+        let mut table = TextTable::new(&["Intents", &format!("F1 (k={best_k})"), "F1 (avg k)"]);
         let mut best_full = (String::new(), f64::MIN);
         for mask in 1u32..(1 << others.len()) {
             let mut subset = vec![eq];
@@ -42,14 +41,9 @@ fn main() {
             }
             let f1_at = |k: usize| -> f64 {
                 let config = flexer_config(args.scale, args.seed).with_k(k);
-                let trained = FlexErModel::fit_subset_for_target(
-                    &ctx,
-                    &embeddings,
-                    &subset,
-                    eq,
-                    &config,
-                )
-                .expect("subset fit");
+                let trained =
+                    FlexErModel::fit_subset_for_target(&ctx, &embeddings, &subset, eq, &config)
+                        .expect("subset fit");
                 let mut preds = flexer_types::LabelMatrix::zeros(ctx.benchmark.n_pairs(), 1);
                 for (i, &p) in trained.preds.iter().enumerate() {
                     preds.set(i, 0, p);
@@ -64,11 +58,8 @@ fn main() {
             };
             let at_best = f1_at(best_k);
             let avg = K_VALUES.iter().map(|&k| f1_at(k)).sum::<f64>() / K_VALUES.len() as f64;
-            let label: String = subset
-                .iter()
-                .map(|&p| (p + 1).to_string())
-                .collect::<Vec<_>>()
-                .join("");
+            let label: String =
+                subset.iter().map(|&p| (p + 1).to_string()).collect::<Vec<_>>().join("");
             eprintln!("[fig6]   {} intents={label}: best-k={at_best:.3} avg={avg:.3}", kind.name());
             // Ties break toward the larger (later-enumerated) subset so a
             // full-set tie is reported as the full set.

@@ -44,7 +44,12 @@ fn main() {
         ("SET_MAIN_CAT", 4, (2.0e-3, 2.1e-2)),
     ];
     let mut table = TextTable::new(&[
-        "Intent", "FlexER PE", "In-parallel PE", "ratio", "| PAPER FlexER", "In-parallel",
+        "Intent",
+        "FlexER PE",
+        "In-parallel PE",
+        "ratio",
+        "| PAPER FlexER",
+        "In-parallel",
     ]);
     let mut wins = 0usize;
     let mut losses = 0usize;

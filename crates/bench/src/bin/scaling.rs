@@ -1,0 +1,126 @@
+//! Thread-scaling harness for the parallel execution layer: times
+//! `FlexErModel::fit_from_embeddings` (the per-intent GNN fan-out, §4.3)
+//! and the in-parallel base fit under increasing thread budgets, verifying
+//! bit-identical predictions against the single-thread run.
+//!
+//! ```text
+//! cargo run --release --bin scaling -- --scale small --seed 17 [--threads 1,2,4,8]
+//! ```
+
+use flexer_bench::{flexer_config, matcher_config, DatasetKind};
+use flexer_core::{FlexErModel, InParallelModel, PipelineContext};
+use flexer_nn::Matrix;
+use flexer_types::Scale;
+use std::time::Instant;
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: scaling [--scale tiny|small|paper] [--seed N] [--threads 1,2,4,8]");
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut thread_counts = vec![1usize, 2, 4, 8];
+    let mut scale = Scale::Small;
+    let mut seed = 17u64;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                i += 1;
+                let list = args.get(i).unwrap_or_else(|| usage("--threads expects a list"));
+                thread_counts = list
+                    .split(',')
+                    .map(|t| t.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .unwrap_or_else(|_| usage("--threads expects positive integers"));
+                thread_counts.retain(|&t| t > 0);
+                if thread_counts.is_empty() {
+                    usage("--threads expects at least one positive count");
+                }
+            }
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| Scale::parse(s))
+                    .unwrap_or_else(|| usage("--scale expects tiny|small|paper"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed expects an integer"));
+            }
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    println!("== FlexER reproduction :: parallel scaling ==");
+    println!(
+        "scale = {scale}, seed = {seed}, hardware threads = {}",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    println!();
+
+    let bench = DatasetKind::AmazonMi.generate(scale, seed);
+    let mcfg = matcher_config(scale, seed);
+    let fcfg = flexer_config(scale, seed);
+    let ctx = PipelineContext::new(bench, &mcfg).expect("valid benchmark");
+
+    // The representation stage once, up front (shared across FlexER runs,
+    // as the paper reuses its DITTO representations).
+    let t0 = Instant::now();
+    let base = flexer_par::with_threads(1, || InParallelModel::fit(&ctx, &mcfg)).expect("base fit");
+    let base_serial = t0.elapsed();
+    println!("in-parallel base fit, 1 thread:  {base_serial:?}");
+    let embeddings: Vec<&Matrix> = base.embeddings();
+
+    let mut reference = None;
+    let mut serial_secs = 0.0f64;
+    println!();
+    println!("FlexErModel::fit_from_embeddings (P = {} intents):", ctx.n_intents());
+    for &threads in &thread_counts {
+        let t0 = Instant::now();
+        let model = flexer_par::with_threads(threads, || {
+            FlexErModel::fit_from_embeddings(&ctx, &embeddings, &fcfg)
+        })
+        .expect("flexer fit");
+        let elapsed = t0.elapsed();
+        let secs = elapsed.as_secs_f64();
+        match &reference {
+            None => {
+                serial_secs = secs;
+                reference = Some(model.predictions.clone());
+                println!("  {threads:>2} thread(s): {elapsed:>10.3?}   (reference)");
+            }
+            Some(want) => {
+                let identical = *want == model.predictions;
+                println!(
+                    "  {threads:>2} thread(s): {elapsed:>10.3?}   speedup ×{:.2}   bit-identical: {}",
+                    serial_secs / secs,
+                    if identical { "yes" } else { "NO — BUG" },
+                );
+                assert!(identical, "predictions diverged at {threads} threads");
+            }
+        }
+    }
+
+    // The per-intent matcher fan-out, for the same thread sweep.
+    println!();
+    println!("InParallelModel::fit (P matcher trainings):");
+    for &threads in &thread_counts {
+        let t0 = Instant::now();
+        let model =
+            flexer_par::with_threads(threads, || InParallelModel::fit(&ctx, &mcfg)).expect("fit");
+        let elapsed = t0.elapsed();
+        assert_eq!(model.predictions, base.predictions, "diverged at {threads} threads");
+        println!("  {threads:>2} thread(s): {elapsed:>10.3?}");
+    }
+}

@@ -14,7 +14,13 @@ fn main() {
         let bench = kind.generate(args.scale, args.seed);
         println!("{}", kind.name());
         let mut table = TextTable::new(&[
-            "Intent", "Train", "Valid", "Test", "PAPER Train", "PAPER Valid", "PAPER Test",
+            "Intent",
+            "Train",
+            "Valid",
+            "Test",
+            "PAPER Train",
+            "PAPER Valid",
+            "PAPER Test",
         ]);
         for (p, (name, paper)) in kind.paper_positive_rates().iter().enumerate() {
             let ours: Vec<String> = Split::ALL

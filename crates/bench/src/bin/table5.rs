@@ -19,15 +19,12 @@ fn main() {
         let suite = ModelSuite::fit(bench, args.scale, args.seed);
 
         let mut table = TextTable::new(&[
-            "Model", "MI-P", "MI-R", "MI-F", "MI-Acc", "MI-EF", "| PAPER", "MI-P", "MI-R",
-            "MI-F", "MI-Acc", "MI-EF",
+            "Model", "MI-P", "MI-R", "MI-F", "MI-Acc", "MI-EF", "| PAPER", "MI-P", "MI-R", "MI-F",
+            "MI-Acc", "MI-EF",
         ]);
-        let baseline_f1 = evaluate_on_split(
-            &suite.ctx.benchmark,
-            &suite.in_parallel.predictions,
-            Split::Test,
-        )
-        .mi_f1;
+        let baseline_f1 =
+            evaluate_on_split(&suite.ctx.benchmark, &suite.in_parallel.predictions, Split::Test)
+                .mi_f1;
         for ((name, preds), (_, paper)) in suite.rows().iter().zip(kind.paper_table5()) {
             let r = evaluate_on_split(&suite.ctx.benchmark, preds, Split::Test);
             let ef = if *name == "FlexER" {
@@ -35,8 +32,7 @@ fn main() {
             } else {
                 "-".to_string()
             };
-            let paper_ef =
-                if paper[4].is_nan() { "-".to_string() } else { fmt_percent(paper[4]) };
+            let paper_ef = if paper[4].is_nan() { "-".to_string() } else { fmt_percent(paper[4]) };
             table.row(&[
                 name.to_string(),
                 fmt_metric(r.mi_precision),

@@ -23,9 +23,13 @@ fn main() {
             ("Multi-label", &suite.multi_label.predictions),
             ("FlexER", &suite.flexer.predictions),
         ];
-        let baseline =
-            evaluate_intent_on_split(&suite.ctx.benchmark, &suite.in_parallel.predictions, eq, Split::Test)
-                .f1;
+        let baseline = evaluate_intent_on_split(
+            &suite.ctx.benchmark,
+            &suite.in_parallel.predictions,
+            eq,
+            Split::Test,
+        )
+        .f1;
         let mut table = TextTable::new(&[
             "Model", "P", "R", "F", "Acc", "EF", "| PAPER", "P", "R", "F", "Acc", "EF",
         ]);
@@ -36,8 +40,7 @@ fn main() {
             } else {
                 "-".to_string()
             };
-            let paper_ef =
-                if paper[4].is_nan() { "-".to_string() } else { fmt_percent(paper[4]) };
+            let paper_ef = if paper[4].is_nan() { "-".to_string() } else { fmt_percent(paper[4]) };
             table.row(&[
                 name.to_string(),
                 fmt_metric(r.precision),

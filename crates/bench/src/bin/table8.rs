@@ -16,9 +16,8 @@ fn main() {
     let args = HarnessArgs::parse();
     banner("Table 8: analysis of k value (equivalence-intent F1)", &args);
 
-    let mut table = TextTable::new(&[
-        "Dataset", "k=0", "avg k>0", "best k>0", "| PAPER", "k=0", "avg k>0",
-    ]);
+    let mut table =
+        TextTable::new(&["Dataset", "k=0", "avg k>0", "best k>0", "| PAPER", "k=0", "avg k>0"]);
     for kind in DatasetKind::ALL {
         let bench = kind.generate(args.scale, args.seed);
         eprintln!("[table8] sweeping k on {}...", kind.name());
@@ -30,8 +29,8 @@ fn main() {
 
         let f1_at = |k: usize| -> f64 {
             let config = flexer_config(args.scale, args.seed).with_k(k);
-            let model = FlexErModel::fit_from_embeddings(&ctx, &embeddings, &config)
-                .expect("fit flexer");
+            let model =
+                FlexErModel::fit_from_embeddings(&ctx, &embeddings, &config).expect("fit flexer");
             evaluate_intent_on_split(&ctx.benchmark, &model.predictions, eq, Split::Test).f1
         };
         let f0 = f1_at(0);

@@ -35,8 +35,7 @@ fn main() {
         let mcfg = matcher_config(args.scale, args.seed);
         let ctx = PipelineContext::new(bench, &mcfg).expect("valid benchmark");
         let base = InParallelModel::fit(&ctx, &mcfg).expect("fit in-parallel");
-        let embeddings: Vec<Matrix> =
-            base.outputs.iter().map(|o| o.embeddings.clone()).collect();
+        let embeddings: Vec<Matrix> = base.outputs.iter().map(|o| o.embeddings.clone()).collect();
         let eq = ctx.equivalence_id().expect("Eq. declared");
         let config = flexer_config(args.scale, args.seed);
 

@@ -47,7 +47,7 @@ impl HarnessArgs {
                         .and_then(|s| s.parse().ok())
                         .unwrap_or_else(|| usage("--seed expects an integer"));
                 }
-                "--help" | "-h" => usage("")            ,
+                "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument {other}")),
             }
             i += 1;
@@ -198,7 +198,11 @@ impl DatasetKind {
                 ("Main-Cat.", "DITTO (In-parallel)", [0.979, 0.989, 0.984, 0.978, f64::NAN]),
                 ("Main-Cat.", "Multi-label", [0.945, 0.993, 0.969, 0.957, f64::NAN]),
                 ("Main-Cat.", "FlexER", [0.988, 0.987, 0.988, 0.983, 25.0]),
-                ("Main-Cat. & Set-Cat.", "DITTO (In-parallel)", [0.881, 0.948, 0.913, 0.937, f64::NAN]),
+                (
+                    "Main-Cat. & Set-Cat.",
+                    "DITTO (In-parallel)",
+                    [0.881, 0.948, 0.913, 0.937, f64::NAN],
+                ),
                 ("Main-Cat. & Set-Cat.", "Multi-label", [0.650, 0.993, 0.786, 0.815, f64::NAN]),
                 ("Main-Cat. & Set-Cat.", "FlexER", [0.932, 0.955, 0.944, 0.961, 35.6]),
             ],
@@ -284,8 +288,12 @@ pub fn matcher_config(scale: Scale, seed: u64) -> MatcherConfig {
 pub fn gnn_config(scale: Scale, seed: u64) -> GnnConfig {
     let base = match scale {
         Scale::Tiny => GnnConfig { hidden_dim: 32, epochs: 80, patience: 20, ..Default::default() },
-        Scale::Small => GnnConfig { hidden_dim: 64, epochs: 150, patience: 20, ..Default::default() },
-        Scale::Paper => GnnConfig { hidden_dim: 100, epochs: 150, patience: 25, ..Default::default() },
+        Scale::Small => {
+            GnnConfig { hidden_dim: 64, epochs: 150, patience: 20, ..Default::default() }
+        }
+        Scale::Paper => {
+            GnnConfig { hidden_dim: 100, epochs: 150, patience: 25, ..Default::default() }
+        }
     };
     base.with_seed(seed)
 }

@@ -90,8 +90,7 @@ impl ChainModel {
             let features = SparseMatrix::from_rows(total_dim, &rows);
             let labels = ctx.benchmark.labels.column(intent);
             let seed = config.seed.wrapping_add(0xC4A1).wrapping_add(intent as u64);
-            let (scores, preds) =
-                train_link(&features, &labels, &train, &valid, config, seed);
+            let (scores, preds) = train_link(&features, &labels, &train, &valid, config, seed);
             chain_scores.push(scores.clone());
             scores_by_intent[intent] = scores;
             preds_by_intent[intent] = preds;

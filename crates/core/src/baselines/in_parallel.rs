@@ -23,19 +23,26 @@ pub struct InParallelModel {
 
 impl InParallelModel {
     /// Trains `P` matchers, one per intent, each from its own seed so the
-    /// latent spaces are independent (§4.1.1).
+    /// latent spaces are independent (§4.1.1). The per-intent trainings are
+    /// fully independent (binary relevance), so they fan out across the
+    /// `flexer-par` thread budget; every intent keeps the same derived seed
+    /// as the serial loop, making the result bit-identical at any thread
+    /// count.
     pub fn fit(ctx: &PipelineContext, config: &MatcherConfig) -> Result<Self, CoreError> {
         let train = ctx.train_idx();
         let valid = ctx.valid_idx();
-        let mut matchers = Vec::with_capacity(ctx.n_intents());
-        let mut outputs = Vec::with_capacity(ctx.n_intents());
-        let mut columns: Vec<Vec<bool>> = Vec::with_capacity(ctx.n_intents());
-        for p in 0..ctx.n_intents() {
+        let fitted = flexer_par::parallel_map(ctx.n_intents(), |p| {
             let labels = ctx.benchmark.labels.column(p);
             let intent_config = config.clone().with_seed(config.seed.wrapping_add(p as u64));
             let matcher =
                 BinaryMatcher::train(&ctx.corpus, &labels, &train, &valid, &intent_config);
             let output = matcher.infer(&ctx.corpus.features);
+            (matcher, output)
+        });
+        let mut matchers = Vec::with_capacity(fitted.len());
+        let mut outputs = Vec::with_capacity(fitted.len());
+        let mut columns: Vec<Vec<bool>> = Vec::with_capacity(fitted.len());
+        for (matcher, output) in fitted {
             columns.push(output.preds.clone());
             matchers.push(matcher);
             outputs.push(output);

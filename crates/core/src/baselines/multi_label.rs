@@ -22,7 +22,10 @@ pub struct MultiLabelModel {
 }
 
 impl MultiLabelModel {
-    /// Trains the multi-task network on all intents jointly.
+    /// Trains the multi-task network on all intents jointly. Training is a
+    /// single shared phase (§3.3), but the per-intent head inferences over
+    /// the full candidate set are independent and fan out across the
+    /// `flexer-par` thread budget.
     pub fn fit(ctx: &PipelineContext, config: &MatcherConfig) -> Result<Self, CoreError> {
         let matcher = MultiTaskMatcher::train(
             &ctx.corpus,
@@ -31,9 +34,9 @@ impl MultiLabelModel {
             &ctx.valid_idx(),
             config,
         );
-        let outputs: Vec<MatcherOutput> = (0..ctx.n_intents())
-            .map(|p| matcher.infer_intent(&ctx.corpus.features, p))
-            .collect();
+        let outputs: Vec<MatcherOutput> = flexer_par::parallel_map(ctx.n_intents(), |p| {
+            matcher.infer_intent(&ctx.corpus.features, p)
+        });
         let columns: Vec<Vec<bool>> = outputs.iter().map(|o| o.preds.clone()).collect();
         let predictions = LabelMatrix::from_columns(&columns).expect("P >= 1");
         Ok(Self { matcher, outputs, predictions })

@@ -26,13 +26,8 @@ impl NaiveModel {
     pub fn fit(ctx: &PipelineContext, config: &MatcherConfig) -> Result<Self, CoreError> {
         let eq = ctx.equivalence_id()?;
         let labels = ctx.benchmark.labels.column(eq);
-        let matcher = BinaryMatcher::train(
-            &ctx.corpus,
-            &labels,
-            &ctx.train_idx(),
-            &ctx.valid_idx(),
-            config,
-        );
+        let matcher =
+            BinaryMatcher::train(&ctx.corpus, &labels, &ctx.train_idx(), &ctx.valid_idx(), config);
         let output = matcher.infer(&ctx.corpus.features);
         let columns: Vec<Vec<bool>> = (0..ctx.n_intents()).map(|_| output.preds.clone()).collect();
         let predictions = LabelMatrix::from_columns(&columns).expect("P >= 1");
@@ -86,8 +81,7 @@ mod tests {
         let config = MatcherConfig::fast();
         let mut ctx = PipelineContext::new(bench, &config).unwrap();
         // Strip the equivalence flag.
-        let names: Vec<String> =
-            ctx.benchmark.intents.iter().map(|i| i.name.clone()).collect();
+        let names: Vec<String> = ctx.benchmark.intents.iter().map(|i| i.name.clone()).collect();
         ctx.benchmark.intents = flexer_types::IntentSet::new(
             names
                 .into_iter()
@@ -95,9 +89,6 @@ mod tests {
                 .map(|(i, name)| flexer_types::Intent { id: i, name, is_equivalence: false })
                 .collect(),
         );
-        assert!(matches!(
-            NaiveModel::fit(&ctx, &config),
-            Err(CoreError::NoEquivalenceIntent)
-        ));
+        assert!(matches!(NaiveModel::fit(&ctx, &config), Err(CoreError::NoEquivalenceIntent)));
     }
 }

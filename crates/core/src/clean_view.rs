@@ -40,9 +40,7 @@ mod tests {
     use flexer_types::PairRef;
 
     fn candidates(pairs: &[(usize, usize)]) -> CandidateSet {
-        CandidateSet::from_pairs(
-            pairs.iter().map(|&(a, b)| PairRef::new(a, b).unwrap()).collect(),
-        )
+        CandidateSet::from_pairs(pairs.iter().map(|&(a, b)| PairRef::new(a, b).unwrap()).collect())
     }
 
     /// Example 2.1: M = {(r1,r2), (r1,r3)} over six records clusters into
@@ -53,10 +51,7 @@ mod tests {
         let c = candidates(&[(0, 1), (0, 2), (0, 3), (3, 4), (4, 5)]);
         let m = Resolution::from_indices(c.len(), &[0, 1]); // (r1,r2), (r1,r3)
         let view = clean_view(6, &c, &m);
-        assert_eq!(
-            view.clusters,
-            vec![vec![0, 1, 2], vec![3], vec![4], vec![5]]
-        );
+        assert_eq!(view.clusters, vec![vec![0, 1, 2], vec![3], vec![4], vec![5]]);
         assert_eq!(view.representatives, vec![0, 3, 4, 5]);
     }
 

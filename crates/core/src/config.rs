@@ -43,12 +43,7 @@ impl Default for FlexErConfig {
 impl FlexErConfig {
     /// A fast preset for unit tests.
     pub fn fast() -> Self {
-        Self {
-            matcher: MatcherConfig::fast(),
-            gnn: GnnConfig::fast(),
-            k: 4,
-            ..Default::default()
-        }
+        Self { matcher: MatcherConfig::fast(), gnn: GnnConfig::fast(), k: 4, ..Default::default() }
     }
 
     /// Sets `k`.

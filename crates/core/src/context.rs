@@ -52,10 +52,7 @@ impl PipelineContext {
 
     /// The equivalence intent id, or an error for benchmarks without one.
     pub fn equivalence_id(&self) -> Result<usize, CoreError> {
-        self.benchmark
-            .intents
-            .equivalence_id()
-            .ok_or(CoreError::NoEquivalenceIntent)
+        self.benchmark.intents.equivalence_id().ok_or(CoreError::NoEquivalenceIntent)
     }
 }
 

@@ -7,6 +7,13 @@
 //! *prediction per intent* — "FlexER is trained over P versions of the same
 //! graph, one for each intent, to allow proper fine-tuning with respect to
 //! the target intent" (§4.3).
+//!
+//! The *P* per-intent GNNs are trained on independent copies of the model
+//! state over a shared read-only graph, so [`FlexErModel::fit_from_embeddings`]
+//! fans them out across the `flexer-par` thread budget. Each intent keeps
+//! its own derived seed (`gnn.seed + p`), exactly as in the serial loop, so
+//! predictions are bit-identical for any thread count (set
+//! `RAYON_NUM_THREADS=1` to force serial execution).
 
 use crate::baselines::in_parallel::InParallelModel;
 use crate::baselines::multi_label::MultiLabelModel;
@@ -58,19 +65,20 @@ impl FlexErModel {
         if embeddings.len() != n_intents {
             return Err(CoreError::IntentOutOfRange(embeddings.len(), n_intents));
         }
-        let owned: Vec<Matrix> = embeddings.iter().map(|e| (*e).clone()).collect();
-        let graph = build_intent_graph(&owned, config.k);
+        // Graph construction borrows the embeddings directly — no
+        // P × |C| × d copy of the representation matrices.
+        let graph = build_intent_graph(embeddings, config.k);
         let train = ctx.train_idx();
         let valid = ctx.valid_idx();
-        let mut trained = Vec::with_capacity(n_intents);
-        let mut columns = Vec::with_capacity(n_intents);
-        for p in 0..n_intents {
+        // "P versions of the same graph": the per-intent trainings share the
+        // read-only graph and are independent, so fan them out. Each keeps
+        // the same derived seed as the serial loop ⇒ bit-identical output.
+        let trained = flexer_par::parallel_map(n_intents, |p| {
             let labels = ctx.benchmark.labels.column(p);
             let gnn_config = config.gnn.clone().with_seed(config.gnn.seed.wrapping_add(p as u64));
-            let t = train_for_intent(&graph, p, &labels, &train, &valid, &gnn_config);
-            columns.push(t.preds.clone());
-            trained.push(t);
-        }
+            train_for_intent(&graph, p, &labels, &train, &valid, &gnn_config)
+        });
+        let columns: Vec<Vec<bool>> = trained.iter().map(|t| t.preds.clone()).collect();
         let predictions = LabelMatrix::from_columns(&columns).expect("P >= 1");
         Ok(Self { graph, trained, predictions })
     }
@@ -103,8 +111,8 @@ impl FlexErModel {
             .iter()
             .position(|&p| p == target)
             .ok_or(CoreError::IntentOutOfRange(target, subset.len()))?;
-        let owned: Vec<Matrix> = subset.iter().map(|&p| embeddings[p].clone()).collect();
-        let graph = build_intent_graph(&owned, config.k);
+        let layers: Vec<&Matrix> = subset.iter().map(|&p| embeddings[p]).collect();
+        let graph = build_intent_graph(&layers, config.k);
         let labels = ctx.benchmark.labels.column(target);
         let gnn_config = config.gnn.clone().with_seed(config.gnn.seed.wrapping_add(target as u64));
         Ok(train_for_intent(
@@ -149,14 +157,9 @@ mod tests {
     fn subset_fit_trains_requested_target() {
         let (ctx, base, config) = setup();
         let eq = ctx.equivalence_id().unwrap();
-        let trained = FlexErModel::fit_subset_for_target(
-            &ctx,
-            &base.embeddings(),
-            &[eq, 1],
-            eq,
-            &config,
-        )
-        .unwrap();
+        let trained =
+            FlexErModel::fit_subset_for_target(&ctx, &base.embeddings(), &[eq, 1], eq, &config)
+                .unwrap();
         assert_eq!(trained.preds.len(), ctx.benchmark.n_pairs());
         assert!(trained.best_valid_f1 > 0.0);
     }

@@ -138,10 +138,7 @@ mod tests {
         let targets = [0.15, 0.20, 0.49, 0.67, 0.49];
         for (p, &target) in targets.iter().enumerate() {
             let rate = b.labels.positive_rate(p);
-            assert!(
-                (rate - target).abs() < 0.08,
-                "intent {p}: rate {rate:.3} vs target {target}"
-            );
+            assert!((rate - target).abs() < 0.08, "intent {p}: rate {rate:.3} vs target {target}");
         }
     }
 
@@ -178,7 +175,9 @@ mod tests {
         // Per-class rounding may overshoot by at most one pair per class.
         assert!(b.n_pairs() <= target_pairs + AmazonMiConfig::mixture().len());
         let target_records = Scale::Tiny.scaled(PAPER_RECORDS);
-        assert!((b.dataset.len() as f64 - target_records as f64).abs() < 0.35 * target_records as f64);
+        assert!(
+            (b.dataset.len() as f64 - target_records as f64).abs() < 0.35 * target_records as f64
+        );
     }
 
     #[test]

@@ -104,10 +104,8 @@ impl NGramBlocker {
         left: &[RecordId],
         right: &[RecordId],
     ) -> Vec<PairRef> {
-        let right_sets: Vec<(RecordId, HashSet<u64>)> = right
-            .iter()
-            .map(|&r| (r, self.gram_set(dataset[r].title())))
-            .collect();
+        let right_sets: Vec<(RecordId, HashSet<u64>)> =
+            right.iter().map(|&r| (r, self.gram_set(dataset[r].title()))).collect();
         let mut out = Vec::new();
         for &l in left {
             let gl = self.gram_set(dataset[l].title());

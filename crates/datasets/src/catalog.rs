@@ -42,11 +42,7 @@ impl RecordCountDist {
     /// Expected number of records per product.
     pub fn expected(&self) -> f64 {
         let total: f64 = self.0.iter().sum();
-        self.0
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (i + 1) as f64 * p / total)
-            .sum()
+        self.0.iter().enumerate().map(|(i, &p)| (i + 1) as f64 * p / total).sum()
     }
 
     fn sample(&self, rng: &mut impl Rng) -> usize {
@@ -206,9 +202,7 @@ impl Catalog {
 
     /// A uniformly random record of a product.
     pub fn random_record_of(&self, product: usize, rng: &mut impl Rng) -> RecordId {
-        *self.records_of[product]
-            .choose(rng)
-            .expect("every product has at least one record")
+        *self.records_of[product].choose(rng).expect("every product has at least one record")
     }
 
     /// All within-product record pairs — the exhaustive duplicate-pair pool.
@@ -243,7 +237,8 @@ fn synth_title(
     match pool {
         BrandPool::Books => {
             let opener = vocab::BOOK_OPENERS[serial % vocab::BOOK_OPENERS.len()];
-            let closer = vocab::BOOK_CLOSERS[(serial / vocab::BOOK_OPENERS.len()) % vocab::BOOK_CLOSERS.len()];
+            let closer = vocab::BOOK_CLOSERS
+                [(serial / vocab::BOOK_OPENERS.len()) % vocab::BOOK_CLOSERS.len()];
             let vol = serial / (vocab::BOOK_OPENERS.len() * vocab::BOOK_CLOSERS.len());
             let mut title = if vol > 0 {
                 format!("{opener} {closer}, Vol. {}", vol + 1)

@@ -199,17 +199,15 @@ mod tests {
         let c = catalog(amazonmi_spec(), 4);
         // Two books with the 'book' pseudo-brand correspond under Brand even
         // though they are different products.
-        let books: Vec<usize> = (0..c.n_records())
-            .filter(|&r| c.products[c.product_of[r]].brand == "book")
-            .collect();
+        let books: Vec<usize> =
+            (0..c.n_records()).filter(|&r| c.products[c.product_of[r]].brand == "book").collect();
         if books.len() >= 2 {
             let theta = IntentDef::SameBrand.entity_map(&c);
             assert!(theta.corresponds(books[0], books[1]).unwrap());
         }
         // book vs Kindle differ.
-        let kindles: Vec<usize> = (0..c.n_records())
-            .filter(|&r| c.products[c.product_of[r]].brand == "Kindle")
-            .collect();
+        let kindles: Vec<usize> =
+            (0..c.n_records()).filter(|&r| c.products[c.product_of[r]].brand == "Kindle").collect();
         if !(books.is_empty() || kindles.is_empty()) {
             let theta = IntentDef::SameBrand.entity_map(&c);
             assert!(!theta.corresponds(books[0], kindles[0]).unwrap());

@@ -248,10 +248,7 @@ pub fn assemble_benchmark(
     let columns: Vec<Vec<bool>> = entity_maps
         .iter()
         .map(|theta| {
-            Resolution::golden(&candidates, theta)
-                .expect("maps cover the dataset")
-                .mask()
-                .to_vec()
+            Resolution::golden(&candidates, theta).expect("maps cover the dataset").mask().to_vec()
         })
         .collect();
     let labels = LabelMatrix::from_columns(&columns).expect("at least one intent");
@@ -369,10 +366,8 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let c = catalog(9);
-        let mixture = [
-            component(PairClass::Duplicate, 0.3),
-            component(PairClass::DiffMain(None), 0.7),
-        ];
+        let mixture =
+            [component(PairClass::Duplicate, 0.3), component(PairClass::DiffMain(None), 0.7)];
         let a = sample_candidate_pairs(&c, &mixture, 80, &mut StdRng::seed_from_u64(1));
         let b = sample_candidate_pairs(&c, &mixture, 80, &mut StdRng::seed_from_u64(1));
         assert_eq!(a.candidates, b.candidates);

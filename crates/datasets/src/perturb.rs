@@ -128,9 +128,7 @@ impl Perturbation {
             Perturbation::NounSynonym => {
                 let mut tokens: Vec<String> = title.split(' ').map(String::from).collect();
                 if let Some(last) = tokens.last_mut() {
-                    if let Some((_, syn)) =
-                        NOUN_SYNONYMS.iter().find(|(from, _)| from == last)
-                    {
+                    if let Some((_, syn)) = NOUN_SYNONYMS.iter().find(|(from, _)| from == last) {
                         *last = syn.to_string();
                     }
                 }
@@ -168,12 +166,7 @@ impl Default for NoiseConfig {
 
 /// Draws a perturbed variant of `title` applying a geometric-ish number of
 /// random operators.
-pub fn perturb_title(
-    title: &str,
-    suffix: &str,
-    noise: NoiseConfig,
-    rng: &mut impl Rng,
-) -> String {
+pub fn perturb_title(title: &str, suffix: &str, noise: NoiseConfig, rng: &mut impl Rng) -> String {
     let mut out = title.to_string();
     let mut expected = noise.ops_per_duplicate;
     while expected > 0.0 {

@@ -159,12 +159,7 @@ impl Taxonomy {
                     families.push(Family {
                         id,
                         main: m,
-                        path: vec![
-                            main.name.to_string(),
-                            mid_token,
-                            sub_token,
-                            leaf_token,
-                        ],
+                        path: vec![main.name.to_string(), mid_token, sub_token, leaf_token],
                         flavor: format!("{} {} Edition", sub, mid.name),
                         noun: format!("{} {}", sub, mid.noun_base),
                         brands: main.brands,
@@ -177,11 +172,7 @@ impl Taxonomy {
 
     /// Families belonging to main category `m`.
     pub fn families_of_main(&self, m: usize) -> Vec<usize> {
-        self.families
-            .iter()
-            .filter(|f| f.main == m)
-            .map(|f| f.id)
-            .collect()
+        self.families.iter().filter(|f| f.main == m).map(|f| f.id).collect()
     }
 
     /// Number of main categories.
@@ -215,9 +206,21 @@ pub fn amazonmi_spec() -> TaxonomySpec {
                 general: None,
                 brands: BrandPool::Sport,
                 mids: vec![
-                    MidSpec { name: "Shoes", noun_base: "Shoe", subs: vec!["Basketball", "Running", "Training"] },
-                    MidSpec { name: "Equipment", noun_base: "Kit", subs: vec!["Fitness", "Camping", "Cycling"] },
-                    MidSpec { name: "Apparel", noun_base: "Jacket", subs: vec!["Trail", "Court", "Track"] },
+                    MidSpec {
+                        name: "Shoes",
+                        noun_base: "Shoe",
+                        subs: vec!["Basketball", "Running", "Training"],
+                    },
+                    MidSpec {
+                        name: "Equipment",
+                        noun_base: "Kit",
+                        subs: vec!["Fitness", "Camping", "Cycling"],
+                    },
+                    MidSpec {
+                        name: "Apparel",
+                        noun_base: "Jacket",
+                        subs: vec!["Trail", "Court", "Track"],
+                    },
                 ],
             },
             MainSpec {
@@ -225,9 +228,21 @@ pub fn amazonmi_spec() -> TaxonomySpec {
                 general: None,
                 brands: BrandPool::Electronics,
                 mids: vec![
-                    MidSpec { name: "Cameras", noun_base: "Camera", subs: vec!["DSLR", "Mirrorless", "Compact"] },
-                    MidSpec { name: "Computers", noun_base: "Laptop", subs: vec!["Gaming", "Business", "Convertible"] },
-                    MidSpec { name: "Audio", noun_base: "Headphones", subs: vec!["Studio", "Sport", "Travel"] },
+                    MidSpec {
+                        name: "Cameras",
+                        noun_base: "Camera",
+                        subs: vec!["DSLR", "Mirrorless", "Compact"],
+                    },
+                    MidSpec {
+                        name: "Computers",
+                        noun_base: "Laptop",
+                        subs: vec!["Gaming", "Business", "Convertible"],
+                    },
+                    MidSpec {
+                        name: "Audio",
+                        noun_base: "Headphones",
+                        subs: vec!["Studio", "Sport", "Travel"],
+                    },
                 ],
             },
             MainSpec {
@@ -235,9 +250,21 @@ pub fn amazonmi_spec() -> TaxonomySpec {
                 general: None,
                 brands: BrandPool::Books,
                 mids: vec![
-                    MidSpec { name: "Fiction", noun_base: "Novel", subs: vec!["Drama", "Adventure", "Romance"] },
-                    MidSpec { name: "Mystery", noun_base: "Story", subs: vec!["Crime", "Thriller", "Noir"] },
-                    MidSpec { name: "History", noun_base: "Chronicle", subs: vec!["Ancient", "Modern", "Maritime"] },
+                    MidSpec {
+                        name: "Fiction",
+                        noun_base: "Novel",
+                        subs: vec!["Drama", "Adventure", "Romance"],
+                    },
+                    MidSpec {
+                        name: "Mystery",
+                        noun_base: "Story",
+                        subs: vec!["Crime", "Thriller", "Noir"],
+                    },
+                    MidSpec {
+                        name: "History",
+                        noun_base: "Chronicle",
+                        subs: vec!["Ancient", "Modern", "Maritime"],
+                    },
                 ],
             },
             MainSpec {
@@ -245,9 +272,21 @@ pub fn amazonmi_spec() -> TaxonomySpec {
                 general: None,
                 brands: BrandPool::Home,
                 mids: vec![
-                    MidSpec { name: "Appliances", noun_base: "Blender", subs: vec!["Countertop", "Immersion", "Personal"] },
-                    MidSpec { name: "Cookware", noun_base: "Skillet", subs: vec!["CastIron", "Nonstick", "Copper"] },
-                    MidSpec { name: "Storage", noun_base: "Container", subs: vec!["Pantry", "Freezer", "Stacking"] },
+                    MidSpec {
+                        name: "Appliances",
+                        noun_base: "Blender",
+                        subs: vec!["Countertop", "Immersion", "Personal"],
+                    },
+                    MidSpec {
+                        name: "Cookware",
+                        noun_base: "Skillet",
+                        subs: vec!["CastIron", "Nonstick", "Copper"],
+                    },
+                    MidSpec {
+                        name: "Storage",
+                        noun_base: "Container",
+                        subs: vec!["Pantry", "Freezer", "Stacking"],
+                    },
                 ],
             },
         ],
@@ -265,7 +304,11 @@ pub fn walmart_amazon_spec() -> TaxonomySpec {
                 general: Some(0),
                 brands: BrandPool::Electronics,
                 mids: vec![
-                    MidSpec { name: "Tripods", noun_base: "Tripod", subs: vec!["Travel", "Studio"] },
+                    MidSpec {
+                        name: "Tripods",
+                        noun_base: "Tripod",
+                        subs: vec!["Travel", "Studio"],
+                    },
                     MidSpec { name: "Lenses", noun_base: "Lens", subs: vec!["Zoom", "Macro"] },
                 ],
             },
@@ -274,8 +317,16 @@ pub fn walmart_amazon_spec() -> TaxonomySpec {
                 general: Some(0),
                 brands: BrandPool::Electronics,
                 mids: vec![
-                    MidSpec { name: "Laptops", noun_base: "Laptop", subs: vec!["Ultrabook", "Workstation"] },
-                    MidSpec { name: "Tablets", noun_base: "Tablet", subs: vec!["Drawing", "Reading"] },
+                    MidSpec {
+                        name: "Laptops",
+                        noun_base: "Laptop",
+                        subs: vec!["Ultrabook", "Workstation"],
+                    },
+                    MidSpec {
+                        name: "Tablets",
+                        noun_base: "Tablet",
+                        subs: vec!["Drawing", "Reading"],
+                    },
                 ],
             },
             MainSpec {
@@ -283,7 +334,11 @@ pub fn walmart_amazon_spec() -> TaxonomySpec {
                 general: Some(1),
                 brands: BrandPool::Sport,
                 mids: vec![
-                    MidSpec { name: "Sneakers", noun_base: "Sneaker", subs: vec!["Court", "Street"] },
+                    MidSpec {
+                        name: "Sneakers",
+                        noun_base: "Sneaker",
+                        subs: vec!["Court", "Street"],
+                    },
                     MidSpec { name: "Boots", noun_base: "Boot", subs: vec!["Hiking", "Work"] },
                 ],
             },
@@ -293,7 +348,11 @@ pub fn walmart_amazon_spec() -> TaxonomySpec {
                 brands: BrandPool::Electronics,
                 mids: vec![
                     MidSpec { name: "Digital", noun_base: "Watch", subs: vec!["Chrono", "Diver"] },
-                    MidSpec { name: "Analog", noun_base: "Timepiece", subs: vec!["Dress", "Field"] },
+                    MidSpec {
+                        name: "Analog",
+                        noun_base: "Timepiece",
+                        subs: vec!["Dress", "Field"],
+                    },
                 ],
             },
             MainSpec {
@@ -301,7 +360,11 @@ pub fn walmart_amazon_spec() -> TaxonomySpec {
                 general: Some(2),
                 brands: BrandPool::Home,
                 mids: vec![
-                    MidSpec { name: "SmallAppliance", noun_base: "Mixer", subs: vec!["Stand", "Hand"] },
+                    MidSpec {
+                        name: "SmallAppliance",
+                        noun_base: "Mixer",
+                        subs: vec!["Stand", "Hand"],
+                    },
                     MidSpec { name: "Bakeware", noun_base: "Pan", subs: vec!["Sheet", "Loaf"] },
                 ],
             },
@@ -310,7 +373,11 @@ pub fn walmart_amazon_spec() -> TaxonomySpec {
                 general: Some(3),
                 brands: BrandPool::Home,
                 mids: vec![
-                    MidSpec { name: "Interior", noun_base: "Organizer", subs: vec!["Trunk", "Seat"] },
+                    MidSpec {
+                        name: "Interior",
+                        noun_base: "Organizer",
+                        subs: vec!["Trunk", "Seat"],
+                    },
                     MidSpec { name: "Care", noun_base: "Polish", subs: vec!["Wax", "Detail"] },
                 ],
             },
@@ -330,7 +397,11 @@ pub fn wdc_spec() -> TaxonomySpec {
                 brands: BrandPool::Electronics,
                 mids: vec![
                     MidSpec { name: "Desktops", noun_base: "Desktop", subs: vec!["Tower", "Mini"] },
-                    MidSpec { name: "Notebooks", noun_base: "Notebook", subs: vec!["Slim", "Rugged"] },
+                    MidSpec {
+                        name: "Notebooks",
+                        noun_base: "Notebook",
+                        subs: vec!["Slim", "Rugged"],
+                    },
                 ],
             },
             MainSpec {
@@ -338,8 +409,16 @@ pub fn wdc_spec() -> TaxonomySpec {
                 general: Some(0),
                 brands: BrandPool::Electronics,
                 mids: vec![
-                    MidSpec { name: "SLR", noun_base: "Camera Body", subs: vec!["FullFrame", "Crop"] },
-                    MidSpec { name: "Action", noun_base: "Action Cam", subs: vec!["Helmet", "Dash"] },
+                    MidSpec {
+                        name: "SLR",
+                        noun_base: "Camera Body",
+                        subs: vec!["FullFrame", "Crop"],
+                    },
+                    MidSpec {
+                        name: "Action",
+                        noun_base: "Action Cam",
+                        subs: vec!["Helmet", "Dash"],
+                    },
                 ],
             },
             MainSpec {
@@ -348,7 +427,11 @@ pub fn wdc_spec() -> TaxonomySpec {
                 brands: BrandPool::Electronics,
                 mids: vec![
                     MidSpec { name: "Smart", noun_base: "Smartwatch", subs: vec!["GPS", "Hybrid"] },
-                    MidSpec { name: "Classic", noun_base: "Wristwatch", subs: vec!["Leather", "Steel"] },
+                    MidSpec {
+                        name: "Classic",
+                        noun_base: "Wristwatch",
+                        subs: vec!["Leather", "Steel"],
+                    },
                 ],
             },
             MainSpec {
@@ -356,7 +439,11 @@ pub fn wdc_spec() -> TaxonomySpec {
                 general: Some(1),
                 brands: BrandPool::Sport,
                 mids: vec![
-                    MidSpec { name: "Performance", noun_base: "Running Shoe", subs: vec!["Road", "Trail2"] },
+                    MidSpec {
+                        name: "Performance",
+                        noun_base: "Running Shoe",
+                        subs: vec!["Road", "Trail2"],
+                    },
                     MidSpec { name: "Casual", noun_base: "Loafer", subs: vec!["Canvas", "Suede"] },
                 ],
             },
@@ -379,11 +466,7 @@ mod tests {
             for f in &t.families {
                 let base = f.category_set(false);
                 let variant = f.category_set(true);
-                assert!(
-                    jaccard(&base, &variant) >= 0.4,
-                    "family {} variant too dissimilar",
-                    f.id
-                );
+                assert!(jaccard(&base, &variant) >= 0.4, "family {} variant too dissimilar", f.id);
             }
         }
     }

@@ -8,41 +8,79 @@
 
 /// Shoe/apparel/sports brands (AmazonMI-style).
 pub const SPORT_BRANDS: &[&str] = &[
-    "Nike", "Adidas", "Reebok", "Puma", "Asics", "Brooks", "Saucony", "Mizuno", "Converse",
-    "Vans", "Skechers", "Fila",
+    "Nike", "Adidas", "Reebok", "Puma", "Asics", "Brooks", "Saucony", "Mizuno", "Converse", "Vans",
+    "Skechers", "Fila",
 ];
 
 /// Electronics brands.
 pub const ELECTRONICS_BRANDS: &[&str] = &[
-    "Targus", "Logitech", "Canon", "Nikon", "Sony", "Samsung", "Garmin", "Casio", "Seiko",
-    "Fossil", "Olympus", "Panasonic", "Lenovo", "Dell", "Asus", "Acer",
+    "Targus",
+    "Logitech",
+    "Canon",
+    "Nikon",
+    "Sony",
+    "Samsung",
+    "Garmin",
+    "Casio",
+    "Seiko",
+    "Fossil",
+    "Olympus",
+    "Panasonic",
+    "Lenovo",
+    "Dell",
+    "Asus",
+    "Acer",
 ];
 
 /// Home & kitchen brands.
-pub const HOME_BRANDS: &[&str] = &[
-    "Oster", "Cuisinart", "KitchenAid", "Hamilton", "Pyrex", "Rubbermaid", "Oxo", "Lodge",
-];
+pub const HOME_BRANDS: &[&str] =
+    &["Oster", "Cuisinart", "KitchenAid", "Hamilton", "Pyrex", "Rubbermaid", "Oxo", "Lodge"];
 
 /// Product line names; combined with a model code they identify a product.
 pub const LINES: &[&str] = &[
-    "Air Max", "Lunar Force", "Stutter Step", "D Rose", "Gel Kayano", "Ultra Boost",
-    "Fresh Foam", "Wave Rider", "Ghost", "Classic", "Pro Series", "Elite", "Prime",
-    "Quantum", "Velocity", "Horizon", "Summit", "Pulse", "Vortex", "Matrix",
+    "Air Max",
+    "Lunar Force",
+    "Stutter Step",
+    "D Rose",
+    "Gel Kayano",
+    "Ultra Boost",
+    "Fresh Foam",
+    "Wave Rider",
+    "Ghost",
+    "Classic",
+    "Pro Series",
+    "Elite",
+    "Prime",
+    "Quantum",
+    "Velocity",
+    "Horizon",
+    "Summit",
+    "Pulse",
+    "Vortex",
+    "Matrix",
 ];
 
 /// Model numbers for sports/home product lines. Deliberately a *small
 /// shared pool*: the same number recurs across many products ("Air Max 90"
 /// vs "Ultra Boost 90"), so numeric overlap alone cannot decide
 /// equivalence — the ambiguity real product catalogues exhibit.
-pub const MODEL_NUMBERS: &[&str] = &[
-    "1", "2", "5", "6", "21", "90", "95", "270", "360", "720", "2016", "2017",
-];
+pub const MODEL_NUMBERS: &[&str] =
+    &["1", "2", "5", "6", "21", "90", "95", "270", "360", "720", "2016", "2017"];
 
 /// Colour phrases appended to duplicate records (the paper's r2 carries
 /// "Black/Dark Loden-BROGHT Crimson").
 pub const COLORS: &[&str] = &[
-    "Black/White", "Dark Loden", "Bright Crimson", "Wolf Grey", "Navy Blue", "Forest Green",
-    "Metallic Silver", "Crimson/Black", "University Red", "Anthracite", "Pure Platinum",
+    "Black/White",
+    "Dark Loden",
+    "Bright Crimson",
+    "Wolf Grey",
+    "Navy Blue",
+    "Forest Green",
+    "Metallic Silver",
+    "Crimson/Black",
+    "University Red",
+    "Anthracite",
+    "Pure Platinum",
     "Midnight Fog",
 ];
 
@@ -51,21 +89,46 @@ pub const AUDIENCES: &[&str] = &["Men's", "Women's", "Kids'", "Unisex"];
 
 /// Spec phrases for electronics titles.
 pub const SPECS: &[&str] = &[
-    "16gb ram", "24.2mp", "full hd", "3-way panhead", "wireless", "bluetooth", "usb-c",
-    "quartz movement", "sapphire glass", "water resistant", "4k uhd", "noise cancelling",
+    "16gb ram",
+    "24.2mp",
+    "full hd",
+    "3-way panhead",
+    "wireless",
+    "bluetooth",
+    "usb-c",
+    "quartz movement",
+    "sapphire glass",
+    "water resistant",
+    "4k uhd",
+    "noise cancelling",
 ];
 
 /// First parts of synthetic book titles.
 pub const BOOK_OPENERS: &[&str] = &[
-    "The Man Who", "The Woman Who", "A House of", "The Garden of", "Shadows of",
-    "The Last", "Beyond the", "Letters from", "The Silent", "Children of",
+    "The Man Who",
+    "The Woman Who",
+    "A House of",
+    "The Garden of",
+    "Shadows of",
+    "The Last",
+    "Beyond the",
+    "Letters from",
+    "The Silent",
+    "Children of",
 ];
 
 /// Second parts of synthetic book titles.
 pub const BOOK_CLOSERS: &[&str] = &[
-    "Tried to Get Away", "Remembered Everything", "Broken Promises", "Forgotten Rivers",
-    "the Northern Lights", "Winter's End", "the Glass Mountain", "a Distant Shore",
-    "Quiet Streets", "the Paper City",
+    "Tried to Get Away",
+    "Remembered Everything",
+    "Broken Promises",
+    "Forgotten Rivers",
+    "the Northern Lights",
+    "Winter's End",
+    "the Glass Mountain",
+    "a Distant Shore",
+    "Quiet Streets",
+    "the Paper City",
 ];
 
 /// Deterministically derives a model code such as `TG-6660TR` from indices.
@@ -73,7 +136,13 @@ pub fn model_code(brand_idx: usize, line_idx: usize, serial: usize) -> String {
     let letters = ["TG", "MX", "LF", "DR", "GK", "UB", "FF", "WR", "GH", "CL"];
     let prefix = letters[(brand_idx + line_idx) % letters.len()];
     let suffix = ["", "TR", "X", "S", "LE"][serial % 5];
-    format!("{}-{}{}{}", prefix, 1000 + (serial * 37) % 9000, (b'A' + (serial % 26) as u8) as char, suffix)
+    format!(
+        "{}-{}{}{}",
+        prefix,
+        1000 + (serial * 37) % 9000,
+        (b'A' + (serial % 26) as u8) as char,
+        suffix
+    )
 }
 
 #[cfg(test)]

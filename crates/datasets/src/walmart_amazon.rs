@@ -137,10 +137,7 @@ mod tests {
         let targets = [0.094, 0.76, 0.80, 0.90];
         for (p, &target) in targets.iter().enumerate() {
             let rate = b.labels.positive_rate(p);
-            assert!(
-                (rate - target).abs() < 0.09,
-                "intent {p}: rate {rate:.3} vs target {target}"
-            );
+            assert!((rate - target).abs() < 0.09, "intent {p}: rate {rate:.3} vs target {target}");
         }
     }
 

@@ -128,10 +128,7 @@ mod tests {
         let targets = [0.116, 0.438, 0.67];
         for (p, &target) in targets.iter().enumerate() {
             let rate = b.labels.positive_rate(p);
-            assert!(
-                (rate - target).abs() < 0.08,
-                "intent {p}: rate {rate:.3} vs target {target}"
-            );
+            assert!((rate - target).abs() < 0.08, "intent {p}: rate {rate:.3} vs target {target}");
         }
     }
 

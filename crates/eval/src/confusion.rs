@@ -82,10 +82,8 @@ mod tests {
 
     #[test]
     fn counting() {
-        let c = Confusion::from_predictions(
-            &[true, true, false, false],
-            &[true, false, true, false],
-        );
+        let c =
+            Confusion::from_predictions(&[true, true, false, false], &[true, false, true, false]);
         assert_eq!(c, Confusion { tp: 1, fp: 1, fn_: 1, tn: 1 });
         assert_eq!(c.total(), 4);
     }

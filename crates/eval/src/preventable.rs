@@ -34,10 +34,8 @@ pub fn preventable_error(
     let mut denominator = 0usize; // pairs with ≥1 correct subsuming negative
     let mut numerator = 0usize; // …that π still falsely marks positive
     for i in 0..n {
-        let correct_negative = subsuming_preds
-            .iter()
-            .zip(subsuming_golden)
-            .any(|(sp, sg)| !sp[i] && !sg[i]);
+        let correct_negative =
+            subsuming_preds.iter().zip(subsuming_golden).any(|(sp, sg)| !sp[i] && !sg[i]);
         if correct_negative {
             denominator += 1;
             if preds[i] && !golden[i] {
@@ -105,12 +103,8 @@ mod tests {
         let q1_golden = [false];
         let q2_preds = [false]; // q2 gives the correct negative
         let q2_golden = [false];
-        let pe = preventable_error(
-            &preds,
-            &golden,
-            &[&q1_preds, &q2_preds],
-            &[&q1_golden, &q2_golden],
-        );
+        let pe =
+            preventable_error(&preds, &golden, &[&q1_preds, &q2_preds], &[&q1_golden, &q2_golden]);
         assert_eq!(pe, 1.0);
     }
 

@@ -57,7 +57,7 @@ impl TextTable {
         };
         let mut out = render_row(&self.header);
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (n_cols - 1).max(0)));
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (n_cols - 1)));
         for row in &self.rows {
             out.push('\n');
             out.push_str(&render_row(row));

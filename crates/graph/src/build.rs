@@ -6,17 +6,26 @@ use crate::multiplex::MultiplexGraph;
 use flexer_ann::knn_graph::knn_graph;
 use flexer_ann::FlatIndex;
 use flexer_nn::Matrix;
+use std::borrow::Borrow;
 
 /// Builds the multiplex intents graph from one embedding matrix per intent
 /// (all `n_pairs × dim`, same `dim` — independently trained matchers with a
 /// shared architecture produce this shape). `k` is the intra-layer
 /// neighbour count; `k = 0` disables intra-layer edges (the Table 8
 /// ablation point).
-pub fn build_intent_graph(embeddings: &[Matrix], k: usize) -> MultiplexGraph {
+///
+/// Accepts owned matrices (`&[Matrix]`) or borrowed ones (`&[&Matrix]`) —
+/// callers holding per-intent representations elsewhere (e.g. matcher
+/// outputs) feed them in without copying `P × |C| × d` floats. The
+/// per-layer k-NN constructions are independent and fan out across the
+/// `flexer-par` thread budget, each one running the exact serial
+/// construction (the per-node searches nested inside parallelize too).
+pub fn build_intent_graph<M: Borrow<Matrix> + Sync>(embeddings: &[M], k: usize) -> MultiplexGraph {
     assert!(!embeddings.is_empty(), "at least one intent layer required");
-    let n_pairs = embeddings[0].rows();
-    let dim = embeddings[0].cols();
+    let n_pairs = embeddings[0].borrow().rows();
+    let dim = embeddings[0].borrow().cols();
     for e in embeddings {
+        let e = e.borrow();
         assert_eq!(e.rows(), n_pairs, "every layer must cover the same pairs");
         assert_eq!(e.cols(), dim, "intent representations must share dimensionality");
     }
@@ -26,22 +35,19 @@ pub fn build_intent_graph(embeddings: &[Matrix], k: usize) -> MultiplexGraph {
     let mut features = Matrix::zeros(n_pairs * n_layers, dim);
     for (p, emb) in embeddings.iter().enumerate() {
         for i in 0..n_pairs {
-            features.row_mut(p * n_pairs + i).copy_from_slice(emb.row(i));
+            features.row_mut(p * n_pairs + i).copy_from_slice(emb.borrow().row(i));
         }
     }
 
     // Per-layer k-NN over the *initial* representations (fixed thereafter,
-    // §4.1.3).
-    let knn_per_layer: Vec<Vec<Vec<usize>>> = embeddings
-        .iter()
-        .map(|emb| {
-            if k == 0 || n_pairs < 2 {
-                return vec![Vec::new(); n_pairs];
-            }
-            let index = FlatIndex::from_rows(dim, emb.data());
-            knn_graph(&index, k)
-        })
-        .collect();
+    // §4.1.3), one independent construction per intent layer.
+    let knn_per_layer: Vec<Vec<Vec<usize>>> = flexer_par::parallel_map_slice(embeddings, |emb| {
+        if k == 0 || n_pairs < 2 {
+            return vec![Vec::new(); n_pairs];
+        }
+        let index = FlatIndex::from_rows(dim, emb.borrow().data());
+        knn_graph(&index, k)
+    });
 
     MultiplexGraph::assemble(n_pairs, n_layers, features, &knn_per_layer)
 }
@@ -62,7 +68,7 @@ mod tests {
         let g = build_intent_graph(&embeddings(), 2);
         // |C|·P·k intra, |C|·P·(P−1) inter.
         assert_eq!(g.n_intra_edges(), 5 * 2 * 2);
-        assert_eq!(g.n_inter_edges(), 5 * 2 * 1);
+        assert_eq!(g.n_inter_edges(), (5 * 2));
         assert_eq!(g.n_nodes(), 10);
         assert_eq!(g.dim, 2);
     }

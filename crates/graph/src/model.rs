@@ -78,7 +78,12 @@ impl GnnModel {
     }
 
     /// Match likelihoods (`softmax` second entry) per pair for one intent.
-    pub fn intent_scores(&self, graph: &MultiplexGraph, trace: &GnnTrace, layer: usize) -> Vec<f32> {
+    pub fn intent_scores(
+        &self,
+        graph: &MultiplexGraph,
+        trace: &GnnTrace,
+        layer: usize,
+    ) -> Vec<f32> {
         let probs = softmax_rows(&self.intent_logits(graph, trace, layer));
         (0..probs.rows()).map(|i| probs.get(i, 1)).collect()
     }
@@ -136,10 +141,7 @@ mod tests {
             4,
             2,
             features,
-            &[
-                vec![vec![1], vec![0], vec![3], vec![2]],
-                vec![vec![2], vec![3], vec![0], vec![1]],
-            ],
+            &[vec![vec![1], vec![0], vec![3], vec![2]], vec![vec![2], vec![3], vec![0], vec![1]]],
         )
     }
 
@@ -214,9 +216,6 @@ mod tests {
             opt.begin_step();
             m.apply(&mut opt);
         }
-        assert!(
-            losses.last().unwrap() < &(losses[0] * 0.8),
-            "loss did not decrease: {losses:?}"
-        );
+        assert!(losses.last().unwrap() < &(losses[0] * 0.8), "loss did not decrease: {losses:?}");
     }
 }

@@ -74,10 +74,8 @@ impl MultiplexGraph {
         for p in 0..n_layers {
             for i in 0..n_pairs {
                 let v = p * n_pairs + i;
-                inter_lists[v] = (0..n_layers)
-                    .filter(|&q| q != p)
-                    .map(|q| q * n_pairs + i)
-                    .collect();
+                inter_lists[v] =
+                    (0..n_layers).filter(|&q| q != p).map(|q| q * n_pairs + i).collect();
             }
         }
         Self {
@@ -113,10 +111,7 @@ mod tests {
             3,
             2,
             features,
-            &[
-                vec![vec![1], vec![0], vec![1]],
-                vec![vec![], vec![0], vec![0]],
-            ],
+            &[vec![vec![1], vec![0], vec![1]], vec![vec![], vec![0], vec![0]]],
         )
     }
 
@@ -167,7 +162,8 @@ mod tests {
     #[test]
     fn single_layer_graph_has_no_inter_edges() {
         let features = Matrix::zeros(4, 2);
-        let g = MultiplexGraph::assemble(4, 1, features, &[vec![vec![], vec![0], vec![1], vec![2]]]);
+        let g =
+            MultiplexGraph::assemble(4, 1, features, &[vec![vec![], vec![0], vec![1], vec![2]]]);
         assert_eq!(g.n_inter_edges(), 0);
         assert_eq!(g.n_intra_edges(), 3);
     }

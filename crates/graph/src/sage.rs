@@ -184,10 +184,7 @@ mod tests {
             3,
             2,
             features,
-            &[
-                vec![vec![1], vec![0, 2], vec![1]],
-                vec![vec![2], vec![], vec![0]],
-            ],
+            &[vec![vec![1], vec![0, 2], vec![1]], vec![vec![2], vec![], vec![0]]],
         )
     }
 

@@ -62,7 +62,11 @@ impl GnnConfig {
         assert!(self.n_layers >= 1, "at least one layer");
         let mut dims = vec![self.hidden_dim];
         for _ in 1..self.n_layers {
-            dims.push(if self.n_layers >= 3 { (self.hidden_dim / 2).max(1) } else { self.hidden_dim });
+            dims.push(if self.n_layers >= 3 {
+                (self.hidden_dim / 2).max(1)
+            } else {
+                self.hidden_dim
+            });
         }
         dims
     }
@@ -196,8 +200,8 @@ mod tests {
             let center = if class { 1.0 } else { -1.0 };
             for j in 0..8 {
                 // Layer 0: noisy view; layer 1: clean view.
-                e0.set(i, j, center + rng.gen_range(-1.5..1.5));
-                e1.set(i, j, center + rng.gen_range(-0.2..0.2));
+                e0.set(i, j, center + rng.gen_range(-1.5f32..1.5));
+                e1.set(i, j, center + rng.gen_range(-0.2f32..0.2));
             }
         }
         let graph = build_intent_graph(&[e0, e1], 4);

@@ -22,16 +22,13 @@ pub fn delete_span(tokens: &[Token], max_span: usize, rng: &mut impl Rng) -> Vec
     tokens
         .iter()
         .enumerate()
-        .filter_map(|(i, t)| (i < start || i >= start + span).then(|| t.clone()))
+        .filter(|&(i, _t)| i < start || i >= start + span)
+        .map(|(_i, t)| t.clone())
         .collect()
 }
 
 /// Augments a pair by deleting a span from one randomly chosen side.
-pub fn augment_pair(
-    a: &[Token],
-    b: &[Token],
-    rng: &mut impl Rng,
-) -> (Vec<Token>, Vec<Token>) {
+pub fn augment_pair(a: &[Token], b: &[Token], rng: &mut impl Rng) -> (Vec<Token>, Vec<Token>) {
     if rng.gen_bool(0.5) {
         (delete_span(a, MAX_SPAN, rng), b.to_vec())
     } else {

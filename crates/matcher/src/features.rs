@@ -65,16 +65,10 @@ impl PairFeaturizer {
         let grams_b = char_ngrams(b, self.char_ngram);
         let word_j = jaccard_str(&words_a, &words_b);
         let gram_j = jaccard_string(&grams_a, &grams_b);
-        let nums_a: Vec<&str> = a
-            .iter()
-            .filter(|t| t.kind != TokenKind::Word)
-            .map(|t| t.text.as_str())
-            .collect();
-        let nums_b: Vec<&str> = b
-            .iter()
-            .filter(|t| t.kind != TokenKind::Word)
-            .map(|t| t.text.as_str())
-            .collect();
+        let nums_a: Vec<&str> =
+            a.iter().filter(|t| t.kind != TokenKind::Word).map(|t| t.text.as_str()).collect();
+        let nums_b: Vec<&str> =
+            b.iter().filter(|t| t.kind != TokenKind::Word).map(|t| t.text.as_str()).collect();
         let num_j = jaccard_str(&nums_a, &nums_b);
         let first_eq = match (words_a.first(), words_b.first()) {
             (Some(x), Some(y)) if x == y => 1.0,
@@ -91,9 +85,8 @@ impl PairFeaturizer {
         } else {
             words_a.len().min(words_b.len()) as f32 / words_a.len().max(words_b.len()) as f32
         };
-        let code_eq = a
-            .iter()
-            .any(|t| t.kind == TokenKind::Code && b.iter().any(|u| u.text == t.text));
+        let code_eq =
+            a.iter().any(|t| t.kind == TokenKind::Code && b.iter().any(|u| u.text == t.text));
         let dense = [
             word_j,
             gram_j,
@@ -182,8 +175,7 @@ impl PairFeaturizer {
     /// Featurizes every candidate pair of a benchmark into a sparse matrix
     /// (row = pair index); the DF table is built from the whole dataset.
     pub fn featurize_benchmark(&self, bench: &MierBenchmark) -> SparseMatrix {
-        let docs: Vec<Vec<Token>> =
-            bench.dataset.iter().map(|r| tokenize(r.title())).collect();
+        let docs: Vec<Vec<Token>> = bench.dataset.iter().map(|r| tokenize(r.title())).collect();
         let refs: Vec<&[Token]> = docs.iter().map(|d| d.as_slice()).collect();
         let df = DfTable::build(refs.into_iter());
         let rows: Vec<Vec<(u32, f32)>> = bench
@@ -283,11 +275,8 @@ mod tests {
             &f.prepare("Nike Air Max Running Shoe Special Edition Long Title", &df),
             &f.prepare("Totally different book about rivers", &df),
         );
-        let hashed_norm: f32 = fv
-            .iter()
-            .filter(|(i, _)| *i as usize >= N_DENSE)
-            .map(|(_, v)| v * v)
-            .sum::<f32>();
+        let hashed_norm: f32 =
+            fv.iter().filter(|(i, _)| *i as usize >= N_DENSE).map(|(_, v)| v * v).sum::<f32>();
         // Signed hashing can cancel inside a bucket, so the norm is ≤ 1.
         assert!(hashed_norm <= 1.0 + 1e-4);
         assert!(hashed_norm > 0.5);

@@ -80,8 +80,7 @@ impl BinaryMatcher {
                         cols.iter().copied().zip(vals.iter().copied()).collect()
                     })
                     .collect();
-                let mut targets: Vec<usize> =
-                    batch.iter().map(|&i| labels[i] as usize).collect();
+                let mut targets: Vec<usize> = batch.iter().map(|&i| labels[i] as usize).collect();
                 if config.augment {
                     for &i in &batch {
                         rows.push(corpus.augmented_row(i, &mut rng));
@@ -129,15 +128,17 @@ impl BinaryMatcher {
         self.infer(&sub)
     }
 
-    /// Runs inference on every row of a feature matrix.
+    /// Runs inference on every row of a feature matrix. The head runs its
+    /// batched row-parallel forward pass (bit-identical to the serial
+    /// trace at any thread count).
     pub fn infer(&self, features: &SparseMatrix) -> MatcherOutput {
         let mut h = self.input.forward_sparse(features);
         relu_inplace(&mut h);
-        let trace = self.head.forward_trace(&h);
-        let probs = softmax_rows(trace.output());
+        let (embeddings, logits) = self.head.forward_batch(&h);
+        let probs = softmax_rows(&logits);
         let scores: Vec<f32> = (0..probs.rows()).map(|i| probs.get(i, 1)).collect();
         let preds: Vec<bool> = scores.iter().map(|&s| s > 0.5).collect();
-        MatcherOutput { scores, preds, embeddings: trace.embedding().clone() }
+        MatcherOutput { scores, preds, embeddings }
     }
 }
 

@@ -53,9 +53,8 @@ impl MultiTaskMatcher {
         let mut emb_layers: Vec<Linear> = (0..n_intents)
             .map(|_| Linear::new(&mut rng, config.hidden_dim, config.embedding_dim))
             .collect();
-        let mut heads: Vec<Linear> = (0..n_intents)
-            .map(|_| Linear::new(&mut rng, config.embedding_dim, 2))
-            .collect();
+        let mut heads: Vec<Linear> =
+            (0..n_intents).map(|_| Linear::new(&mut rng, config.embedding_dim, 2)).collect();
         let mut ml_head = Linear::new(&mut rng, config.hidden_dim, n_intents);
         let mut opt = Adam::new(AdamConfig { lr: config.learning_rate, ..Default::default() });
         let intent_weights = vec![1.0f32; n_intents];
@@ -211,8 +210,12 @@ mod tests {
         let bench = AmazonMiConfig::at_scale(Scale::Tiny).with_seed(19).generate();
         // The shared-trunk network needs more epochs than a single binary
         // matcher to satisfy all heads at tiny scale.
-        let config =
-            MatcherConfig { epochs: 30, hidden_dim: 64, embedding_dim: 32, ..MatcherConfig::fast() };
+        let config = MatcherConfig {
+            epochs: 30,
+            hidden_dim: 64,
+            embedding_dim: 32,
+            ..MatcherConfig::fast()
+        };
         let corpus = PairCorpus::from_benchmark(&bench, &config);
         let matcher = MultiTaskMatcher::train(
             &corpus,

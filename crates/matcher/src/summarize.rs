@@ -53,11 +53,8 @@ pub fn summarize(tokens: &[Token], df: &DfTable, max_tokens: usize) -> Vec<Token
     if tokens.len() <= max_tokens {
         return tokens.to_vec();
     }
-    let mut ranked: Vec<(usize, f64)> = tokens
-        .iter()
-        .enumerate()
-        .map(|(i, t)| (i, df.idf(&t.text)))
-        .collect();
+    let mut ranked: Vec<(usize, f64)> =
+        tokens.iter().enumerate().map(|(i, t)| (i, df.idf(&t.text))).collect();
     // Highest IDF first; ties keep earlier tokens.
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
     let mut keep: Vec<usize> = ranked.into_iter().take(max_tokens).map(|(i, _)| i).collect();

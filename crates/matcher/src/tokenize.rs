@@ -59,11 +59,7 @@ fn classify(token: &str) -> TokenKind {
 /// Character n-grams (of `n` chars) of a token list, joined with `_`
 /// boundaries — the sub-word signal that absorbs typos.
 pub fn char_ngrams(tokens: &[Token], n: usize) -> Vec<String> {
-    let joined = tokens
-        .iter()
-        .map(|t| t.text.as_str())
-        .collect::<Vec<_>>()
-        .join("_");
+    let joined = tokens.iter().map(|t| t.text.as_str()).collect::<Vec<_>>().join("_");
     let chars: Vec<char> = format!("_{joined}_").chars().collect();
     if chars.len() < n {
         return vec![chars.iter().collect()];

@@ -34,8 +34,7 @@ impl PairCorpus {
                 (a.to_string(), b.to_string())
             })
             .collect();
-        let docs: Vec<Vec<Token>> =
-            bench.dataset.iter().map(|r| tokenize(r.title())).collect();
+        let docs: Vec<Vec<Token>> = bench.dataset.iter().map(|r| tokenize(r.title())).collect();
         let refs: Vec<&[Token]> = docs.iter().map(|d| d.as_slice()).collect();
         let df = DfTable::build(refs.into_iter());
         Self::build(&titles, df, config)
@@ -44,10 +43,8 @@ impl PairCorpus {
     /// Builds the corpus from raw title pairs (DF computed from the pairs
     /// themselves).
     pub fn from_titles(titles: &[(String, String)], config: &MatcherConfig) -> Self {
-        let docs: Vec<Vec<Token>> = titles
-            .iter()
-            .flat_map(|(a, b)| [tokenize(a), tokenize(b)])
-            .collect();
+        let docs: Vec<Vec<Token>> =
+            titles.iter().flat_map(|(a, b)| [tokenize(a), tokenize(b)]).collect();
         let refs: Vec<&[Token]> = docs.iter().map(|d| d.as_slice()).collect();
         let df = DfTable::build(refs.into_iter());
         Self::build(titles, df, config)
@@ -88,10 +85,7 @@ impl PairCorpus {
 pub fn minibatches(indices: &[usize], batch_size: usize, rng: &mut impl Rng) -> Vec<Vec<usize>> {
     let mut order: Vec<usize> = indices.to_vec();
     order.shuffle(rng);
-    order
-        .chunks(batch_size.max(1))
-        .map(|c| c.to_vec())
-        .collect()
+    order.chunks(batch_size.max(1)).map(|c| c.to_vec()).collect()
 }
 
 /// Binary F1 over predictions vs. labels (the matcher's model-selection

@@ -6,9 +6,12 @@
 //! Eq. 1, and the weighted multi-label BCE of Eq. 2), and Adam/SGD
 //! optimizers (Adam with L2 weight decay, as used for the GNN in §5.2.1).
 //!
-//! Everything is `f32`, deterministic under a seed, and single-threaded —
-//! the substrate the matcher (`flexer-matcher`) and the GNN
-//! (`flexer-graph`) are built on.
+//! Everything is `f32` and deterministic under a seed — the substrate the
+//! matcher (`flexer-matcher`) and the GNN (`flexer-graph`) are built on.
+//! With the default `parallel` feature, large matmuls and batched forward
+//! passes are row-blocked across the `flexer-par` thread budget
+//! (`RAYON_NUM_THREADS`); every row runs the exact serial kernel, so
+//! results stay bit-identical for any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

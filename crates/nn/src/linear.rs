@@ -204,8 +204,8 @@ mod tests {
             let y = l.forward(&x);
             let mut grad = Matrix::zeros(16, 1);
             let mut loss = 0.0;
-            for i in 0..16 {
-                let d = y.get(i, 0) - target[i];
+            for (i, &t) in target.iter().enumerate() {
+                let d = y.get(i, 0) - t;
                 loss += d * d / 16.0;
                 grad.set(i, 0, 2.0 * d / 16.0);
             }

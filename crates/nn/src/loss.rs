@@ -70,8 +70,7 @@ pub fn multilabel_bce_with_logits(
     let mut loss = 0.0f32;
     let scale = 1.0 / (n as f32 * p as f32);
     for i in 0..n {
-        for j in 0..p {
-            let w = intent_weights[j];
+        for (j, &w) in intent_weights.iter().enumerate() {
             let z = logits.get(i, j);
             let y = targets.get(i, j);
             // Stable: log(1+e^z) = max(z,0) + ln(1 + e^{-|z|})

@@ -1,6 +1,16 @@
 //! Dense row-major `f32` matrices with the handful of kernels the
 //! matcher and GNN need. Loops are ordered `i,k,j` so LLVM vectorizes the
 //! inner accumulation.
+//!
+//! Every matmul variant is row-blocked across the `flexer-par` thread
+//! budget when the operation is large enough to amortize fan-out. Each
+//! output row is produced by exactly the serial per-row kernel, so results
+//! are **bit-identical** for any thread count (including the `parallel`
+//! feature being disabled).
+
+/// Below this many fused multiply-adds a matmul (dense or sparse) stays on
+/// the calling thread: fan-out overhead would exceed the work.
+pub(crate) const PAR_MIN_WORK: usize = 1 << 20;
 
 /// Dense row-major matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,14 +92,16 @@ impl Matrix {
         &mut self.data
     }
 
-    /// `self × other` — `[m,k] × [k,n] → [m,n]`.
+    /// `self × other` — `[m,k] × [k,n] → [m,n]`. Output rows are computed
+    /// independently and fanned out across threads for large operands.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &aik) in a_row.iter().enumerate() {
+        if other.cols == 0 {
+            return out;
+        }
+        let kernel = |i: usize, out_row: &mut [f32]| {
+            for (k, &aik) in self.row(i).iter().enumerate() {
                 if aik == 0.0 {
                     continue;
                 }
@@ -97,6 +109,13 @@ impl Matrix {
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += aik * b;
                 }
+            }
+        };
+        if self.rows * self.cols * other.cols >= PAR_MIN_WORK {
+            flexer_par::for_each_row_mut(&mut out.data, other.cols, kernel);
+        } else {
+            for (i, out_row) in out.data.chunks_mut(other.cols).enumerate() {
+                kernel(i, out_row);
             }
         }
         out
@@ -107,36 +126,57 @@ impl Matrix {
     pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_transpose_b shape mismatch");
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
+        if other.rows == 0 {
+            return out;
+        }
+        let kernel = |i: usize, out_row: &mut [f32]| {
             let a_row = self.row(i);
-            for j in 0..other.rows {
+            for (j, o) in out_row.iter_mut().enumerate() {
                 let b_row = other.row(j);
                 let mut acc = 0.0f32;
                 for (&a, &b) in a_row.iter().zip(b_row) {
                     acc += a * b;
                 }
-                out.data[i * other.rows + j] = acc;
+                *o = acc;
+            }
+        };
+        if self.rows * self.cols * other.rows >= PAR_MIN_WORK {
+            flexer_par::for_each_row_mut(&mut out.data, other.rows, kernel);
+        } else {
+            for (i, out_row) in out.data.chunks_mut(other.rows).enumerate() {
+                kernel(i, out_row);
             }
         }
         out
     }
 
     /// `selfᵀ × other` — `[m,k]ᵀ × [m,n] → [k,n]`. Used by backprop to
-    /// compute weight gradients.
+    /// compute weight gradients. Parallelized over *output* rows so each
+    /// accumulator is owned by one thread; the per-element accumulation
+    /// order (ascending batch index) matches the serial kernel exactly.
     pub fn matmul_transpose_a(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "matmul_transpose_a shape mismatch");
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let b_row = other.row(i);
-            for (k, &aik) in a_row.iter().enumerate() {
+        if other.cols == 0 {
+            return out;
+        }
+        let kernel = |k: usize, out_row: &mut [f32]| {
+            for i in 0..self.rows {
+                let aik = self.data[i * self.cols + k];
                 if aik == 0.0 {
                     continue;
                 }
-                let out_row = &mut out.data[k * other.cols..(k + 1) * other.cols];
+                let b_row = other.row(i);
                 for (o, &b) in out_row.iter_mut().zip(b_row) {
                     *o += aik * b;
                 }
+            }
+        };
+        if self.rows * self.cols * other.cols >= PAR_MIN_WORK {
+            flexer_par::for_each_row_mut(&mut out.data, other.cols, kernel);
+        } else {
+            for (k, out_row) in out.data.chunks_mut(other.cols).enumerate() {
+                kernel(k, out_row);
             }
         }
         out
@@ -229,11 +269,7 @@ impl Matrix {
     /// matrices with equal column counts.
     pub fn row_l2_sq(a: &Matrix, i: usize, b: &Matrix, j: usize) -> f32 {
         debug_assert_eq!(a.cols, b.cols);
-        a.row(i)
-            .iter()
-            .zip(b.row(j))
-            .map(|(&x, &y)| (x - y) * (x - y))
-            .sum()
+        a.row(i).iter().zip(b.row(j)).map(|(&x, &y)| (x - y) * (x - y)).sum()
     }
 }
 

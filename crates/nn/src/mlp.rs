@@ -44,6 +44,14 @@ impl MlpTrace {
     pub fn embedding(&self) -> &Matrix {
         &self.post[self.post.len() - 2]
     }
+
+    /// Consumes the trace, moving out `(embedding, logits)` without
+    /// cloning.
+    pub fn into_embedding_and_output(mut self) -> (Matrix, Matrix) {
+        let output = self.post.pop().expect("trace always has the input");
+        let embedding = self.post.pop().expect("trace has input + >= 1 layer output");
+        (embedding, output)
+    }
 }
 
 impl Mlp {
@@ -52,10 +60,7 @@ impl Mlp {
         let mut dims = vec![config.input_dim];
         dims.extend_from_slice(&config.hidden);
         dims.push(config.output_dim);
-        let layers = dims
-            .windows(2)
-            .map(|w| Linear::new(rng, w[0], w[1]))
-            .collect();
+        let layers = dims.windows(2).map(|w| Linear::new(rng, w[0], w[1])).collect();
         Self { layers }
     }
 
@@ -86,6 +91,40 @@ impl Mlp {
     /// Inference-only forward pass returning logits.
     pub fn forward(&self, x: &Matrix) -> Matrix {
         self.forward_trace(x).output().clone()
+    }
+
+    /// Batched inference returning `(embedding, logits)` for every input
+    /// row. Rows are split into one contiguous block per available thread
+    /// and each block runs the whole layer stack independently — a single
+    /// fan-out for the full network instead of one per matmul. Every row is
+    /// produced by the serial kernels, so the result is bit-identical to
+    /// [`Mlp::forward_trace`] at any thread count.
+    pub fn forward_batch(&self, x: &Matrix) -> (Matrix, Matrix) {
+        let rows = x.rows();
+        let blocks = flexer_par::max_threads().min(rows.max(1));
+        if blocks <= 1 {
+            return self.forward_trace(x).into_embedding_and_output();
+        }
+        let per = rows.div_ceil(blocks);
+        let parts = flexer_par::parallel_map(rows.div_ceil(per), |b| {
+            let (r0, r1) = (b * per, ((b + 1) * per).min(rows));
+            let sub = Matrix::from_vec(
+                r1 - r0,
+                x.cols(),
+                x.data()[r0 * x.cols()..r1 * x.cols()].to_vec(),
+            );
+            self.forward_trace(&sub).into_embedding_and_output()
+        });
+        // Blocks are contiguous row ranges in order, so stitching is two
+        // flat concatenations of the moved-out buffers.
+        let (emb_cols, out_cols) = (parts[0].0.cols(), parts[0].1.cols());
+        let mut emb_data = Vec::with_capacity(rows * emb_cols);
+        let mut out_data = Vec::with_capacity(rows * out_cols);
+        for (e, o) in parts {
+            emb_data.extend_from_slice(e.data());
+            out_data.extend_from_slice(o.data());
+        }
+        (Matrix::from_vec(rows, emb_cols, emb_data), Matrix::from_vec(rows, out_cols, out_data))
     }
 
     /// Backward pass from `d loss / d logits`; accumulates layer gradients
@@ -136,7 +175,8 @@ mod tests {
     #[test]
     fn shapes() {
         let mut rng = StdRng::seed_from_u64(0);
-        let mlp = Mlp::new(&mut rng, &MlpConfig { input_dim: 5, hidden: vec![8, 3], output_dim: 2 });
+        let mlp =
+            Mlp::new(&mut rng, &MlpConfig { input_dim: 5, hidden: vec![8, 3], output_dim: 2 });
         assert_eq!(mlp.n_layers(), 3);
         let x = Matrix::zeros(7, 5);
         let trace = mlp.forward_trace(&x);
@@ -189,7 +229,11 @@ mod tests {
                 let mut xm = x.clone();
                 xm.set(i, j, xm.get(i, j) - eps);
                 let num = (loss_of(&xp) - loss_of(&xm)) / (2.0 * eps);
-                assert!((num - dx.get(i, j)).abs() < 2e-2, "dX[{i},{j}]: {num} vs {}", dx.get(i, j));
+                assert!(
+                    (num - dx.get(i, j)).abs() < 2e-2,
+                    "dX[{i},{j}]: {num} vs {}",
+                    dx.get(i, j)
+                );
             }
         }
     }
@@ -210,5 +254,19 @@ mod tests {
         let b = Mlp::new(&mut StdRng::seed_from_u64(9), &cfg);
         let x = Matrix::from_fn(3, 4, |i, j| (i + j) as f32 * 0.1);
         assert_eq!(a.forward(&x), b.forward(&x));
+    }
+
+    #[test]
+    fn forward_batch_bit_identical_to_trace_at_any_thread_count() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mlp =
+            Mlp::new(&mut rng, &MlpConfig { input_dim: 6, hidden: vec![9, 4], output_dim: 2 });
+        let x = Matrix::from_fn(37, 6, |i, j| ((i * 7 + j * 3) % 13) as f32 * 0.17 - 1.0);
+        let trace = mlp.forward_trace(&x);
+        for threads in [1usize, 2, 3, 8] {
+            let (emb, logits) = flexer_par::with_threads(threads, || mlp.forward_batch(&x));
+            assert_eq!(&emb, trace.embedding(), "embedding, {threads} threads");
+            assert_eq!(&logits, trace.output(), "logits, {threads} threads");
+        }
     }
 }

@@ -69,19 +69,31 @@ impl SparseMatrix {
         (&self.indices[s..e], &self.values[s..e])
     }
 
-    /// `self × dense` — `[m,k]sparse × [k,n] → [m,n]`.
+    /// `self × dense` — `[m,k]sparse × [k,n] → [m,n]`. Output rows fan out
+    /// across the `flexer-par` thread budget for large operands; each row is
+    /// the serial kernel, so results are bit-identical at any thread count.
     pub fn matmul_dense(&self, dense: &Matrix) -> Matrix {
         assert_eq!(self.cols, dense.rows(), "spmm shape mismatch");
         let n = dense.cols();
         let mut out = Matrix::zeros(self.rows, n);
-        for i in 0..self.rows {
+        if n == 0 {
+            return out;
+        }
+        let kernel = |i: usize, out_row: &mut [f32]| {
             let (cols, vals) = self.row(i);
-            let out_row = out.row_mut(i);
             for (&c, &v) in cols.iter().zip(vals) {
                 let d_row = dense.row(c as usize);
                 for (o, &d) in out_row.iter_mut().zip(d_row) {
                     *o += v * d;
                 }
+            }
+        };
+        // nnz × n multiply-adds total; same budget rule as dense matmul.
+        if self.nnz() * n >= crate::matrix::PAR_MIN_WORK {
+            flexer_par::for_each_row_mut(out.data_mut(), n, kernel);
+        } else {
+            for (i, out_row) in out.data_mut().chunks_mut(n).enumerate() {
+                kernel(i, out_row);
             }
         }
         out

@@ -110,9 +110,7 @@ impl MierBenchmark {
     pub fn subsumption_map(&self) -> Vec<Vec<IntentId>> {
         (0..self.n_intents())
             .map(|p| {
-                (0..self.n_intents())
-                    .filter(|&q| q != p && self.intent_subsumed_by(p, q))
-                    .collect()
+                (0..self.n_intents()).filter(|&q| q != p && self.intent_subsumed_by(p, q)).collect()
             })
             .collect()
     }
@@ -144,11 +142,9 @@ mod tests {
         // eq entities: r0==r1; brand entities: r0==r1==r2 (Nike), r3 book.
         let eq = EntityMap::new(vec![0, 0, 1, 2]);
         let brand = EntityMap::new(vec![0, 0, 0, 1]);
-        let labels = LabelMatrix::from_columns(&[
-            vec![true, false, false],
-            vec![true, true, false],
-        ])
-        .unwrap();
+        let labels =
+            LabelMatrix::from_columns(&[vec![true, false, false], vec![true, true, false]])
+                .unwrap();
         let splits = SplitAssignment::random(3, SplitRatios::PAPER, 0).unwrap();
         MierBenchmark {
             name: "mini".into(),

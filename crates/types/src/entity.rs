@@ -27,10 +27,7 @@ impl EntityMap {
 
     /// `θ(r)` — the entity of record `r`.
     pub fn entity_of(&self, record: RecordId) -> Result<EntityId, TypesError> {
-        self.assignments
-            .get(record)
-            .copied()
-            .ok_or(TypesError::UnknownRecord(record))
+        self.assignments.get(record).copied().ok_or(TypesError::UnknownRecord(record))
     }
 
     /// Whether `θ(r_i) = θ(r_j)`, i.e. the pair corresponds under this intent.

@@ -35,12 +35,13 @@ impl fmt::Display for TypesError {
             TypesError::LengthMismatch(expected, got) => {
                 write!(f, "length mismatch: expected {expected}, got {got}")
             }
-            TypesError::IncompleteEntityMap { records, mapped } => write!(
-                f,
-                "entity map covers {mapped} records but the dataset has {records}"
-            ),
+            TypesError::IncompleteEntityMap { records, mapped } => {
+                write!(f, "entity map covers {mapped} records but the dataset has {records}")
+            }
             TypesError::SelfPair(id) => write!(f, "record {id} paired with itself"),
-            TypesError::InvalidSplitRatios => write!(f, "split ratios must sum to a positive value"),
+            TypesError::InvalidSplitRatios => {
+                write!(f, "split ratios must sum to a positive value")
+            }
             TypesError::NoIntents => write!(f, "a MIER benchmark requires at least one intent"),
         }
     }

@@ -136,11 +136,8 @@ mod tests {
 
     fn sample() -> LabelMatrix {
         // pairs: 0..4, intents: eq, brand
-        LabelMatrix::from_columns(&[
-            vec![true, false, false, false],
-            vec![true, true, true, false],
-        ])
-        .unwrap()
+        LabelMatrix::from_columns(&[vec![true, false, false, false], vec![true, true, true, false]])
+            .unwrap()
     }
 
     #[test]

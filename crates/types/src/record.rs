@@ -179,10 +179,7 @@ mod tests {
 
     #[test]
     fn from_records_reindexes() {
-        let d = Dataset::from_records(vec![
-            Record::with_title(7, "x"),
-            Record::with_title(7, "y"),
-        ]);
+        let d = Dataset::from_records(vec![Record::with_title(7, "x"), Record::with_title(7, "y")]);
         assert_eq!(d[0].id, 0);
         assert_eq!(d[1].id, 1);
     }

@@ -61,11 +61,7 @@ impl Resolution {
 
     /// Indices of matched pairs in ascending order.
     pub fn indices(&self) -> Vec<usize> {
-        self.members
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &m)| m.then_some(i))
-            .collect()
+        self.members.iter().enumerate().filter_map(|(i, &m)| m.then_some(i)).collect()
     }
 
     /// Membership mask.
@@ -95,20 +91,14 @@ impl Resolution {
     /// **Definition 3 (Overlapping Intents)** lifted to resolutions: `M` and
     /// `M'` overlap iff some candidate pair belongs to both.
     pub fn overlaps(&self, other: &Resolution) -> bool {
-        self.members
-            .iter()
-            .zip(other.members.iter())
-            .any(|(&a, &b)| a && b)
+        self.members.iter().zip(other.members.iter()).any(|(&a, &b)| a && b)
     }
 
     /// **Definition 4 (Subsumed Intents)** lifted to resolutions: `self` is a
     /// sub-intent resolution of `other` iff no pair is in `self` but outside
     /// `other` (i.e. `self ⊆ other`).
     pub fn subsumed_by(&self, other: &Resolution) -> bool {
-        self.members
-            .iter()
-            .zip(other.members.iter())
-            .all(|(&a, &b)| !a || b)
+        self.members.iter().zip(other.members.iter()).all(|(&a, &b)| !a || b)
     }
 
     /// The resolution induced by the ground-truth mapping: the golden

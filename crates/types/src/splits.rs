@@ -120,11 +120,7 @@ impl SplitAssignment {
 
     /// Pair indices belonging to a split, ascending.
     pub fn indices_of(&self, split: Split) -> Vec<usize> {
-        self.assignment
-            .iter()
-            .enumerate()
-            .filter_map(|(i, &s)| (s == split).then_some(i))
-            .collect()
+        self.assignment.iter().enumerate().filter_map(|(i, &s)| (s == split).then_some(i)).collect()
     }
 
     /// Count of pairs in a split.

@@ -36,9 +36,8 @@ fn main() {
         ("John Lennon - Imagine (Ultimate Mix)", 7, 3),
         ("Imagine - A Perfect Circle", 8, 3),
     ];
-    let dataset = Dataset::from_records(
-        titles.iter().map(|(t, _, _)| Record::with_title(0, *t)).collect(),
-    );
+    let dataset =
+        Dataset::from_records(titles.iter().map(|(t, _, _)| Record::with_title(0, *t)).collect());
 
     // --- 2. Intents as entity mappings (the generator of pair labels). ---
     let recording = EntityMap::new(titles.iter().map(|&(_, r, _)| r as u64).collect());
@@ -79,10 +78,7 @@ fn main() {
         bench.n_pairs(),
         bench.intents.names()
     );
-    println!(
-        "Eq. ⊆ Same-Song in the ground truth: {}",
-        bench.intent_subsumed_by(0, 1)
-    );
+    println!("Eq. ⊆ Same-Song in the ground truth: {}", bench.intent_subsumed_by(0, 1));
 
     // --- 5. Fit FlexER and evaluate. ---
     let mut config = FlexErConfig::fast().with_seed(3);

@@ -65,9 +65,7 @@ fn table1_walkthrough() {
     let maps = [&eq, &brand, &category, &brand_cat];
     let columns: Vec<Vec<bool>> = maps
         .iter()
-        .map(|theta| {
-            Resolution::golden(&candidates, theta).expect("total maps").mask().to_vec()
-        })
+        .map(|theta| Resolution::golden(&candidates, theta).expect("total maps").mask().to_vec())
         .collect();
     let labels = LabelMatrix::from_columns(&columns).unwrap();
 

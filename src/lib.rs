@@ -11,6 +11,20 @@
 //! versions of the AmazonMI, Walmart-Amazon and WDC benchmarks, the paper's
 //! evaluation measures, and a harness regenerating every table and figure.
 //!
+//! # The `parallel` feature (on by default)
+//!
+//! FlexER trains *P* independent GNNs — one per intent — over the same
+//! multiplex graph. With `parallel` enabled, that per-intent loop, the
+//! per-intent matcher fits of the in-parallel baseline, multi-query ANN
+//! search, k-NN graph construction and large matmuls all fan out across
+//! the [`par`](crate::par) thread budget (honouring `RAYON_NUM_THREADS`,
+//! like rayon). The work split is deterministic and every item runs the
+//! exact serial kernel, so **results are bit-identical for any thread
+//! count** — `RAYON_NUM_THREADS=1`, the default budget, and
+//! `--no-default-features` (fully serial) all agree. Use
+//! [`par::with_threads`](crate::par::with_threads) to pin the budget in
+//! code.
+//!
 //! ```
 //! use flexer::prelude::*;
 //!
@@ -27,6 +41,7 @@ pub use flexer_eval as eval;
 pub use flexer_graph as graph;
 pub use flexer_matcher as matcher;
 pub use flexer_nn as nn;
+pub use flexer_par as par;
 pub use flexer_types as types;
 
 /// Convenient single-import surface for applications.
@@ -35,7 +50,7 @@ pub mod prelude {
     pub use flexer_datasets::{AmazonMiConfig, WalmartAmazonConfig, WdcConfig};
     pub use flexer_eval::{BinaryReport, MultiIntentReport};
     pub use flexer_types::{
-        CandidateSet, Dataset, EntityMap, Intent, IntentSet, LabelMatrix, MierBenchmark,
-        PairRef, Record, Resolution, Scale, Split,
+        CandidateSet, Dataset, EntityMap, Intent, IntentSet, LabelMatrix, MierBenchmark, PairRef,
+        Record, Resolution, Scale, Split,
     };
 }

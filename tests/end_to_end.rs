@@ -24,11 +24,7 @@ fn every_benchmark_supports_the_full_pipeline() {
         let flexer = FlexErModel::fit_from_embeddings(&ctx, &base.embeddings(), &config)
             .expect("flexer fits");
         let report = evaluate_on_split(&ctx.benchmark, &flexer.predictions, Split::Test);
-        assert!(
-            report.mi_f1 > 0.5,
-            "{name}: FlexER MI-F unexpectedly low: {:.3}",
-            report.mi_f1
-        );
+        assert!(report.mi_f1 > 0.5, "{name}: FlexER MI-F unexpectedly low: {:.3}", report.mi_f1);
         assert_eq!(flexer.predictions.n_pairs(), ctx.benchmark.n_pairs());
         assert_eq!(flexer.predictions.n_intents(), ctx.n_intents());
     }

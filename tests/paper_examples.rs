@@ -44,9 +44,7 @@ fn example_2_1_resolution_and_clean_view() {
             _ => 0.3,
         })
         .collect();
-    let m = Resolution::from_predictions(
-        &scores.iter().map(|&s| s > 0.5).collect::<Vec<bool>>(),
-    );
+    let m = Resolution::from_predictions(&scores.iter().map(|&s| s > 0.5).collect::<Vec<bool>>());
     assert_eq!(m.len(), 2);
     let view = clean_view(d.len(), &c, &m);
     assert_eq!(view.clusters[0], vec![0, 1, 2]);
@@ -113,10 +111,8 @@ fn table1_as_mier_benchmark() {
         EntityMap::new(vec![0, 0, 0, 1, 0, 2]),
         EntityMap::new(vec![0, 0, 0, 1, 2, 3]),
     ];
-    let columns: Vec<Vec<bool>> = maps
-        .iter()
-        .map(|t| Resolution::golden(&c, t).unwrap().mask().to_vec())
-        .collect();
+    let columns: Vec<Vec<bool>> =
+        maps.iter().map(|t| Resolution::golden(&c, t).unwrap().mask().to_vec()).collect();
     let labels = LabelMatrix::from_columns(&columns).unwrap();
     let splits =
         flexer_types::SplitAssignment::random(c.len(), flexer_types::SplitRatios::PAPER, 0)

@@ -1,0 +1,75 @@
+//! Parallel-execution determinism: FlexER's per-intent fan-out, the
+//! in-parallel baseline, and the underlying kernels must produce
+//! bit-identical results for every thread count — 1 thread, the default
+//! budget, and an oversubscribed budget. With `--no-default-features` the
+//! same assertions hold trivially (every path is the serial one), proving
+//! the serial and parallel configurations agree.
+
+use flexer::par::with_threads;
+use flexer::prelude::*;
+use flexer_core::{FlexErModel, InParallelModel, PipelineContext};
+use flexer_types::LabelMatrix;
+
+fn context() -> (PipelineContext, FlexErConfig) {
+    let bench = AmazonMiConfig::at_scale(Scale::Tiny).with_seed(77).generate();
+    let config = FlexErConfig::fast().with_seed(13);
+    let ctx = PipelineContext::new(bench, &config.matcher).expect("valid benchmark");
+    (ctx, config)
+}
+
+/// Full pipeline (in-parallel base + FlexER) under a fixed thread budget.
+fn run_pipeline(threads: usize) -> (LabelMatrix, LabelMatrix, Vec<Vec<f32>>) {
+    with_threads(threads, || {
+        let (ctx, config) = context();
+        let base = InParallelModel::fit(&ctx, &config.matcher).expect("in-parallel fits");
+        let flexer =
+            FlexErModel::fit_from_embeddings(&ctx, &base.embeddings(), &config).expect("fits");
+        let scores: Vec<Vec<f32>> = flexer.trained.iter().map(|t| t.scores.clone()).collect();
+        (base.predictions, flexer.predictions, scores)
+    })
+}
+
+#[test]
+fn pipeline_is_bit_identical_across_thread_counts() {
+    let (base_1, flexer_1, scores_1) = run_pipeline(1);
+    for threads in [2usize, 4, 8] {
+        let (base_n, flexer_n, scores_n) = run_pipeline(threads);
+        assert_eq!(base_1, base_n, "in-parallel predictions differ at {threads} threads");
+        assert_eq!(flexer_1, flexer_n, "FlexER predictions differ at {threads} threads");
+        // Scores are raw f32s — bit-identical, not just approximately equal.
+        assert_eq!(scores_1, scores_n, "per-intent GNN scores differ at {threads} threads");
+    }
+}
+
+#[test]
+fn default_budget_matches_single_thread() {
+    // The default budget (RAYON_NUM_THREADS / available parallelism) must
+    // agree with the forced-serial run too.
+    let (base_1, flexer_1, scores_1) = run_pipeline(1);
+    let (ctx, config) = context();
+    let base = InParallelModel::fit(&ctx, &config.matcher).expect("in-parallel fits");
+    let flexer = FlexErModel::fit_from_embeddings(&ctx, &base.embeddings(), &config).expect("fits");
+    assert_eq!(base_1, base.predictions);
+    assert_eq!(flexer_1, flexer.predictions);
+    let scores: Vec<Vec<f32>> = flexer.trained.iter().map(|t| t.scores.clone()).collect();
+    assert_eq!(scores_1, scores);
+}
+
+#[test]
+fn subset_fit_borrows_and_stays_deterministic() {
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let (ctx, config) = context();
+            let base = InParallelModel::fit(&ctx, &config.matcher).expect("in-parallel fits");
+            let eq = ctx.equivalence_id().expect("equivalence intent");
+            let trained =
+                FlexErModel::fit_subset_for_target(&ctx, &base.embeddings(), &[eq, 1], eq, &config)
+                    .expect("subset fits");
+            (trained.preds, trained.scores)
+        })
+    };
+    let (preds_1, scores_1) = run(1);
+    let (preds_4, scores_4) = run(4);
+    assert_eq!(preds_1, preds_4);
+    assert_eq!(scores_1, scores_4);
+}

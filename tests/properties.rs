@@ -34,7 +34,7 @@ proptest! {
     ) {
         let golden = Resolution::golden(&candidates, &theta).unwrap();
         prop_assert!(golden.satisfies(&candidates, &theta).unwrap());
-        if candidates.len() > 0 {
+        if !candidates.is_empty() {
             let mut broken = golden.clone();
             broken.set(0, !broken.contains(0));
             prop_assert!(!broken.satisfies(&candidates, &theta).unwrap());

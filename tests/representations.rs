@@ -22,11 +22,7 @@ fn both_representation_sources_fit() {
         let cfg = FlexErConfig { representation: source, ..config.clone() };
         let model = FlexErModel::fit(&ctx, &cfg).expect("fit with source");
         let report = evaluate_on_split(&ctx.benchmark, &model.predictions, Split::Test);
-        assert!(
-            report.mi_f1 > 0.5,
-            "{source:?}: MI-F = {:.3}",
-            report.mi_f1
-        );
+        assert!(report.mi_f1 > 0.5, "{source:?}: MI-F = {:.3}", report.mi_f1);
     }
 }
 
@@ -81,10 +77,8 @@ fn mismatched_external_embedding_shapes_are_rejected() {
     let n = ctx.benchmark.n_pairs();
     let good = Matrix::zeros(n, 8);
     let bad_dim = Matrix::zeros(n, 4);
-    let refs: Vec<&Matrix> = (0..ctx.n_intents() - 1)
-        .map(|_| &good)
-        .chain(std::iter::once(&bad_dim))
-        .collect();
+    let refs: Vec<&Matrix> =
+        (0..ctx.n_intents() - 1).map(|_| &good).chain(std::iter::once(&bad_dim)).collect();
     // Dimension mismatch across layers panics in graph construction by
     // contract; count mismatch errors cleanly first.
     let too_few: Vec<&Matrix> = vec![&good];
