@@ -3,7 +3,7 @@
 //! version is used).
 
 use crate::distance::l2_sq;
-use crate::{Neighbor, VectorIndex};
+use crate::{assert_finite, Neighbor, VectorIndex};
 
 /// Flat (brute-force) index over row-major vectors.
 #[derive(Debug, Clone)]
@@ -23,12 +23,14 @@ impl FlatIndex {
     pub fn from_rows(dim: usize, rows: &[f32]) -> Self {
         assert!(dim > 0, "dimension must be positive");
         assert_eq!(rows.len() % dim, 0, "row data must be a multiple of dim");
+        assert_finite(rows, "FlatIndex::from_rows");
         Self { dim, data: rows.to_vec() }
     }
 
     /// Appends one vector; returns its id.
     pub fn add(&mut self, v: &[f32]) -> usize {
         assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        assert_finite(v, "FlatIndex::add");
         self.data.extend_from_slice(v);
         self.len() - 1
     }
@@ -36,6 +38,11 @@ impl FlatIndex {
     /// Stored vector by id.
     pub fn vector(&self, id: usize) -> &[f32] {
         &self.data[id * self.dim..(id + 1) * self.dim]
+    }
+
+    /// The full `n × dim` row-major buffer (snapshot export).
+    pub fn data(&self) -> &[f32] {
+        &self.data
     }
 }
 
@@ -50,6 +57,7 @@ impl VectorIndex for FlatIndex {
 
     fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        assert_finite(query, "FlatIndex::search");
         let n = self.len();
         let k = k.min(n);
         if k == 0 {
@@ -154,6 +162,30 @@ mod tests {
                 assert_eq!(hits, &idx.search(q, 3), "{threads} threads");
             }
         }
+    }
+
+    // Regression: NaN distances used to poison the `partial_cmp`-based
+    // top-k buffer silently — a NaN never compares smaller, so it parked at
+    // the end of the buffer and displaced real neighbours. Non-finite input
+    // is now rejected at every entry point instead.
+    #[test]
+    #[should_panic(expected = "FlatIndex::add: non-finite value")]
+    fn add_rejects_nan() {
+        let mut idx = FlatIndex::new(2);
+        idx.add(&[0.0, f32::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "FlatIndex::from_rows: non-finite value")]
+    fn from_rows_rejects_inf() {
+        let _ = FlatIndex::from_rows(2, &[1.0, f32::INFINITY]);
+    }
+
+    #[test]
+    #[should_panic(expected = "FlatIndex::search: non-finite value")]
+    fn search_rejects_nan_query() {
+        let idx = grid_index();
+        let _ = idx.search(&[f32::NAN, 0.0], 3);
     }
 
     #[test]

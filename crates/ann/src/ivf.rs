@@ -7,7 +7,7 @@
 
 use crate::distance::l2_sq;
 use crate::kmeans::KMeans;
-use crate::{Neighbor, VectorIndex};
+use crate::{assert_finite, Neighbor, VectorIndex};
 
 /// IVF construction parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +45,7 @@ impl IvfIndex {
     pub fn build(dim: usize, rows: &[f32], config: IvfConfig) -> Self {
         assert!(dim > 0, "dimension must be positive");
         assert_eq!(rows.len() % dim, 0, "row data must be a multiple of dim");
+        assert_finite(rows, "IvfIndex::build");
         let n = rows.len() / dim;
         let quantizer =
             KMeans::fit(rows, dim, config.nlist.max(1), config.train_iters, config.seed);
@@ -52,16 +53,85 @@ impl IvfIndex {
         for (i, &c) in quantizer.assignments.iter().enumerate() {
             lists[c].push(i);
         }
-        Self { dim, n, quantizer, lists, data: rows.to_vec(), nprobe: config.nprobe.max(1) }
+        let nprobe = config.nprobe.clamp(1, lists.len());
+        Self { dim, n, quantizer, lists, data: rows.to_vec(), nprobe }
     }
 
-    fn vector(&self, id: usize) -> &[f32] {
+    /// Appends one vector, routing it to its nearest coarse centroid's
+    /// inverted list, and returns its id. The quantizer stays frozen — the
+    /// standard incremental-insert semantics of an IVF index (Faiss's
+    /// `add` after `train`): centroids reflect the training distribution,
+    /// new vectors only join lists.
+    pub fn add(&mut self, v: &[f32]) -> usize {
+        assert_eq!(v.len(), self.dim, "vector dimension mismatch");
+        assert_finite(v, "IvfIndex::add");
+        assert!(self.quantizer.k > 0, "cannot add to an IVF index with an untrained quantizer");
+        let c = self.quantizer.nearest_centroid(v);
+        let id = self.n;
+        self.lists[c].push(id);
+        self.data.extend_from_slice(v);
+        self.n += 1;
+        id
+    }
+
+    /// Stored vector by id (insertion order).
+    pub fn vector(&self, id: usize) -> &[f32] {
         &self.data[id * self.dim..(id + 1) * self.dim]
     }
 
     /// Number of inverted lists.
     pub fn nlist(&self) -> usize {
         self.lists.len()
+    }
+
+    /// Current probe width.
+    pub fn nprobe(&self) -> usize {
+        self.nprobe
+    }
+
+    /// The coarse quantizer (snapshot export).
+    pub fn quantizer(&self) -> &KMeans {
+        &self.quantizer
+    }
+
+    /// The inverted lists (snapshot export).
+    pub fn lists(&self) -> &[Vec<usize>] {
+        &self.lists
+    }
+
+    /// The full row-major vector buffer, in insertion order (snapshot
+    /// export).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Reassembles an index from its snapshot parts. Panics unless the
+    /// parts are mutually consistent (every id in exactly one list, data a
+    /// whole number of rows, centroid dims matching).
+    pub fn from_parts(
+        dim: usize,
+        quantizer: KMeans,
+        lists: Vec<Vec<usize>>,
+        data: Vec<f32>,
+        nprobe: usize,
+    ) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(data.len() % dim, 0, "row data must be a multiple of dim");
+        assert_finite(&data, "IvfIndex::from_parts");
+        let n = data.len() / dim;
+        assert_eq!(quantizer.dim, dim, "quantizer dimensionality mismatch");
+        assert_eq!(lists.len(), quantizer.k.max(1), "one inverted list per centroid required");
+        let mut seen = vec![false; n];
+        for list in &lists {
+            for &id in list {
+                assert!(id < n, "inverted list references vector {id} of {n}");
+                assert!(!seen[id], "vector {id} appears in two inverted lists");
+                seen[id] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every vector must appear in an inverted list");
+        let nprobe = nprobe.clamp(1, lists.len());
+        Self { dim, n, quantizer, lists, data, nprobe }
     }
 
     /// Sets the probe width (clamped to `nlist`).
@@ -93,6 +163,7 @@ impl VectorIndex for IvfIndex {
 
     fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
         assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        assert_finite(query, "IvfIndex::search");
         if self.n == 0 || k == 0 {
             return Vec::new();
         }
@@ -186,6 +257,74 @@ mod tests {
         let partial = ivf.expected_scan_fraction();
         assert!((full - 1.0).abs() < 1e-9);
         assert!(partial < full);
+    }
+
+    #[test]
+    fn incremental_add_matches_batch_build_search() {
+        // Vectors added after build join the nearest centroid's list, so
+        // full-probe search over the grown index stays exact.
+        let dim = 4;
+        let rows = pseudo_random_rows(150, dim, 21);
+        let (train, extra) = rows.split_at(100 * dim);
+        let mut ivf =
+            IvfIndex::build(dim, train, IvfConfig { nlist: 6, nprobe: 6, ..Default::default() });
+        for v in extra.chunks(dim) {
+            ivf.add(v);
+        }
+        assert_eq!(ivf.len(), 150);
+        let flat = FlatIndex::from_rows(dim, &rows);
+        for q in [3usize, 77, 120, 149] {
+            let query = &rows[q * dim..(q + 1) * dim];
+            let a: Vec<usize> = ivf.search(query, 5).iter().map(|h| h.id).collect();
+            let b: Vec<usize> = flat.search(query, 5).iter().map(|h| h.id).collect();
+            assert_eq!(a, b, "query {q}");
+        }
+    }
+
+    #[test]
+    fn added_vector_retrievable_with_one_probe() {
+        let dim = 3;
+        let rows = pseudo_random_rows(60, dim, 9);
+        let mut ivf =
+            IvfIndex::build(dim, &rows, IvfConfig { nlist: 5, nprobe: 1, ..Default::default() });
+        let v = [0.25f32, -0.75, 0.5];
+        let id = ivf.add(&v);
+        assert_eq!(id, 60);
+        let hits = ivf.search(&v, 1);
+        assert_eq!(hits[0].id, id);
+        assert_eq!(hits[0].dist, 0.0);
+    }
+
+    #[test]
+    fn from_parts_roundtrip_preserves_search() {
+        let dim = 3;
+        let rows = pseudo_random_rows(80, dim, 13);
+        let ivf =
+            IvfIndex::build(dim, &rows, IvfConfig { nlist: 7, nprobe: 3, ..Default::default() });
+        let rebuilt = IvfIndex::from_parts(
+            dim,
+            ivf.quantizer().clone(),
+            ivf.lists().to_vec(),
+            ivf.data().to_vec(),
+            ivf.nprobe(),
+        );
+        let query = &rows[5 * dim..6 * dim];
+        assert_eq!(ivf.search(query, 8), rebuilt.search(query, 8));
+        assert_eq!(rebuilt.nprobe(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "IvfIndex::add: non-finite value")]
+    fn add_rejects_nan() {
+        let rows = pseudo_random_rows(20, 2, 1);
+        let mut ivf = IvfIndex::build(2, &rows, IvfConfig::default());
+        ivf.add(&[f32::NAN, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "IvfIndex::build: non-finite value")]
+    fn build_rejects_inf() {
+        let _ = IvfIndex::build(2, &[0.0, f32::NEG_INFINITY], IvfConfig::default());
     }
 
     #[test]

@@ -28,6 +28,73 @@ pub use flat::FlatIndex;
 pub use ivf::{IvfConfig, IvfIndex};
 pub use knn_graph::knn_graph;
 
+/// A runtime-selected index: exact flat scan or approximate IVF. The
+/// serving tier stores one per intent layer and the snapshot format tags
+/// which variant was exported, so operators can trade recall for latency
+/// without a recompile.
+#[derive(Debug, Clone)]
+pub enum AnyIndex {
+    /// Exact exhaustive search (what the paper runs).
+    Flat(FlatIndex),
+    /// Inverted-file approximate search (the §5.7 heuristic).
+    Ivf(IvfIndex),
+}
+
+impl AnyIndex {
+    /// Appends one vector; returns its id (incremental ingest).
+    pub fn add(&mut self, v: &[f32]) -> usize {
+        match self {
+            AnyIndex::Flat(i) => i.add(v),
+            AnyIndex::Ivf(i) => i.add(v),
+        }
+    }
+
+    /// Stored vector by id, in insertion order.
+    pub fn vector(&self, id: usize) -> &[f32] {
+        match self {
+            AnyIndex::Flat(i) => i.vector(id),
+            AnyIndex::Ivf(i) => i.vector(id),
+        }
+    }
+}
+
+impl VectorIndex for AnyIndex {
+    fn len(&self) -> usize {
+        match self {
+            AnyIndex::Flat(i) => i.len(),
+            AnyIndex::Ivf(i) => i.len(),
+        }
+    }
+
+    fn dim(&self) -> usize {
+        match self {
+            AnyIndex::Flat(i) => i.dim(),
+            AnyIndex::Ivf(i) => i.dim(),
+        }
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        match self {
+            AnyIndex::Flat(i) => i.search(query, k),
+            AnyIndex::Ivf(i) => i.search(query, k),
+        }
+    }
+}
+
+/// Panics with a clear message if any component is NaN/Inf. Every index
+/// entry point runs this: a single non-finite coordinate makes `l2_sq`
+/// return NaN, and NaN distances poison the `partial_cmp`-based top-k
+/// ordering silently (every comparison "succeeds", the ranking is garbage).
+pub fn assert_finite(v: &[f32], context: &str) {
+    for (i, &x) in v.iter().enumerate() {
+        assert!(
+            x.is_finite(),
+            "{context}: non-finite value {x} at component {i} — NaN/Inf would poison \
+             the distance-based neighbour ordering"
+        );
+    }
+}
+
 /// A search hit: vector id and squared L2 distance.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Neighbor {

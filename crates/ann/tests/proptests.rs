@@ -104,4 +104,72 @@ proptest! {
         ids.sort_unstable();
         prop_assert_eq!(ids, (0..12).collect::<Vec<_>>());
     }
+
+    /// IVF recall@10 against the flat ground truth, swept across every
+    /// `nprobe` setting: recall lives in [0,1], never *drops* when the
+    /// probe width grows (probed lists at nprobe=a are a prefix of those
+    /// at nprobe=b ≥ a, so the candidate set only gains members), and hits
+    /// 1.0 with identical ordering at full probe.
+    #[test]
+    fn ivf_recall_at_10_monotone_in_nprobe(
+        rows in rows_strategy(90, 3),
+        nlist in 2usize..9,
+        seed in any::<u64>(),
+    ) {
+        let dim = 3;
+        let flat = FlatIndex::from_rows(dim, &rows);
+        let mut ivf = IvfIndex::build(
+            dim,
+            &rows,
+            IvfConfig { nlist, train_iters: 8, seed, ..Default::default() },
+        );
+        for q in 0..6usize {
+            let query = &rows[q * dim..(q + 1) * dim];
+            let exact: Vec<usize> = flat.search(query, 10).iter().map(|h| h.id).collect();
+            let mut prev = 0.0f64;
+            for nprobe in 1..=ivf.nlist() {
+                ivf.set_nprobe(nprobe);
+                let approx: Vec<usize> = ivf.search(query, 10).iter().map(|h| h.id).collect();
+                let hit = exact.iter().filter(|id| approx.contains(id)).count();
+                let recall = hit as f64 / exact.len() as f64;
+                prop_assert!((0.0..=1.0).contains(&recall));
+                prop_assert!(
+                    recall + 1e-12 >= prev,
+                    "recall dropped {prev} -> {recall} as nprobe grew to {nprobe}"
+                );
+                prev = recall;
+            }
+            prop_assert!((prev - 1.0).abs() < 1e-12, "full probe recall {prev} != 1");
+            let full: Vec<usize> = ivf.search(query, 10).iter().map(|h| h.id).collect();
+            prop_assert_eq!(&full, &exact, "full probe must equal the flat ordering");
+        }
+    }
+
+    /// Incremental `add` keeps full-probe search exact: vectors inserted
+    /// after `build` are routed to their nearest centroid's list and are
+    /// found exactly where a from-scratch flat scan finds them.
+    #[test]
+    fn ivf_incremental_add_stays_exact_at_full_probe(
+        rows in rows_strategy(70, 3),
+        split in 30usize..60,
+    ) {
+        let dim = 3;
+        let (train, tail) = rows.split_at(split * dim);
+        let mut ivf = IvfIndex::build(
+            dim,
+            train,
+            IvfConfig { nlist: 5, train_iters: 6, ..Default::default() },
+        );
+        for v in tail.chunks(dim) {
+            ivf.add(v);
+        }
+        ivf.set_nprobe(ivf.nlist());
+        let flat = FlatIndex::from_rows(dim, &rows);
+        for q in [0usize, split - 1, 69] {
+            let query = &rows[q * dim..(q + 1) * dim];
+            let a: Vec<usize> = ivf.search(query, 10).iter().map(|h| h.id).collect();
+            let b: Vec<usize> = flat.search(query, 10).iter().map(|h| h.id).collect();
+            prop_assert_eq!(a, b);
+        }
+    }
 }

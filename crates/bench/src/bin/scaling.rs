@@ -7,6 +7,7 @@
 //! cargo run --release --bin scaling -- --scale small --seed 17 [--threads 1,2,4,8]
 //! ```
 
+use flexer_bench::json::{array, write_bench_json, JsonObject};
 use flexer_bench::{flexer_config, matcher_config, DatasetKind};
 use flexer_core::{FlexErModel, InParallelModel, PipelineContext};
 use flexer_nn::Matrix;
@@ -17,7 +18,7 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: scaling [--scale tiny|small|paper] [--seed N] [--threads 1,2,4,8]");
+    eprintln!("usage: scaling [--scale tiny|small|paper] [--seed N] [--threads 1,2,4,8] [--json]");
     std::process::exit(2)
 }
 
@@ -25,6 +26,7 @@ fn main() {
     let mut thread_counts = vec![1usize, 2, 4, 8];
     let mut scale = Scale::Small;
     let mut seed = 17u64;
+    let mut json = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -56,6 +58,7 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage("--seed expects an integer"));
             }
+            "--json" => json = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
         }
@@ -82,8 +85,10 @@ fn main() {
     println!("in-parallel base fit, 1 thread:  {base_serial:?}");
     let embeddings: Vec<&Matrix> = base.embeddings();
 
+    let n_pairs = ctx.benchmark.n_pairs();
     let mut reference = None;
     let mut serial_secs = 0.0f64;
+    let mut json_runs: Vec<String> = Vec::new();
     println!();
     println!("FlexErModel::fit_from_embeddings (P = {} intents):", ctx.n_intents());
     for &threads in &thread_counts {
@@ -94,11 +99,12 @@ fn main() {
         .expect("flexer fit");
         let elapsed = t0.elapsed();
         let secs = elapsed.as_secs_f64();
-        match &reference {
+        let identical = match &reference {
             None => {
                 serial_secs = secs;
                 reference = Some(model.predictions.clone());
                 println!("  {threads:>2} thread(s): {elapsed:>10.3?}   (reference)");
+                true
             }
             Some(want) => {
                 let identical = *want == model.predictions;
@@ -108,8 +114,18 @@ fn main() {
                     if identical { "yes" } else { "NO — BUG" },
                 );
                 assert!(identical, "predictions diverged at {threads} threads");
+                identical
             }
-        }
+        };
+        json_runs.push(
+            JsonObject::new()
+                .int("threads", threads as u64)
+                .num("fit_secs", secs)
+                .num("speedup", serial_secs / secs)
+                .num("pairs_per_sec", n_pairs as f64 / secs)
+                .bool("bit_identical", identical)
+                .render(),
+        );
     }
 
     // The per-intent matcher fan-out, for the same thread sweep.
@@ -122,5 +138,27 @@ fn main() {
         let elapsed = t0.elapsed();
         assert_eq!(model.predictions, base.predictions, "diverged at {threads} threads");
         println!("  {threads:>2} thread(s): {elapsed:>10.3?}");
+    }
+
+    if json {
+        let mi_f = reference
+            .as_ref()
+            .map(|preds| {
+                flexer_core::evaluate_on_split(&ctx.benchmark, preds, flexer_types::Split::Test)
+                    .mi_f1
+            })
+            .unwrap_or(f64::NAN);
+        let doc = JsonObject::new()
+            .str("bench", "scaling")
+            .str("scale", &scale.to_string())
+            .int("seed", seed)
+            .int("n_pairs", n_pairs as u64)
+            .int("n_intents", ctx.n_intents() as u64)
+            .num("base_fit_secs", base_serial.as_secs_f64())
+            .num("mi_f", mi_f)
+            .raw("runs", array(json_runs))
+            .render();
+        let path = write_bench_json("scaling", &doc).expect("write BENCH_scaling.json");
+        eprintln!("[scaling] wrote {}", path.display());
     }
 }

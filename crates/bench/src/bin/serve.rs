@@ -1,0 +1,104 @@
+//! Serving throughput harness: trains FlexER once, snapshots it, loads a
+//! [`ResolutionService`] and measures the three serving paths —
+//! transductive corpus-pair lookups, inductive record resolution and
+//! online ingest — reporting QPS and p50/p99 latency.
+//!
+//! ```text
+//! cargo run --release --bin serve -- [--scale tiny|small|paper] [--seed N] [--json]
+//! ```
+
+use flexer_bench::json::{write_bench_json, JsonObject};
+use flexer_bench::{banner, flexer_config, matcher_config, DatasetKind, HarnessArgs};
+use flexer_core::{evaluate_on_split, FlexErModel, InParallelModel, PipelineContext};
+use flexer_serve::{ResolutionService, ServeConfig};
+use flexer_store::IndexKind;
+use flexer_types::{ResolveQuery, Scale, Split};
+use std::time::Instant;
+
+fn main() {
+    let args = HarnessArgs::parse_with_default(Scale::Tiny);
+    banner("serve: online resolution throughput", &args);
+
+    // Train + snapshot once (the offline phase a production deployment
+    // amortizes across every query that follows).
+    let bench = DatasetKind::AmazonMi.generate(args.scale, args.seed);
+    let mcfg = matcher_config(args.scale, args.seed);
+    let fcfg = flexer_config(args.scale, args.seed);
+    let ctx = PipelineContext::new(bench, &mcfg).expect("valid benchmark");
+    eprintln!("[serve] training FlexER on {} pairs...", ctx.benchmark.n_pairs());
+    let t0 = Instant::now();
+    let base = InParallelModel::fit(&ctx, &mcfg).expect("base fit");
+    let model =
+        FlexErModel::fit_from_embeddings(&ctx, &base.embeddings(), &fcfg).expect("flexer fit");
+    let train_secs = t0.elapsed().as_secs_f64();
+    let mi_f = evaluate_on_split(&ctx.benchmark, &model.predictions, Split::Test).mi_f1;
+
+    let snapshot = model.to_snapshot(&ctx, &base, &fcfg, IndexKind::Flat).expect("export");
+    let bytes = snapshot.to_bytes();
+    println!("trained in {train_secs:.1}s (MI-F {mi_f:.3}); snapshot = {} bytes", bytes.len());
+
+    let t0 = Instant::now();
+    let mut svc = ResolutionService::new(snapshot, ServeConfig::default()).expect("load service");
+    let load_secs = t0.elapsed().as_secs_f64();
+    println!("service warm-loaded in {load_secs:.2}s ({} pairs)", svc.n_pairs());
+
+    // --- Path 1: transductive corpus-pair lookups (the hot exact path).
+    let n_pairs = svc.n_pairs();
+    let corpus_queries: Vec<ResolveQuery> =
+        (0..4096).map(|i| ResolveQuery::CorpusPair(i % n_pairs)).collect();
+    let t0 = Instant::now();
+    let results = svc.resolve_batch(&corpus_queries, 0, 1);
+    let secs = t0.elapsed().as_secs_f64();
+    assert!(results.iter().all(|r| r.is_ok()));
+    let corpus_qps = corpus_queries.len() as f64 / secs;
+    println!("corpus-pair resolve : {corpus_qps:>10.0} qps");
+
+    // --- Path 2: inductive record resolution (embed + ANN + GNN).
+    let n_record_queries = 24.min(svc.n_records());
+    let record_queries: Vec<ResolveQuery> =
+        (0..n_record_queries).map(|i| ResolveQuery::record(svc.record_title(i))).collect();
+    let t0 = Instant::now();
+    let results = svc.resolve_batch(&record_queries, 0, 10);
+    let secs = t0.elapsed().as_secs_f64();
+    assert!(results.iter().all(|r| r.is_ok()));
+    let record_qps = record_queries.len() as f64 / secs;
+    println!("record resolve      : {record_qps:>10.2} qps (corpus of {})", svc.n_records());
+
+    // --- Path 3: online ingest.
+    let t0 = Instant::now();
+    for i in 0..4 {
+        svc.ingest(&format!("ingested widget number {i} deluxe"));
+    }
+    let ingest_secs = t0.elapsed().as_secs_f64() / 4.0;
+    println!("ingest              : {:>10.2} records/sec", 1.0 / ingest_secs);
+
+    let metrics = svc.metrics();
+    println!(
+        "latency             : p50 {}µs, p99 {}µs over {} samples",
+        metrics.p50_latency_us, metrics.p99_latency_us, metrics.latency_samples
+    );
+    println!("embedding cache     : {} hits / {} misses", metrics.cache_hits, metrics.cache_misses);
+
+    if args.json {
+        let doc = JsonObject::new()
+            .str("bench", "serve")
+            .str("scale", &args.scale.to_string())
+            .int("seed", args.seed)
+            .int("n_pairs", n_pairs as u64)
+            .int("n_records", svc.n_records() as u64)
+            .int("snapshot_bytes", bytes.len() as u64)
+            .num("train_secs", train_secs)
+            .num("load_secs", load_secs)
+            .num("mi_f", mi_f)
+            .num("corpus_pair_qps", corpus_qps)
+            .num("record_qps", record_qps)
+            .num("ingest_per_sec", 1.0 / ingest_secs)
+            .int("p50_latency_us", metrics.p50_latency_us)
+            .int("p99_latency_us", metrics.p99_latency_us)
+            .int("cache_hits", metrics.cache_hits)
+            .int("cache_misses", metrics.cache_misses)
+            .render();
+        let path = write_bench_json("serve", &doc).expect("write BENCH_serve.json");
+        eprintln!("[serve] wrote {}", path.display());
+    }
+}

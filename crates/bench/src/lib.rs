@@ -9,6 +9,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use flexer_core::prelude::*;
 use flexer_datasets::{AmazonMiConfig, WalmartAmazonConfig, WdcConfig};
 use flexer_matcher::PairFeaturizer;
@@ -21,14 +23,18 @@ pub struct HarnessArgs {
     pub scale: Scale,
     /// Generation/training seed.
     pub seed: u64,
+    /// Whether to also write machine-readable `BENCH_*.json` results.
+    pub json: bool,
 }
 
 impl HarnessArgs {
-    /// Parses `--scale` / `--seed` from `std::env::args`, with an
-    /// experiment-specific default scale. Unknown flags abort with usage.
+    /// Parses `--scale` / `--seed` / `--json` from `std::env::args`, with
+    /// an experiment-specific default scale. Unknown flags abort with
+    /// usage.
     pub fn parse_with_default(default_scale: Scale) -> Self {
         let mut scale = default_scale;
         let mut seed = 17u64;
+        let mut json = false;
         let args: Vec<String> = std::env::args().skip(1).collect();
         let mut i = 0;
         while i < args.len() {
@@ -47,12 +53,13 @@ impl HarnessArgs {
                         .and_then(|s| s.parse().ok())
                         .unwrap_or_else(|| usage("--seed expects an integer"));
                 }
+                "--json" => json = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown argument {other}")),
             }
             i += 1;
         }
-        Self { scale, seed }
+        Self { scale, seed, json }
     }
 
     /// Parses with the standard `Small` default.
@@ -65,7 +72,7 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <bin> [--scale tiny|small|paper] [--seed N]");
+    eprintln!("usage: <bin> [--scale tiny|small|paper] [--seed N] [--json]");
     std::process::exit(2)
 }
 

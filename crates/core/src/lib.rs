@@ -36,6 +36,7 @@ pub mod context;
 pub mod error;
 pub mod flexer;
 pub mod pipeline;
+pub mod snapshot;
 pub mod union_find;
 
 pub use baselines::chain::ChainModel;

@@ -29,6 +29,27 @@ impl CsrGraph {
         Self { indptr, indices }
     }
 
+    /// Reassembles a graph from raw CSR arrays (the snapshot-import path).
+    /// Panics unless `indptr` is a valid monotone offset array over
+    /// `indices`.
+    pub fn from_parts(indptr: Vec<usize>, indices: Vec<u32>) -> Self {
+        assert!(!indptr.is_empty(), "indptr must hold at least the leading 0");
+        assert_eq!(indptr[0], 0, "indptr must start at 0");
+        assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr must be monotone");
+        assert_eq!(*indptr.last().unwrap(), indices.len(), "indptr must end at indices.len()");
+        Self { indptr, indices }
+    }
+
+    /// Raw CSR offsets (snapshot export).
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Raw CSR neighbour array (snapshot export).
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
     /// Number of nodes.
     pub fn n_nodes(&self) -> usize {
         self.indptr.len() - 1

@@ -26,7 +26,7 @@ pub mod train;
 
 pub use build::build_intent_graph;
 pub use csr::CsrGraph;
-pub use model::GnnModel;
+pub use model::{GnnModel, GnnTrace, InductiveTrace};
 pub use multiplex::MultiplexGraph;
-pub use sage::SageLayer;
+pub use sage::{Aggregation, SageLayer};
 pub use train::{train_for_intent, GnnConfig, TrainedGnn};

@@ -1,5 +1,17 @@
-//! The stacked GNN with a per-intent prediction head (Eqs. 4–5).
+//! The stacked GNN with a per-intent prediction head (Eqs. 4–5), plus the
+//! inductive forward pass the serving tier uses to score *new* pairs
+//! against frozen weights.
+//!
+//! The inductive pass exploits a structural property of the multiplex
+//! graph: edges point **into** a node, and inserting a new pair never
+//! rewires existing nodes (intra-layer k-NN edges are fixed from the
+//! initial representations, §4.1.3). The stored corpus states at every GNN
+//! depth therefore stay exactly what the transductive forward computed, so
+//! a new pair's P nodes can be evaluated on a small local subgraph whose
+//! neighbour states are *pinned* from a cached [`GnnTrace`] — replaying an
+//! existing pair through this path is bit-identical to the batch forward.
 
+use crate::csr::CsrGraph;
 use crate::multiplex::MultiplexGraph;
 use crate::sage::{Aggregation, SageCache, SageLayer};
 use flexer_nn::activation::{relu_backward_inplace, relu_inplace, softmax_rows};
@@ -25,6 +37,37 @@ impl GnnTrace {
     pub fn final_hidden(&self) -> &Matrix {
         &self.caches.last().expect("at least one layer").output
     }
+
+    /// Post-activation node states after GNN layer `t` (the input to layer
+    /// `t + 1`) — the pinned neighbour states of the inductive pass.
+    pub fn hidden(&self, t: usize) -> &Matrix {
+        &self.caches[t].output
+    }
+
+    /// Number of cached layer outputs.
+    pub fn n_layers(&self) -> usize {
+        self.caches.len()
+    }
+}
+
+/// Per-depth states and final logits of one inductive forward pass over a
+/// new pair's local neighbourhood.
+#[derive(Debug, Clone)]
+pub struct InductiveTrace {
+    /// Output of each GNN layer for the new pair's P nodes (`hidden[t]` is
+    /// `P × d_t`, post-ReLU except the last, mirroring [`GnnTrace`]).
+    pub hidden: Vec<Matrix>,
+    /// `P × 2` logits: row `p` is the head applied to the new node of
+    /// intent layer `p` (Eq. 5).
+    pub logits: Matrix,
+}
+
+impl InductiveTrace {
+    /// Match likelihood per intent layer (`softmax` second entry).
+    pub fn scores(&self) -> Vec<f32> {
+        let probs = softmax_rows(&self.logits);
+        (0..probs.rows()).map(|i| probs.get(i, 1)).collect()
+    }
 }
 
 impl GnnModel {
@@ -46,6 +89,32 @@ impl GnnModel {
         }
         let head = Linear::new(rng, in_dim, 2);
         Self { layers, head }
+    }
+
+    /// Reassembles a model from its layers and head (the snapshot-import
+    /// path). Panics unless dimensions chain layer-to-layer and into the
+    /// head.
+    pub fn from_parts(layers: Vec<SageLayer>, head: Linear) -> Self {
+        assert!(!layers.is_empty(), "at least one GNN layer required");
+        for w in layers.windows(2) {
+            assert_eq!(w[0].out_dim(), w[1].in_dim(), "GNN layer dimensions must chain");
+        }
+        assert_eq!(
+            layers.last().expect("non-empty").out_dim(),
+            head.in_dim(),
+            "head input width must match the final layer"
+        );
+        Self { layers, head }
+    }
+
+    /// The GraphSAGE layers in forward order (snapshot export).
+    pub fn sage_layers(&self) -> &[SageLayer] {
+        &self.layers
+    }
+
+    /// The prediction head of Eq. 5 (snapshot export).
+    pub fn head(&self) -> &Linear {
+        &self.head
     }
 
     /// Number of GNN layers.
@@ -86,6 +155,101 @@ impl GnnModel {
     ) -> Vec<f32> {
         let probs = softmax_rows(&self.intent_logits(graph, trace, layer));
         (0..probs.rows()).map(|i| probs.get(i, 1)).collect()
+    }
+
+    /// Inductive forward pass for one **new** candidate pair against frozen
+    /// weights (the serving tier's scoring kernel).
+    ///
+    /// The new pair contributes one node per intent layer (P nodes). Each
+    /// receives from (a) its intra-layer k-NN among *stored* pairs, whose
+    /// per-depth states are pinned by the caller, and (b) its own P−1 peer
+    /// nodes (inter-layer), which are recomputed here. The evaluation runs
+    /// [`CsrGraph::mean_aggregate`] over a local subgraph of
+    /// `P + Σ_q k_q` nodes, so its cost is independent of the corpus size.
+    ///
+    /// `neighbor_inputs[t][q]` holds the layer-`q` intra neighbours' states
+    /// *entering* GNN layer `t` (`k_q × d_t`, row order = neighbour rank
+    /// order); `new_features` is `P × dim`, row `p` the new pair's
+    /// intent-`p` representation.
+    pub fn forward_inductive(
+        &self,
+        new_features: &Matrix,
+        neighbor_inputs: &[Vec<Matrix>],
+    ) -> InductiveTrace {
+        let p_layers = new_features.rows();
+        assert!(p_layers > 0, "at least one intent layer required");
+        assert_eq!(neighbor_inputs.len(), self.layers.len(), "one neighbour set per GNN layer");
+        let counts: Vec<usize> = neighbor_inputs[0].iter().map(|m| m.rows()).collect();
+        assert_eq!(counts.len(), p_layers, "one neighbour block per intent layer");
+        for (t, per_depth) in neighbor_inputs.iter().enumerate() {
+            assert_eq!(per_depth.len(), p_layers, "one neighbour block per intent layer");
+            for (q, m) in per_depth.iter().enumerate() {
+                assert_eq!(m.rows(), counts[q], "neighbour counts must be fixed across depths");
+                assert_eq!(m.cols(), self.layers[t].in_dim(), "pinned state width mismatch");
+            }
+        }
+
+        // Local ids: 0..P = the new pair's nodes, then one block of pinned
+        // neighbour slots per intent layer.
+        let mut offsets = vec![p_layers];
+        for q in 0..p_layers {
+            offsets.push(offsets[q] + counts[q]);
+        }
+        let n_local = offsets[p_layers];
+        let mut intra_lists: Vec<Vec<usize>> = vec![Vec::new(); n_local];
+        let mut inter_lists: Vec<Vec<usize>> = vec![Vec::new(); n_local];
+        for q in 0..p_layers {
+            intra_lists[q] = (offsets[q]..offsets[q] + counts[q]).collect();
+            inter_lists[q] = (0..p_layers).filter(|&r| r != q).collect();
+        }
+        let intra = CsrGraph::from_in_neighbors(&intra_lists);
+        let inter = CsrGraph::from_in_neighbors(&inter_lists);
+
+        let mut h = new_features.clone();
+        let new_rows: Vec<usize> = (0..p_layers).collect();
+        let mut hidden = Vec::with_capacity(self.layers.len());
+        for (t, layer) in self.layers.iter().enumerate() {
+            let mut parts: Vec<&Matrix> = Vec::with_capacity(1 + p_layers);
+            parts.push(&h);
+            parts.extend(neighbor_inputs[t].iter());
+            let local_h = Matrix::vconcat(&parts);
+            let out = layer.forward_states(&intra, &inter, &local_h);
+            // Only the new nodes' rows carry meaning: the pinned slots have
+            // no in-edges, so their outputs are discarded.
+            h = out.select_rows(&new_rows);
+            if t + 1 < self.layers.len() {
+                relu_inplace(&mut h);
+            }
+            hidden.push(h.clone());
+        }
+        let logits = self.head.forward(&h);
+        InductiveTrace { hidden, logits }
+    }
+
+    /// [`GnnModel::forward_inductive`] with neighbour states gathered from
+    /// a cached transductive trace: `intra_pairs[q]` lists the new pair's
+    /// k-NN *pair indices* within layer `q`, in neighbour rank order.
+    pub fn forward_inductive_on(
+        &self,
+        graph: &MultiplexGraph,
+        trace: &GnnTrace,
+        new_features: &Matrix,
+        intra_pairs: &[Vec<usize>],
+    ) -> InductiveTrace {
+        assert_eq!(intra_pairs.len(), graph.n_layers, "one k-NN list per intent layer");
+        let neighbor_inputs: Vec<Vec<Matrix>> = (0..self.layers.len())
+            .map(|t| {
+                let full = if t == 0 { &graph.features } else { trace.hidden(t - 1) };
+                (0..graph.n_layers)
+                    .map(|q| {
+                        let rows: Vec<usize> =
+                            intra_pairs[q].iter().map(|&i| graph.node_id(q, i)).collect();
+                        full.select_rows(&rows)
+                    })
+                    .collect()
+            })
+            .collect();
+        self.forward_inductive(new_features, &neighbor_inputs)
     }
 
     /// Backward pass given the gradient of the loss w.r.t. the logits of
@@ -192,6 +356,86 @@ mod tests {
         }
         let changed = m.intent_scores(&g2, &m.forward(&g2), 0);
         assert!((base[0] - changed[0]).abs() > 1e-6, "message passing inert");
+    }
+
+    /// Replaying an existing corpus pair through the inductive path — its
+    /// own features, its own intra k-NN lists — must be **bit-identical**
+    /// to the transductive batch forward: edges are incoming-only and the
+    /// replayed copy receives exactly the same pinned states in the same
+    /// order. This is the serving tier's correctness anchor.
+    #[test]
+    fn inductive_replay_is_bit_identical_to_transductive() {
+        let g = toy_graph();
+        let mut rng = StdRng::seed_from_u64(7);
+        for (dims, agg) in [
+            (vec![5usize, 5], Aggregation::RelationTyped),
+            (vec![6, 3, 3], Aggregation::RelationTyped),
+            (vec![4, 4], Aggregation::Pooled),
+        ] {
+            let m = GnnModel::new(&mut rng, 4, &dims, agg);
+            let trace = m.forward(&g);
+            for pair in 0..g.n_pairs {
+                // The pair's stacked features and per-layer corpus k-NN
+                // lists (mapped back to pair-local indices).
+                let rows: Vec<usize> = (0..g.n_layers).map(|q| g.node_id(q, pair)).collect();
+                let new_features = g.features.select_rows(&rows);
+                let intra_pairs: Vec<Vec<usize>> = (0..g.n_layers)
+                    .map(|q| {
+                        g.intra
+                            .in_neighbors(g.node_id(q, pair))
+                            .iter()
+                            .map(|&u| u as usize % g.n_pairs)
+                            .collect()
+                    })
+                    .collect();
+                let inductive = m.forward_inductive_on(&g, &trace, &new_features, &intra_pairs);
+                for q in 0..g.n_layers {
+                    let batch = m.intent_logits(&g, &trace, q);
+                    assert_eq!(
+                        inductive.logits.row(q),
+                        batch.row(pair),
+                        "pair {pair}, layer {q}, dims {dims:?}, {agg:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn inductive_scores_are_probabilities() {
+        let g = toy_graph();
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = GnnModel::new(&mut rng, 4, &[5, 5], Aggregation::RelationTyped);
+        let trace = m.forward(&g);
+        let new_features = Matrix::from_fn(2, 4, |i, j| (i + j) as f32 * 0.1 - 0.2);
+        let intra_pairs = vec![vec![0, 2], vec![1]];
+        let out = m.forward_inductive_on(&g, &trace, &new_features, &intra_pairs);
+        let scores = out.scores();
+        assert_eq!(scores.len(), 2);
+        assert!(scores.iter().all(|s| (0.0..=1.0).contains(s) && s.is_finite()));
+        assert_eq!(out.hidden.len(), 2);
+        assert_eq!(out.hidden[1].rows(), 2);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_model() {
+        let g = toy_graph();
+        let mut rng = StdRng::seed_from_u64(11);
+        let m = GnnModel::new(&mut rng, 4, &[5, 5], Aggregation::RelationTyped);
+        let rebuilt = GnnModel::from_parts(m.sage_layers().to_vec(), m.head().clone());
+        let a = m.forward(&g);
+        let b = rebuilt.forward(&g);
+        assert_eq!(a.final_hidden(), b.final_hidden());
+        assert_eq!(m.intent_logits(&g, &a, 0), rebuilt.intent_logits(&g, &b, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "head input width must match")]
+    fn from_parts_checks_head_width() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let layer = SageLayer::new(&mut rng, 4, 5, Aggregation::RelationTyped);
+        let head = Linear::new(&mut rng, 7, 2);
+        let _ = GnnModel::from_parts(vec![layer], head);
     }
 
     /// Loss gradient check through the full network.

@@ -12,6 +12,7 @@
 //! The `ablation` bench compares this against pooling both relations
 //! together (plain GraphSAGE on the union graph).
 
+use crate::csr::CsrGraph;
 use crate::multiplex::MultiplexGraph;
 use flexer_nn::{Linear, Matrix, Optimizer};
 use rand::Rng;
@@ -58,6 +59,33 @@ impl SageLayer {
         Self { linear: Linear::new(rng, concat_dim, out_dim), aggregation, in_dim }
     }
 
+    /// Reassembles a layer from its weights (the snapshot-import path).
+    /// The input dimension is implied by the aggregation's concat factor;
+    /// panics if the linear width is not divisible by it.
+    pub fn from_parts(linear: Linear, aggregation: Aggregation) -> Self {
+        let factor = match aggregation {
+            Aggregation::RelationTyped => 3,
+            Aggregation::Pooled => 2,
+        };
+        assert_eq!(
+            linear.in_dim() % factor,
+            0,
+            "linear input width must be a multiple of the concat factor"
+        );
+        let in_dim = linear.in_dim() / factor;
+        Self { linear, aggregation, in_dim }
+    }
+
+    /// The learned linear map (snapshot export).
+    pub fn linear(&self) -> &Linear {
+        &self.linear
+    }
+
+    /// The relation-handling mode of this layer.
+    pub fn aggregation(&self) -> Aggregation {
+        self.aggregation
+    }
+
     /// Input dimension.
     pub fn in_dim(&self) -> usize {
         self.in_dim
@@ -71,22 +99,34 @@ impl SageLayer {
     /// Forward pass over all nodes (no activation — the caller applies
     /// ReLU between layers, none on the last, per §5.2.1).
     pub fn forward(&self, graph: &MultiplexGraph, h: &Matrix) -> SageCache {
-        let concat = match self.aggregation {
+        let concat = self.concat_states(&graph.intra, &graph.inter, h);
+        let output = self.linear.forward(&concat);
+        SageCache { input: h.clone(), concat, output }
+    }
+
+    /// Cache-free forward over explicit relation adjacencies — the kernel
+    /// behind both the transductive pass and the serving tier's inductive
+    /// pass over a local subgraph (same math, any node set).
+    pub fn forward_states(&self, intra: &CsrGraph, inter: &CsrGraph, h: &Matrix) -> Matrix {
+        self.linear.forward(&self.concat_states(intra, inter, h))
+    }
+
+    /// `[self ; …]` concatenation per aggregation mode.
+    fn concat_states(&self, intra: &CsrGraph, inter: &CsrGraph, h: &Matrix) -> Matrix {
+        match self.aggregation {
             Aggregation::RelationTyped => {
-                let intra = graph.intra.mean_aggregate(h);
-                let inter = graph.inter.mean_aggregate(h);
+                let intra = intra.mean_aggregate(h);
+                let inter = inter.mean_aggregate(h);
                 Matrix::hconcat(&[h, &intra, &inter])
             }
             Aggregation::Pooled => {
                 // Union adjacency: average the two relation aggregates
                 // weighted by their degrees (equivalent to aggregating the
                 // union multiset of neighbours).
-                let union = pooled_aggregate(graph, h);
+                let union = pooled_aggregate(intra, inter, h);
                 Matrix::hconcat(&[h, &union])
             }
-        };
-        let output = self.linear.forward(&concat);
-        SageCache { input: h.clone(), concat, output }
+        }
     }
 
     /// Backward pass: accumulates the layer's parameter gradients and
@@ -110,7 +150,10 @@ impl SageLayer {
             Aggregation::Pooled => {
                 let parts = d_concat.hsplit(&[d_in, d_in]);
                 let mut dh = parts[0].clone();
-                dh.add_scaled(&pooled_aggregate_backward(graph, &parts[1]), 1.0);
+                dh.add_scaled(
+                    &pooled_aggregate_backward(&graph.intra, &graph.inter, &parts[1]),
+                    1.0,
+                );
                 dh
             }
         }
@@ -128,13 +171,13 @@ impl SageLayer {
 }
 
 /// Mean over the union of intra- and inter-neighbours.
-fn pooled_aggregate(graph: &MultiplexGraph, h: &Matrix) -> Matrix {
-    let n = graph.n_nodes();
+fn pooled_aggregate(intra_g: &CsrGraph, inter_g: &CsrGraph, h: &Matrix) -> Matrix {
+    let n = intra_g.n_nodes();
     let dim = h.cols();
     let mut out = Matrix::zeros(n, dim);
     for v in 0..n {
-        let intra = graph.intra.in_neighbors(v);
-        let inter = graph.inter.in_neighbors(v);
+        let intra = intra_g.in_neighbors(v);
+        let inter = inter_g.in_neighbors(v);
         let deg = intra.len() + inter.len();
         if deg == 0 {
             continue;
@@ -150,13 +193,13 @@ fn pooled_aggregate(graph: &MultiplexGraph, h: &Matrix) -> Matrix {
     out
 }
 
-fn pooled_aggregate_backward(graph: &MultiplexGraph, d_out: &Matrix) -> Matrix {
-    let n = graph.n_nodes();
+fn pooled_aggregate_backward(intra_g: &CsrGraph, inter_g: &CsrGraph, d_out: &Matrix) -> Matrix {
+    let n = intra_g.n_nodes();
     let dim = d_out.cols();
     let mut dh = Matrix::zeros(n, dim);
     for v in 0..n {
-        let intra = graph.intra.in_neighbors(v);
-        let inter = graph.inter.in_neighbors(v);
+        let intra = intra_g.in_neighbors(v);
+        let inter = inter_g.in_neighbors(v);
         let deg = intra.len() + inter.len();
         if deg == 0 {
             continue;
@@ -240,6 +283,40 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn from_parts_roundtrips_layer() {
+        let g = toy_graph();
+        let mut rng = StdRng::seed_from_u64(5);
+        for agg in [Aggregation::RelationTyped, Aggregation::Pooled] {
+            let layer = SageLayer::new(&mut rng, 3, 4, agg);
+            let rebuilt = SageLayer::from_parts(layer.linear().clone(), layer.aggregation());
+            assert_eq!(rebuilt.in_dim(), 3);
+            assert_eq!(rebuilt.out_dim(), 4);
+            assert_eq!(
+                layer.forward(&g, &g.features).output,
+                rebuilt.forward(&g, &g.features).output
+            );
+        }
+    }
+
+    #[test]
+    fn forward_states_matches_forward() {
+        let g = toy_graph();
+        let mut rng = StdRng::seed_from_u64(6);
+        let layer = SageLayer::new(&mut rng, 3, 4, Aggregation::RelationTyped);
+        let via_cache = layer.forward(&g, &g.features).output;
+        let direct = layer.forward_states(&g.intra, &g.inter, &g.features);
+        assert_eq!(via_cache, direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of the concat factor")]
+    fn from_parts_checks_width() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let linear = flexer_nn::Linear::new(&mut rng, 7, 2);
+        let _ = SageLayer::from_parts(linear, Aggregation::RelationTyped);
     }
 
     #[test]

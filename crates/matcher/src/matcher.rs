@@ -36,6 +36,27 @@ pub struct BinaryMatcher {
 }
 
 impl BinaryMatcher {
+    /// Reassembles a matcher from its weights (the snapshot-import path).
+    /// Panics unless the trunk output feeds the head input.
+    pub fn from_parts(input: Linear, head: Mlp, best_valid_f1: f64) -> Self {
+        assert_eq!(
+            input.out_dim(),
+            head.layer(0).in_dim(),
+            "trunk output width must match head input width"
+        );
+        Self { input, head, best_valid_f1 }
+    }
+
+    /// The sparse-input trunk layer (snapshot export).
+    pub fn input(&self) -> &Linear {
+        &self.input
+    }
+
+    /// The dense head (embedding layer + logits; snapshot export).
+    pub fn head(&self) -> &Mlp {
+        &self.head
+    }
+
     /// Embedding width.
     pub fn embedding_dim(&self) -> usize {
         self.head.layer(self.head.n_layers() - 1).in_dim()
@@ -198,6 +219,20 @@ mod tests {
         for (p, s) in out.preds.iter().zip(&out.scores) {
             assert_eq!(*p, *s > 0.5);
         }
+    }
+
+    #[test]
+    fn from_parts_roundtrips_inference() {
+        let (corpus, matcher, _) = trained_on_eq();
+        let rebuilt = BinaryMatcher::from_parts(
+            matcher.input().clone(),
+            matcher.head().clone(),
+            matcher.best_valid_f1,
+        );
+        let a = matcher.infer(&corpus.features);
+        let b = rebuilt.infer(&corpus.features);
+        assert_eq!(a.scores, b.scores);
+        assert_eq!(a.embeddings, b.embeddings);
     }
 
     #[test]

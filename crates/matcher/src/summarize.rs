@@ -45,6 +45,21 @@ impl DfTable {
     pub fn n_docs(&self) -> u32 {
         self.n_docs
     }
+
+    /// All (token, document frequency) entries sorted by token — the
+    /// canonical order the snapshot format serializes, so identical tables
+    /// always produce identical bytes regardless of hash-map layout.
+    pub fn entries(&self) -> Vec<(&str, u32)> {
+        let mut out: Vec<(&str, u32)> = self.df.iter().map(|(t, &c)| (t.as_str(), c)).collect();
+        out.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        out
+    }
+
+    /// Reassembles a table from serialized entries (the snapshot-import
+    /// path).
+    pub fn from_entries(entries: Vec<(String, u32)>, n_docs: u32) -> Self {
+        Self { df: entries.into_iter().collect(), n_docs }
+    }
 }
 
 /// Keeps at most `max_tokens` tokens, preferring high-IDF (informative)
@@ -66,6 +81,23 @@ pub fn summarize(tokens: &[Token], df: &DfTable, max_tokens: usize) -> Vec<Token
 mod tests {
     use super::*;
     use crate::tokenize::tokenize;
+
+    #[test]
+    fn entries_sorted_and_roundtrip() {
+        let docs: Vec<Vec<Token>> = vec![tokenize("zebra apple"), tokenize("apple mango")];
+        let refs: Vec<&[Token]> = docs.iter().map(|d| d.as_slice()).collect();
+        let table = DfTable::build(refs.into_iter());
+        let entries = table.entries();
+        assert!(entries.windows(2).all(|w| w[0].0 < w[1].0), "entries must be token-sorted");
+        let rebuilt = DfTable::from_entries(
+            entries.iter().map(|(t, c)| (t.to_string(), *c)).collect(),
+            table.n_docs(),
+        );
+        assert_eq!(rebuilt.entries(), entries);
+        assert_eq!(rebuilt.n_docs(), table.n_docs());
+        assert_eq!(rebuilt.idf("apple"), table.idf("apple"));
+        assert_eq!(rebuilt.idf("unseen"), table.idf("unseen"));
+    }
 
     fn table() -> DfTable {
         let docs: Vec<Vec<Token>> = vec![

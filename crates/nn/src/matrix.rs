@@ -246,6 +246,27 @@ impl Matrix {
         out
     }
 
+    /// Appends one row (online/ingest growth of a row-major buffer).
+    pub fn push_row(&mut self, row: &[f32]) {
+        assert_eq!(row.len(), self.cols, "push_row length mismatch");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Stacks matrices vertically (same column count).
+    pub fn vconcat(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "vconcat of nothing");
+        let cols = parts[0].cols;
+        let mut data = Vec::with_capacity(parts.iter().map(|p| p.data.len()).sum());
+        let mut rows = 0;
+        for p in parts {
+            assert_eq!(p.cols, cols, "vconcat column mismatch");
+            data.extend_from_slice(&p.data);
+            rows += p.rows;
+        }
+        Matrix::from_vec(rows, cols, data)
+    }
+
     /// Gathers the given rows into a new matrix.
     pub fn select_rows(&self, rows: &[usize]) -> Matrix {
         let mut out = Matrix::zeros(rows.len(), self.cols);
@@ -352,6 +373,26 @@ mod tests {
         assert_eq!(a.data(), &[1.5, 2.5, 3.5]);
         a.scale(2.0);
         assert_eq!(a.data(), &[3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn push_row_and_vconcat_grow_row_major() {
+        let mut a = m(1, 2, &[1.0, 2.0]);
+        a.push_row(&[3.0, 4.0]);
+        assert_eq!(a.rows(), 2);
+        assert_eq!(a.row(1), &[3.0, 4.0]);
+        let b = m(1, 2, &[5.0, 6.0]);
+        let cat = Matrix::vconcat(&[&a, &b]);
+        assert_eq!(cat.rows(), 3);
+        assert_eq!(cat.row(2), &[5.0, 6.0]);
+        assert_eq!(cat.row(0), a.row(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "push_row length mismatch")]
+    fn push_row_checks_width() {
+        let mut a = Matrix::zeros(1, 3);
+        a.push_row(&[1.0]);
     }
 
     #[test]

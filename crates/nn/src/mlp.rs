@@ -64,6 +64,16 @@ impl Mlp {
         Self { layers }
     }
 
+    /// Reassembles an MLP from its layers (the snapshot-import path).
+    /// Panics unless consecutive layer dimensions chain.
+    pub fn from_layers(layers: Vec<Linear>) -> Self {
+        assert!(!layers.is_empty(), "an MLP needs at least one layer");
+        for w in layers.windows(2) {
+            assert_eq!(w[0].out_dim(), w[1].in_dim(), "layer dimensions must chain");
+        }
+        Self { layers }
+    }
+
     /// Number of layers.
     pub fn n_layers(&self) -> usize {
         self.layers.len()
@@ -72,6 +82,11 @@ impl Mlp {
     /// Layer accessor (for inspection in tests and ablations).
     pub fn layer(&self, i: usize) -> &Linear {
         &self.layers[i]
+    }
+
+    /// All layers in forward order (the snapshot-export path).
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
     }
 
     /// Forward pass keeping every activation for backprop.
@@ -245,6 +260,24 @@ mod tests {
         let x = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
         let trace = mlp.forward_trace(&x);
         assert_eq!(trace.embedding(), &x);
+    }
+
+    #[test]
+    fn from_layers_roundtrips_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mlp = Mlp::new(&mut rng, &MlpConfig { input_dim: 4, hidden: vec![6], output_dim: 2 });
+        let rebuilt = Mlp::from_layers(mlp.layers().to_vec());
+        let x = Matrix::from_fn(5, 4, |i, j| (i * 4 + j) as f32 * 0.05);
+        assert_eq!(mlp.forward(&x), rebuilt.forward(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "layer dimensions must chain")]
+    fn from_layers_checks_dims() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Linear::new(&mut rng, 3, 4);
+        let b = Linear::new(&mut rng, 5, 2);
+        let _ = Mlp::from_layers(vec![a, b]);
     }
 
     #[test]

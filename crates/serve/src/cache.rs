@@ -1,0 +1,108 @@
+//! A fixed-capacity least-recently-used cache for hot pair embeddings.
+//!
+//! Query traffic is zipfian — the same records get resolved again and
+//! again — so the embedding stage (tokenize → featurize → P matcher
+//! forwards) sits behind this cache. The implementation is deliberately
+//! simple: a hash map of `(value, last-use tick)` with an O(capacity)
+//! eviction scan. At serving capacities (hundreds to a few thousand
+//! entries) the scan is nanoseconds against a matcher forward pass, and
+//! there is no unsafe pointer juggling to audit.
+
+use std::collections::HashMap;
+
+/// Fixed-capacity string-keyed LRU cache.
+#[derive(Debug)]
+pub struct LruCache<V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<String, (V, u64)>,
+}
+
+impl<V> LruCache<V> {
+    /// Cache holding at most `capacity` entries (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, tick: 0, map: HashMap::with_capacity(capacity.min(1 << 16)) }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Looks up `key`, refreshing its recency on hit.
+    pub fn get(&mut self, key: &str) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some((v, used)) => {
+                *used = tick;
+                Some(&*v)
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts `key`, evicting the least-recently-used entry when full.
+    pub fn insert(&mut self, key: String, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            // Ticks are unique, so the minimum is unambiguous.
+            if let Some(oldest) =
+                self.map.iter().min_by_key(|(_, (_, used))| *used).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_and_eviction() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a".into(), 1);
+        cache.insert("b".into(), 2);
+        assert_eq!(cache.get("a"), Some(&1)); // refresh a
+        cache.insert("c".into(), 3); // evicts b (least recent)
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("b"), None);
+        assert_eq!(cache.get("a"), Some(&1));
+        assert_eq!(cache.get("c"), Some(&3));
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_eviction() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a".into(), 1);
+        cache.insert("b".into(), 2);
+        cache.insert("a".into(), 10);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get("a"), Some(&10));
+        assert_eq!(cache.get("b"), Some(&2));
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut cache = LruCache::new(0);
+        cache.insert("a".into(), 1);
+        assert!(cache.is_empty());
+        assert_eq!(cache.get("a"), None);
+    }
+}

@@ -1,0 +1,63 @@
+//! Serving-tier errors.
+
+use flexer_store::StoreError;
+use std::fmt;
+
+/// Everything a resolution request or service load can fail with.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Loading or validating the snapshot failed.
+    Snapshot(StoreError),
+    /// The snapshot decoded but its pieces disagree with each other (or
+    /// with the warm-up forward pass).
+    InconsistentSnapshot(String),
+    /// A corpus-pair query referenced a pair the service does not hold;
+    /// holds `(pair, n_pairs)`.
+    UnknownPair(usize, usize),
+    /// An intent id was out of range; holds `(intent, n_intents)`.
+    IntentOutOfRange(usize, usize),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Snapshot(e) => write!(f, "snapshot error: {e}"),
+            ServeError::InconsistentSnapshot(msg) => write!(f, "inconsistent snapshot: {msg}"),
+            ServeError::UnknownPair(p, n) => {
+                write!(f, "candidate pair {p} out of range (service holds {n})")
+            }
+            ServeError::IntentOutOfRange(p, n) => {
+                write!(f, "intent {p} out of range (model has {n})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Snapshot(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for ServeError {
+    fn from(e: StoreError) -> Self {
+        ServeError::Snapshot(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(ServeError::UnknownPair(9, 3).to_string().contains('9'));
+        assert!(ServeError::IntentOutOfRange(2, 2).to_string().contains("intent 2"));
+        let e: ServeError = StoreError::BadMagic.into();
+        assert!(e.to_string().contains("magic"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,40 @@
+//! # flexer-serve
+//!
+//! The online resolution tier: load a trained FlexER snapshot
+//! (`flexer-store`) and answer "which entities match this record, under
+//! intent I?" at query time — no retraining, the ROADMAP's
+//! heavy-traffic north star and the workload query-driven collective ER
+//! frames as resolution's natural shape.
+//!
+//! The paper's pipeline maps onto serving as follows (§2–4):
+//!
+//! * **Intents (§2.2)** — every query names (or fans out over) an intent
+//!   `p ∈ Π`; the service returns one ranked resolution per intent, the
+//!   "multiple clean views" of the introduction.
+//! * **Intent-based representations (§4.1.1)** — the snapshot's frozen
+//!   per-intent matchers embed fresh record pairs into each intent's
+//!   latent space, behind a fixed-capacity LRU cache for hot pairs.
+//! * **Multiplex graph (§4.1.2–4.1.3)** — new pairs are wired to their
+//!   `k` nearest stored pairs per layer through incremental ANN inserts;
+//!   inter-layer peer edges connect the pair's own P nodes.
+//! * **Prediction (§4.2–4.3, Eqs. 3–5)** — a frozen-weight inductive
+//!   GraphSAGE pass over the local neighbourhood scores the pair per
+//!   intent; corpus pairs are served from the transductive warm forward,
+//!   bit-identical to the batch model.
+//!
+//! Batched requests fan out through `flexer-par` (deterministic,
+//! bit-identical at any thread count) and the service keeps p50/p99
+//! latency counters plus cache hit rates ([`ServeMetrics`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod error;
+pub mod metrics;
+pub mod service;
+
+pub use cache::LruCache;
+pub use error::ServeError;
+pub use metrics::ServeMetrics;
+pub use service::{IngestReport, ResolutionService, ServeConfig};

@@ -1,0 +1,140 @@
+//! Serving-tier observability: request counters, cache hit rates and
+//! p50/p99 latency over a sliding window.
+
+use std::time::Duration;
+
+/// A point-in-time snapshot of the service's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeMetrics {
+    /// Resolve requests answered.
+    pub resolves: u64,
+    /// Records ingested.
+    pub ingests: u64,
+    /// Embedding-cache hits.
+    pub cache_hits: u64,
+    /// Embedding-cache misses.
+    pub cache_misses: u64,
+    /// Latency samples currently in the window.
+    pub latency_samples: u64,
+    /// Median resolve latency (µs) over the window.
+    pub p50_latency_us: u64,
+    /// 99th-percentile resolve latency (µs) over the window.
+    pub p99_latency_us: u64,
+}
+
+/// Mutable counter state behind the service's metrics lock.
+#[derive(Debug)]
+pub(crate) struct MetricsInner {
+    resolves: u64,
+    ingests: u64,
+    cache_hits: u64,
+    cache_misses: u64,
+    /// Ring buffer of resolve latencies in microseconds.
+    window: Vec<u64>,
+    next: usize,
+    filled: usize,
+}
+
+impl MetricsInner {
+    pub(crate) fn new(window: usize) -> Self {
+        Self {
+            resolves: 0,
+            ingests: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            window: vec![0; window.max(1)],
+            next: 0,
+            filled: 0,
+        }
+    }
+
+    pub(crate) fn record_resolve(&mut self, elapsed: Duration) {
+        self.resolves += 1;
+        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
+        self.window[self.next] = us;
+        self.next = (self.next + 1) % self.window.len();
+        self.filled = (self.filled + 1).min(self.window.len());
+    }
+
+    pub(crate) fn record_ingest(&mut self) {
+        self.ingests += 1;
+    }
+
+    pub(crate) fn record_cache(&mut self, hits: u64, misses: u64) {
+        self.cache_hits += hits;
+        self.cache_misses += misses;
+    }
+
+    /// Nearest-rank percentile over the filled window.
+    fn percentile(&self, sorted: &[u64], p: f64) -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+        sorted[rank.min(sorted.len()) - 1]
+    }
+
+    pub(crate) fn snapshot(&self) -> ServeMetrics {
+        let mut sorted: Vec<u64> = self.window[..self.filled].to_vec();
+        sorted.sort_unstable();
+        ServeMetrics {
+            resolves: self.resolves,
+            ingests: self.ingests,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            latency_samples: self.filled as u64,
+            p50_latency_us: self.percentile(&sorted, 50.0),
+            p99_latency_us: self.percentile(&sorted, 99.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_over_known_distribution() {
+        let mut m = MetricsInner::new(200);
+        for us in 1..=100u64 {
+            m.record_resolve(Duration::from_micros(us));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.resolves, 100);
+        assert_eq!(s.latency_samples, 100);
+        assert_eq!(s.p50_latency_us, 50);
+        assert_eq!(s.p99_latency_us, 99);
+    }
+
+    #[test]
+    fn window_wraps_and_keeps_recent() {
+        let mut m = MetricsInner::new(4);
+        for us in [1u64, 2, 3, 4, 1000, 1000, 1000, 1000] {
+            m.record_resolve(Duration::from_micros(us));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.latency_samples, 4);
+        assert_eq!(s.p50_latency_us, 1000, "old samples must have aged out");
+        assert_eq!(s.resolves, 8);
+    }
+
+    #[test]
+    fn empty_window_reports_zero() {
+        let m = MetricsInner::new(8);
+        let s = m.snapshot();
+        assert_eq!(s.p50_latency_us, 0);
+        assert_eq!(s.p99_latency_us, 0);
+        assert_eq!(s.latency_samples, 0);
+    }
+
+    #[test]
+    fn cache_and_ingest_counters() {
+        let mut m = MetricsInner::new(2);
+        m.record_cache(3, 1);
+        m.record_ingest();
+        let s = m.snapshot();
+        assert_eq!(s.cache_hits, 3);
+        assert_eq!(s.cache_misses, 1);
+        assert_eq!(s.ingests, 1);
+    }
+}

@@ -1,0 +1,560 @@
+//! [`ResolutionService`] — online multi-intent resolution over a frozen
+//! model snapshot.
+//!
+//! # Two serving paths
+//!
+//! * **Transductive (exact).** At load, the service replays each intent's
+//!   frozen GNN over the snapshot's multiplex graph once — the "warm
+//!   forward". Because every kernel is deterministic, the recomputed
+//!   scores are bit-identical to the batch model's, and corpus-pair
+//!   queries ([`ResolveQuery::CorpusPair`]) are answered from this cache
+//!   exactly: a reloaded service reproduces the batch predictions to the
+//!   bit (verified at load; the service refuses inconsistent snapshots).
+//!
+//! * **Inductive (incremental).** New records and ad-hoc pairs are
+//!   embedded per intent by the snapshot's matchers, localized via the
+//!   per-layer ANN indexes, and scored by
+//!   [`GnnModel::forward_inductive`](flexer_graph::GnnModel::forward_inductive)
+//!   over their k-NN neighbourhood, whose states are *pinned* from the
+//!   warm forward. Edges point into a node and k-NN wiring is fixed from
+//!   the initial representations (§4.1.3), so inserting a node never
+//!   perturbs stored predictions — ingest is strictly additive.
+//!
+//! [`ResolutionService::ingest`] makes the inductive path durable: the new
+//! record's candidate pairs join the ANN indexes (incremental
+//! [`AnyIndex::add`]), their per-depth node states extend the pinned state
+//! matrices, and their scores become servable corpus pairs.
+
+use crate::cache::LruCache;
+use crate::error::ServeError;
+use crate::metrics::{MetricsInner, ServeMetrics};
+use flexer_ann::{AnyIndex, VectorIndex};
+use flexer_nn::{Matrix, SparseMatrix};
+use flexer_store::ModelSnapshot;
+use flexer_types::{IntentId, MatchTarget, RankedMatch, ResolveQuery, ResolveResponse};
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Tunables of the serving tier.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Capacity of the hot pair-embedding LRU cache.
+    pub cache_capacity: usize,
+    /// Number of resolve latencies kept for the p50/p99 window.
+    pub latency_window: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { cache_capacity: 1024, latency_window: 1024 }
+    }
+}
+
+/// What one [`ResolutionService::ingest`] call added.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Id of the newly ingested record.
+    pub record: usize,
+    /// Pair id of the first candidate pair created for it.
+    pub first_pair: usize,
+    /// Number of candidate pairs created (one per pre-existing record).
+    pub n_pairs: usize,
+}
+
+/// Per-intent pair embedding of one (a, b) title pair: `emb[p]` is the
+/// intent-`p` representation.
+type PairEmbedding = Vec<Vec<f32>>;
+
+/// The online resolution service.
+#[derive(Debug)]
+pub struct ResolutionService {
+    snapshot: ModelSnapshot,
+    config: ServeConfig,
+    /// Pairs the loaded snapshot was trained on (ingested pairs live past
+    /// this watermark).
+    n_train_pairs: usize,
+    /// Serving-tier corpus: snapshot records plus everything ingested.
+    records: Vec<String>,
+    /// Serving-tier candidate pairs (record-id refs), pair-id order.
+    pairs: Vec<(u32, u32)>,
+    /// Per intent layer: ANN index over initial representations; grows
+    /// with ingest.
+    indexes: Vec<AnyIndex>,
+    /// `pinned[p][j][q]`: under intent `p`'s GNN, the state of every
+    /// layer-`q` pair node *entering* GNN layer `j + 1` (i.e. the output
+    /// of GNN layer `j`), one row per pair; grows with ingest. Depth-0
+    /// inputs are the initial representations held by `indexes`.
+    pinned: Vec<Vec<Vec<Matrix>>>,
+    /// `scores[p][pair]`: match likelihood of every served pair under
+    /// intent `p`; the transductive warm-forward values for training
+    /// pairs, inductive values for ingested ones.
+    scores: Vec<Vec<f32>>,
+    cache: Mutex<LruCache<PairEmbedding>>,
+    metrics: Mutex<MetricsInner>,
+}
+
+impl ResolutionService {
+    /// Builds a service from a validated snapshot: runs the warm forward
+    /// per intent, pins the per-depth node states, and verifies the
+    /// recomputed scores reproduce the snapshot's batch scores exactly.
+    pub fn new(mut snapshot: ModelSnapshot, config: ServeConfig) -> Result<Self, ServeError> {
+        snapshot.validate()?;
+        let p_intents = snapshot.n_intents();
+        let n_pairs = snapshot.n_pairs();
+        let graph = &snapshot.graph;
+        for (p, matcher) in snapshot.matchers.iter().enumerate() {
+            if matcher.embedding_dim() != graph.dim {
+                return Err(ServeError::InconsistentSnapshot(format!(
+                    "matcher {p} embeds into {} dims, graph features have {}",
+                    matcher.embedding_dim(),
+                    graph.dim
+                )));
+            }
+        }
+
+        let mut pinned = Vec::with_capacity(p_intents);
+        let mut scores = Vec::with_capacity(p_intents);
+        for (p, trained) in snapshot.trained.iter().enumerate() {
+            let trace = trained.model.forward(graph);
+            // The warm forward must reproduce the batch scores bit-for-bit
+            // — the end-to-end serving invariant. A mismatch means the
+            // snapshot's graph and weights do not belong together.
+            let recomputed = trained.model.intent_scores(graph, &trace, p);
+            if recomputed != trained.scores {
+                return Err(ServeError::InconsistentSnapshot(format!(
+                    "warm forward of intent {p} does not reproduce the snapshot's batch scores"
+                )));
+            }
+            let l = trained.model.n_layers();
+            let mut per_depth = Vec::with_capacity(l.saturating_sub(1));
+            for j in 0..l.saturating_sub(1) {
+                let full = trace.hidden(j);
+                let d = full.cols();
+                let per_layer: Vec<Matrix> = (0..p_intents)
+                    .map(|q| {
+                        // Layer-q node rows are contiguous (node id =
+                        // q·n_pairs + i).
+                        let block = &full.data()[q * n_pairs * d..(q + 1) * n_pairs * d];
+                        Matrix::from_vec(n_pairs, d, block.to_vec())
+                    })
+                    .collect();
+                per_depth.push(per_layer);
+            }
+            pinned.push(per_depth);
+            scores.push(recomputed);
+        }
+
+        // The service takes ownership of the ANN indexes (they grow with
+        // ingest); `to_snapshot` reconstructs the training-time prefix on
+        // demand. Keeping a second copy inside `self.snapshot` would double
+        // the dominant memory cost at scale.
+        let indexes = std::mem::take(&mut snapshot.indexes);
+        Ok(Self {
+            n_train_pairs: n_pairs,
+            records: snapshot.records.clone(),
+            pairs: snapshot.pairs.clone(),
+            indexes,
+            pinned,
+            scores,
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            metrics: Mutex::new(MetricsInner::new(config.latency_window)),
+            snapshot,
+            config,
+        })
+    }
+
+    /// Loads a `.flexer` snapshot file and builds the service over it.
+    pub fn load(path: impl AsRef<Path>, config: ServeConfig) -> Result<Self, ServeError> {
+        Self::new(ModelSnapshot::load(path)?, config)
+    }
+
+    /// The serving configuration in effect.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The training-time model state this service was built from (graph,
+    /// matchers, trained GNNs, corpus metadata). The `indexes` field is
+    /// **empty** here — the service owns the growing ANN indexes; use
+    /// [`Self::to_snapshot`] or [`Self::save`] for a complete snapshot.
+    pub fn snapshot(&self) -> &ModelSnapshot {
+        &self.snapshot
+    }
+
+    /// Reassembles the complete training-time snapshot. Ingested
+    /// records/pairs are serving-tier state and are *not* part of it
+    /// (index contents are truncated back to the training watermark), so
+    /// the result is always byte-identical to the snapshot loaded.
+    pub fn to_snapshot(&self) -> ModelSnapshot {
+        let mut snapshot = self.snapshot.clone();
+        snapshot.indexes = self.indexes.iter().map(|i| self.truncate_index(i)).collect();
+        snapshot
+    }
+
+    /// Persists the training-time snapshot (see [`Self::to_snapshot`]).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ServeError> {
+        Ok(self.to_snapshot().save(path)?)
+    }
+
+    /// Number of served records (snapshot + ingested).
+    pub fn n_records(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of served candidate pairs (snapshot + ingested).
+    pub fn n_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of pairs the loaded snapshot was trained on; pairs at or
+    /// past this watermark were ingested online.
+    pub fn n_train_pairs(&self) -> usize {
+        self.n_train_pairs
+    }
+
+    /// Number of intents `P`.
+    pub fn n_intents(&self) -> usize {
+        self.snapshot.n_intents()
+    }
+
+    /// Title of a served record.
+    pub fn record_title(&self, id: usize) -> &str {
+        &self.records[id]
+    }
+
+    /// The two record ids of a served candidate pair.
+    pub fn pair_records(&self, pair: usize) -> (usize, usize) {
+        let (a, b) = self.pairs[pair];
+        (a as usize, b as usize)
+    }
+
+    /// Current counters and latency percentiles.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.metrics.lock().expect("metrics lock").snapshot()
+    }
+
+    /// Resolves one query under one intent, returning up to `top_k`
+    /// ranked candidates (pair queries return a single candidate).
+    pub fn resolve(
+        &self,
+        query: &ResolveQuery,
+        intent: IntentId,
+        top_k: usize,
+    ) -> Result<ResolveResponse, ServeError> {
+        let t0 = Instant::now();
+        // Errors count as resolves too (same as the all-intents path), so
+        // the counters stay comparable across endpoints.
+        let out = self.resolve_intents(query, &[intent], top_k);
+        self.metrics.lock().expect("metrics lock").record_resolve(t0.elapsed());
+        Ok(out?.pop().expect("one response per requested intent"))
+    }
+
+    /// Resolves one query under **every** intent — the flexible-ER answer
+    /// shape: one resolution per intent, not one global truth.
+    pub fn resolve_all_intents(
+        &self,
+        query: &ResolveQuery,
+        top_k: usize,
+    ) -> Result<Vec<ResolveResponse>, ServeError> {
+        let t0 = Instant::now();
+        let intents: Vec<IntentId> = (0..self.n_intents()).collect();
+        let out = self.resolve_intents(query, &intents, top_k);
+        self.metrics.lock().expect("metrics lock").record_resolve(t0.elapsed());
+        out
+    }
+
+    /// Resolves a batch of queries under one intent, fanning out across
+    /// the `flexer-par` thread budget. Results are in query order and
+    /// bit-identical to serial resolves.
+    pub fn resolve_batch(
+        &self,
+        queries: &[ResolveQuery],
+        intent: IntentId,
+        top_k: usize,
+    ) -> Vec<Result<ResolveResponse, ServeError>> {
+        flexer_par::parallel_map(queries.len(), |i| self.resolve(&queries[i], intent, top_k))
+    }
+
+    /// Ingests a new record: creates one candidate pair against every
+    /// pre-existing record, embeds them per intent, **incrementally**
+    /// inserts the embeddings into the per-layer ANN indexes, scores each
+    /// pair inductively under every intent, and makes the pairs servable.
+    pub fn ingest(&mut self, title: &str) -> IngestReport {
+        let record = self.records.len();
+        let first_pair = self.pairs.len();
+        let titles: Vec<(String, String)> =
+            self.records.iter().map(|r| (r.clone(), title.to_string())).collect();
+        self.records.push(title.to_string());
+
+        let embeddings = self.embed_pairs(&titles);
+        for (other, emb) in embeddings.iter().enumerate() {
+            // k-NN over the *current* indexes — the pair must not neighbour
+            // itself, so search precedes insert.
+            let neighbors = self.neighbors_of(emb);
+            for p in 0..self.n_intents() {
+                let (score, trace) = self.score_pair_inductive(emb, &neighbors, p);
+                self.scores[p].push(score);
+                let l = self.snapshot.trained[p].model.n_layers();
+                for j in 0..l.saturating_sub(1) {
+                    for q in 0..self.n_intents() {
+                        self.pinned[p][j][q].push_row(trace.hidden[j].row(q));
+                    }
+                }
+            }
+            for (q, index) in self.indexes.iter_mut().enumerate() {
+                index.add(&emb[q]);
+            }
+            self.pairs.push((other as u32, record as u32));
+        }
+
+        self.metrics.lock().expect("metrics lock").record_ingest();
+        IngestReport { record, first_pair, n_pairs: self.pairs.len() - first_pair }
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Restores an index to its training-time contents. Flat data is a
+    /// prefix; IVF adds only ever *append* ids to list tails, so dropping
+    /// ids past the watermark restores the original lists exactly.
+    fn truncate_index(&self, index: &AnyIndex) -> AnyIndex {
+        let n = self.n_train_pairs;
+        match index {
+            AnyIndex::Flat(f) => {
+                AnyIndex::Flat(flexer_ann::FlatIndex::from_rows(f.dim(), &f.data()[..n * f.dim()]))
+            }
+            AnyIndex::Ivf(i) => {
+                let lists: Vec<Vec<usize>> = i
+                    .lists()
+                    .iter()
+                    .map(|l| l.iter().copied().filter(|&id| id < n).collect())
+                    .collect();
+                AnyIndex::Ivf(flexer_ann::IvfIndex::from_parts(
+                    i.dim(),
+                    i.quantizer().clone(),
+                    lists,
+                    i.data()[..n * i.dim()].to_vec(),
+                    i.nprobe(),
+                ))
+            }
+        }
+    }
+
+    fn resolve_intents(
+        &self,
+        query: &ResolveQuery,
+        intents: &[IntentId],
+        top_k: usize,
+    ) -> Result<Vec<ResolveResponse>, ServeError> {
+        let p_total = self.n_intents();
+        for &p in intents {
+            if p >= p_total {
+                return Err(ServeError::IntentOutOfRange(p, p_total));
+            }
+        }
+        match query {
+            ResolveQuery::CorpusPair(pair) => {
+                if *pair >= self.pairs.len() {
+                    return Err(ServeError::UnknownPair(*pair, self.pairs.len()));
+                }
+                Ok(intents
+                    .iter()
+                    .map(|&p| {
+                        let score = self.scores[p][*pair];
+                        ResolveResponse {
+                            intent: p,
+                            matches: vec![RankedMatch {
+                                target: MatchTarget::Pair(*pair),
+                                score,
+                                matched: score > 0.5,
+                            }],
+                        }
+                    })
+                    .collect())
+            }
+            ResolveQuery::TitlePair(a, b) => {
+                let emb = &self.embed_pairs(&[(a.clone(), b.clone())])[0];
+                let neighbors = self.neighbors_of(emb);
+                Ok(intents
+                    .iter()
+                    .map(|&p| {
+                        let (score, _) = self.score_pair_inductive(emb, &neighbors, p);
+                        ResolveResponse {
+                            intent: p,
+                            matches: vec![RankedMatch {
+                                target: MatchTarget::AdHoc,
+                                score,
+                                matched: score > 0.5,
+                            }],
+                        }
+                    })
+                    .collect())
+            }
+            ResolveQuery::Record(title) => {
+                // Query-driven collective ER: pair the query against every
+                // served record and rank. (A blocking stage would narrow
+                // the candidate set here at larger scales.)
+                let titles: Vec<(String, String)> =
+                    self.records.iter().map(|r| (r.clone(), title.clone())).collect();
+                let embeddings = self.embed_pairs(&titles);
+                // Independent per candidate: fan out, each candidate runs
+                // the exact serial scoring, so results are bit-identical
+                // at any thread count.
+                let per_candidate: Vec<Vec<f32>> =
+                    flexer_par::parallel_map(embeddings.len(), |j| {
+                        let neighbors = self.neighbors_of(&embeddings[j]);
+                        intents
+                            .iter()
+                            .map(|&p| self.score_pair_inductive(&embeddings[j], &neighbors, p).0)
+                            .collect()
+                    });
+                Ok(intents
+                    .iter()
+                    .enumerate()
+                    .map(|(pi, &p)| {
+                        let mut ranked: Vec<RankedMatch> = per_candidate
+                            .iter()
+                            .enumerate()
+                            .map(|(r, s)| RankedMatch {
+                                target: MatchTarget::Record(r),
+                                score: s[pi],
+                                matched: s[pi] > 0.5,
+                            })
+                            .collect();
+                        ranked.sort_by(|x, y| {
+                            y.score
+                                .partial_cmp(&x.score)
+                                .expect("scores are finite")
+                                .then_with(|| x.target.cmp_key().cmp(&y.target.cmp_key()))
+                        });
+                        ranked.truncate(top_k);
+                        ResolveResponse { intent: p, matches: ranked }
+                    })
+                    .collect())
+            }
+        }
+    }
+
+    /// Per-intent embeddings of title pairs, through the LRU cache; misses
+    /// are featurized and run through all P matchers as one batch.
+    fn embed_pairs(&self, titles: &[(String, String)]) -> Vec<PairEmbedding> {
+        let mut out: Vec<Option<PairEmbedding>> = vec![None; titles.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for (i, (a, b)) in titles.iter().enumerate() {
+                match cache.get(&cache_key(a, b)) {
+                    Some(emb) => out[i] = Some(emb.clone()),
+                    None => misses.push(i),
+                }
+            }
+        }
+        let n_hits = (titles.len() - misses.len()) as u64;
+        if !misses.is_empty() {
+            let featurizer = &self.snapshot.featurizer;
+            let df = &self.snapshot.df;
+            let rows: Vec<Vec<(u32, f32)>> = misses
+                .iter()
+                .map(|&i| {
+                    let (a, b) = &titles[i];
+                    let ta = featurizer.prepare(a, df);
+                    let tb = featurizer.prepare(b, df);
+                    featurizer.features(&ta, &tb)
+                })
+                .collect();
+            let features = SparseMatrix::from_rows(featurizer.total_dim(), &rows);
+            let per_intent: Vec<Matrix> =
+                self.snapshot.matchers.iter().map(|m| m.infer(&features).embeddings).collect();
+            // Flood guard: a miss batch that would occupy more than half
+            // the cache (a corpus-sized record query or ingest on a large
+            // corpus) would evict the entire hot set for entries of mostly
+            // one-shot keys — compute but skip caching those.
+            let mut cache = self.cache.lock().expect("cache lock");
+            let cacheable = misses.len() <= cache.capacity() / 2;
+            for (j, &i) in misses.iter().enumerate() {
+                let emb: PairEmbedding = per_intent.iter().map(|e| e.row(j).to_vec()).collect();
+                if cacheable {
+                    let (a, b) = &titles[i];
+                    cache.insert(cache_key(a, b), emb.clone());
+                }
+                out[i] = Some(emb);
+            }
+        }
+        self.metrics.lock().expect("metrics lock").record_cache(n_hits, misses.len() as u64);
+        out.into_iter().map(|e| e.expect("every slot filled")).collect()
+    }
+
+    /// Per-layer k-NN pair ids of a new pair's embedding (rank order).
+    fn neighbors_of(&self, emb: &PairEmbedding) -> Vec<Vec<usize>> {
+        let k = self.snapshot.k;
+        self.indexes
+            .iter()
+            .zip(emb)
+            .map(|(index, e)| index.search(e, k).into_iter().map(|h| h.id).collect())
+            .collect()
+    }
+
+    /// Scores one new pair under one intent's frozen GNN; returns the
+    /// match likelihood and the full inductive trace (for ingest).
+    fn score_pair_inductive(
+        &self,
+        emb: &PairEmbedding,
+        neighbors: &[Vec<usize>],
+        intent: IntentId,
+    ) -> (f32, flexer_graph::InductiveTrace) {
+        let p_total = self.n_intents();
+        let dim = self.snapshot.graph.dim;
+        let model = &self.snapshot.trained[intent].model;
+        let mut new_features = Matrix::zeros(p_total, dim);
+        for (q, e) in emb.iter().enumerate() {
+            new_features.row_mut(q).copy_from_slice(e);
+        }
+        let neighbor_inputs: Vec<Vec<Matrix>> = (0..model.n_layers())
+            .map(|t| {
+                (0..p_total)
+                    .map(|q| {
+                        let ids = &neighbors[q];
+                        let d = if t == 0 { dim } else { self.pinned[intent][t - 1][q].cols() };
+                        let mut m = Matrix::zeros(ids.len(), d);
+                        for (row, &id) in ids.iter().enumerate() {
+                            let src = if t == 0 {
+                                self.indexes[q].vector(id)
+                            } else {
+                                self.pinned[intent][t - 1][q].row(id)
+                            };
+                            m.row_mut(row).copy_from_slice(src);
+                        }
+                        m
+                    })
+                    .collect()
+            })
+            .collect();
+        let trace = model.forward_inductive(&new_features, &neighbor_inputs);
+        let score = trace.scores()[intent];
+        (score, trace)
+    }
+}
+
+/// Cache key of a title pair. Titles are arbitrary user strings, so a bare
+/// separator would let `("x<sep>y", "z")` collide with `("x", "y<sep>z")`;
+/// length-prefixing the first side makes the encoding injective.
+fn cache_key(a: &str, b: &str) -> String {
+    format!("{}:{a}{b}", a.len())
+}
+
+/// Deterministic ordering key for ranked-match tie-breaking.
+trait TargetKey {
+    fn cmp_key(&self) -> usize;
+}
+
+impl TargetKey for MatchTarget {
+    fn cmp_key(&self) -> usize {
+        match self {
+            MatchTarget::Record(r) => *r,
+            MatchTarget::Pair(p) => *p,
+            MatchTarget::AdHoc => usize::MAX,
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Serving-tier integration tests over a tiny trained model: exact
+//! transductive reproduction, inductive ingest, batching determinism and
+//! metrics plumbing.
+
+use flexer_core::{FlexErConfig, FlexErModel, InParallelModel, PipelineContext};
+use flexer_datasets::AmazonMiConfig;
+use flexer_serve::{ResolutionService, ServeConfig, ServeError};
+use flexer_store::{IndexKind, ModelSnapshot};
+use flexer_types::{MatchTarget, ResolveQuery, Scale};
+
+/// One shared training run for the whole test binary (each test clones
+/// the snapshot it mutates).
+fn trained_snapshot() -> (ModelSnapshot, FlexErModel) {
+    static SHARED: std::sync::OnceLock<(ModelSnapshot, FlexErModel)> = std::sync::OnceLock::new();
+    SHARED
+        .get_or_init(|| {
+            let bench = AmazonMiConfig::at_scale(Scale::Tiny).with_seed(41).generate();
+            let config = FlexErConfig::fast();
+            let ctx = PipelineContext::new(bench, &config.matcher).unwrap();
+            let base = InParallelModel::fit(&ctx, &config.matcher).unwrap();
+            let model =
+                FlexErModel::fit_from_embeddings(&ctx, &base.embeddings(), &config).unwrap();
+            let snapshot = model.to_snapshot(&ctx, &base, &config, IndexKind::Flat).unwrap();
+            (snapshot, model)
+        })
+        .clone()
+}
+
+#[test]
+fn serving_pipeline_end_to_end() {
+    let (snapshot, model) = trained_snapshot();
+    let n_pairs = snapshot.n_pairs();
+    let p = snapshot.n_intents();
+    let svc = ResolutionService::new(snapshot, ServeConfig::default()).unwrap();
+
+    // --- Exact transductive reproduction over every corpus pair. ---
+    for pair in 0..n_pairs {
+        let responses = svc.resolve_all_intents(&ResolveQuery::CorpusPair(pair), 1).unwrap();
+        assert_eq!(responses.len(), p);
+        for (intent, r) in responses.iter().enumerate() {
+            assert_eq!(r.intent, intent);
+            let m = r.top().unwrap();
+            assert_eq!(m.target, MatchTarget::Pair(pair));
+            assert_eq!(
+                m.matched,
+                model.predictions.get(pair, intent),
+                "pair {pair} intent {intent}: served decision != batch prediction"
+            );
+            assert_eq!(m.score, model.trained[intent].scores[pair], "score must be bit-exact");
+        }
+    }
+
+    // --- Ad-hoc pair and record queries produce sane rankings. ---
+    let adhoc =
+        svc.resolve(&ResolveQuery::pair("Nike Air Max 2016", "NIKE air max 2016"), 0, 1).unwrap();
+    assert_eq!(adhoc.matches.len(), 1);
+    assert!(adhoc.top().unwrap().score.is_finite());
+
+    let query_title = svc.record_title(0).to_string();
+    let ranked = svc.resolve(&ResolveQuery::record(query_title), 0, 5).unwrap();
+    assert!(ranked.matches.len() <= 5 && !ranked.matches.is_empty());
+    for w in ranked.matches.windows(2) {
+        assert!(w[0].score >= w[1].score, "ranking must be descending");
+    }
+
+    // --- Metrics observed the traffic. ---
+    let metrics = svc.metrics();
+    assert_eq!(metrics.resolves as usize, n_pairs + 2);
+    assert!(metrics.latency_samples > 0);
+    assert!(metrics.cache_misses > 0);
+}
+
+#[test]
+fn ingest_extends_the_served_corpus() {
+    let (snapshot, _) = trained_snapshot();
+    let mut svc = ResolutionService::new(snapshot, ServeConfig::default()).unwrap();
+    let n_records = svc.n_records();
+    let n_pairs = svc.n_pairs();
+
+    let report = svc.ingest("BrandNew UltraWidget 9000 Pro Edition");
+    assert_eq!(report.record, n_records);
+    assert_eq!(report.first_pair, n_pairs);
+    assert_eq!(report.n_pairs, n_records, "one pair per pre-existing record");
+    assert_eq!(svc.n_records(), n_records + 1);
+    assert_eq!(svc.n_pairs(), n_pairs + n_records);
+    assert_eq!(svc.n_train_pairs(), n_pairs);
+
+    // Ingested pairs are servable corpus pairs now.
+    let r = svc.resolve(&ResolveQuery::CorpusPair(n_pairs), 0, 1).unwrap();
+    assert!(r.top().unwrap().score.is_finite());
+    // Training-pair scores were not perturbed (ingest is additive-only).
+    let before = svc.snapshot().trained[0].scores[0];
+    let after = svc.resolve(&ResolveQuery::CorpusPair(0), 0, 1).unwrap();
+    assert_eq!(after.top().unwrap().score, before);
+
+    // The new record participates in record-level resolution.
+    let ranked = svc.resolve(&ResolveQuery::record("BrandNew UltraWidget 9000 Pro Edition"), 0, 3);
+    let ranked = ranked.unwrap();
+    assert!(ranked.matches.iter().any(|m| m.target == MatchTarget::Record(report.record)));
+    assert!(svc.metrics().ingests == 1);
+}
+
+#[test]
+fn saved_snapshot_stays_byte_identical_even_after_ingest() {
+    let (snapshot, _) = trained_snapshot();
+    let original = snapshot.to_bytes();
+    let mut svc = ResolutionService::new(snapshot, ServeConfig::default()).unwrap();
+    svc.ingest("Ingested Gadget One");
+    svc.ingest("Ingested Gadget Two");
+    // Ingested state is serving-tier only: the reconstructed training
+    // snapshot (indexes truncated to the training watermark) must match
+    // the loaded bytes exactly, for both index variants.
+    assert_eq!(svc.to_snapshot().to_bytes(), original);
+
+    let (snapshot, _) = trained_snapshot();
+    let ivf_snapshot = {
+        // Rebuild the same model state with IVF indexes to cover the
+        // list-filtering truncation path.
+        use flexer_ann::{AnyIndex, IvfConfig, IvfIndex, VectorIndex};
+        let mut s = snapshot;
+        s.indexes = s
+            .indexes
+            .iter()
+            .map(|i| {
+                let (dim, n) = (i.dim(), i.len());
+                let data: Vec<f32> = (0..n).flat_map(|id| i.vector(id).to_vec()).collect();
+                AnyIndex::Ivf(IvfIndex::build(
+                    dim,
+                    &data,
+                    IvfConfig { nlist: 8, nprobe: 8, ..Default::default() },
+                ))
+            })
+            .collect();
+        s
+    };
+    let original = ivf_snapshot.to_bytes();
+    let mut svc = ResolutionService::new(ivf_snapshot, ServeConfig::default()).unwrap();
+    svc.ingest("Ingested Gadget Three");
+    assert_eq!(svc.to_snapshot().to_bytes(), original);
+}
+
+#[test]
+fn cache_key_is_injective_for_adversarial_titles() {
+    let (snapshot, _) = trained_snapshot();
+    let svc = ResolutionService::new(snapshot, ServeConfig::default()).unwrap();
+    // These two pairs concatenate to the same string; a separator-based
+    // key would collide and serve the second query from the first's
+    // cached embedding.
+    let q1 = ResolveQuery::pair("alpha be", "ta gamma");
+    let q2 = ResolveQuery::pair("alpha", " beta gamma");
+    let r1 = svc.resolve(&q1, 0, 1).unwrap();
+    let r2 = svc.resolve(&q2, 0, 1).unwrap();
+    // Both queries must have been embedded independently (two misses).
+    assert_eq!(svc.metrics().cache_misses, 2);
+    // And re-resolving each returns its own cached answer.
+    assert_eq!(svc.resolve(&q1, 0, 1).unwrap(), r1);
+    assert_eq!(svc.resolve(&q2, 0, 1).unwrap(), r2);
+}
+
+#[test]
+fn batch_resolution_is_deterministic_across_thread_counts() {
+    let (snapshot, _) = trained_snapshot();
+    let svc = ResolutionService::new(snapshot, ServeConfig::default()).unwrap();
+    let queries: Vec<ResolveQuery> =
+        (0..6).map(|i| ResolveQuery::record(svc.record_title(i).to_string())).collect();
+    let reference: Vec<_> = flexer_par::with_threads(1, || svc.resolve_batch(&queries, 0, 4));
+    for threads in [2usize, 4] {
+        let got = flexer_par::with_threads(threads, || svc.resolve_batch(&queries, 0, 4));
+        for (a, b) in reference.iter().zip(&got) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a, b, "{threads} threads");
+        }
+    }
+}
+
+#[test]
+fn error_paths() {
+    let (snapshot, _) = trained_snapshot();
+    let p = snapshot.n_intents();
+    let n = snapshot.n_pairs();
+    let svc = ResolutionService::new(snapshot, ServeConfig::default()).unwrap();
+    assert!(matches!(
+        svc.resolve(&ResolveQuery::CorpusPair(n + 7), 0, 1),
+        Err(ServeError::UnknownPair(_, _))
+    ));
+    assert!(matches!(
+        svc.resolve(&ResolveQuery::CorpusPair(0), p, 1),
+        Err(ServeError::IntentOutOfRange(_, _))
+    ));
+}
+
+#[test]
+fn corrupted_snapshot_is_refused() {
+    let (snapshot, _) = trained_snapshot();
+    let mut broken = snapshot.clone();
+    // Tamper with one batch score: the warm forward can no longer
+    // reproduce it, and the service must refuse to serve wrong answers.
+    broken.trained[0].scores[0] += 0.25;
+    match ResolutionService::new(broken, ServeConfig::default()) {
+        Err(ServeError::InconsistentSnapshot(msg)) => {
+            assert!(msg.contains("warm forward"), "{msg}");
+        }
+        other => panic!("expected InconsistentSnapshot, got {other:?}"),
+    }
+}
+
+#[test]
+fn embedding_cache_hits_on_repeated_queries() {
+    let (snapshot, _) = trained_snapshot();
+    let svc = ResolutionService::new(snapshot, ServeConfig::default()).unwrap();
+    let q = ResolveQuery::pair("Nike Duckboot", "NIKE duckboot black");
+    let a = svc.resolve(&q, 0, 1).unwrap();
+    let misses_after_first = svc.metrics().cache_misses;
+    let b = svc.resolve(&q, 0, 1).unwrap();
+    assert_eq!(a, b, "cached embedding must not change the answer");
+    let m = svc.metrics();
+    assert_eq!(m.cache_misses, misses_after_first, "second resolve must hit the cache");
+    assert!(m.cache_hits >= 1);
+}

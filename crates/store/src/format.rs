@@ -1,0 +1,486 @@
+//! The `.flexer` container: a little-endian payload framed by a magic
+//! string, a format version, the payload length and a trailing FNV-1a
+//! checksum.
+//!
+//! ```text
+//! ┌────────────┬─────────────┬──────────────────┬──────────┬──────────────┐
+//! │ "FLEXSNAP" │ version u32 │ payload_len u64  │ payload  │ checksum u64 │
+//! └────────────┴─────────────┴──────────────────┴──────────┴──────────────┘
+//! ```
+//!
+//! The environment is offline (no serde), so the payload is produced by the
+//! hand-rolled [`Writer`]/[`Reader`] pair below — the same style as the
+//! `crates/compat` shims. All multi-byte values are little-endian; floats
+//! are stored as their raw IEEE-754 bits, so round-trips are bit-exact.
+
+use std::fmt;
+
+/// Leading magic bytes of every `.flexer` file.
+pub const MAGIC: [u8; 8] = *b"FLEXSNAP";
+
+/// Current format version. Bump on any layout change; readers reject
+/// versions they do not understand instead of mis-parsing them.
+pub const VERSION: u32 = 1;
+
+/// Everything that can go wrong reading a snapshot.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file declares a version this reader does not support.
+    UnsupportedVersion(u32),
+    /// The buffer ended before a read completed.
+    Truncated {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// The trailing checksum does not match the payload.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum computed over the payload.
+        computed: u64,
+    },
+    /// Bytes were left over after the payload decoded completely.
+    TrailingBytes(usize),
+    /// The payload decoded but its contents are inconsistent.
+    Malformed(String),
+    /// Filesystem error while reading or writing.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::BadMagic => write!(f, "not a .flexer snapshot (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version {v} (reader supports {VERSION})")
+            }
+            StoreError::Truncated { needed, available } => {
+                write!(f, "snapshot truncated: needed {needed} bytes, {available} available")
+            }
+            StoreError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "snapshot corrupted: stored checksum {stored:#018x} != computed {computed:#018x}"
+            ),
+            StoreError::TrailingBytes(n) => {
+                write!(f, "snapshot has {n} unexpected trailing payload bytes")
+            }
+            StoreError::Malformed(msg) => write!(f, "malformed snapshot: {msg}"),
+            StoreError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// FNV-1a 64-bit over a byte slice — cheap, dependency-free corruption
+/// detection (not a cryptographic integrity guarantee).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF29CE484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001B3);
+    }
+    h
+}
+
+/// Frames a payload into a complete `.flexer` byte stream.
+pub fn seal(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(MAGIC.len() + 12 + payload.len() + 8);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    out
+}
+
+/// Validates framing + checksum and returns the payload slice.
+pub fn unseal(bytes: &[u8]) -> Result<&[u8], StoreError> {
+    let header = MAGIC.len() + 4 + 8;
+    if bytes.len() < header + 8 {
+        return Err(StoreError::Truncated { needed: header + 8, available: bytes.len() });
+    }
+    if bytes[..MAGIC.len()] != MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
+    let total = header + len + 8;
+    if bytes.len() < total {
+        return Err(StoreError::Truncated { needed: total, available: bytes.len() });
+    }
+    if bytes.len() > total {
+        return Err(StoreError::TrailingBytes(bytes.len() - total));
+    }
+    let payload = &bytes[header..header + len];
+    let stored = u64::from_le_bytes(bytes[header + len..].try_into().expect("8 bytes"));
+    let computed = fnv1a64(payload);
+    if stored != computed {
+        return Err(StoreError::ChecksumMismatch { stored, computed });
+    }
+    Ok(payload)
+}
+
+/// Little-endian payload writer.
+#[derive(Debug, Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes the writer, returning the payload.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// One byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Little-endian u32.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian u64.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// `usize` stored as u64 (portable across word sizes).
+    pub fn put_usize(&mut self, v: usize) {
+        self.put_u64(v as u64);
+    }
+
+    /// IEEE-754 bits of an f32 (bit-exact, NaN-preserving).
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// IEEE-754 bits of an f64.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Strict boolean (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.put_u8(v as u8);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, s: &str) {
+        self.put_usize(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Length-prefixed f32 slice.
+    pub fn put_f32_slice(&mut self, vs: &[f32]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Length-prefixed u32 slice.
+    pub fn put_u32_slice(&mut self, vs: &[u32]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Length-prefixed usize slice (stored as u64s).
+    pub fn put_usize_slice(&mut self, vs: &[usize]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_u64(v as u64);
+        }
+    }
+
+    /// Length-prefixed bool slice (one byte per value).
+    pub fn put_bool_slice(&mut self, vs: &[bool]) {
+        self.put_usize(vs.len());
+        for &v in vs {
+            self.put_u8(v as u8);
+        }
+    }
+}
+
+/// Little-endian payload reader over a borrowed buffer.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Reader over a full payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Errors unless every byte was consumed.
+    pub fn finish(self) -> Result<(), StoreError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(StoreError::TrailingBytes(self.remaining()))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        if self.remaining() < n {
+            return Err(StoreError::Truncated { needed: n, available: self.remaining() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// One byte.
+    pub fn get_u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Little-endian u32.
+    pub fn get_u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Little-endian u64.
+    pub fn get_u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// A u64 narrowed to usize; errors if it cannot fit.
+    pub fn get_usize(&mut self) -> Result<usize, StoreError> {
+        let v = self.get_u64()?;
+        usize::try_from(v)
+            .map_err(|_| StoreError::Malformed(format!("length {v} exceeds this platform")))
+    }
+
+    /// A length prefix for elements of `elem_size` bytes, bounds-checked
+    /// against the remaining buffer *before* any allocation, so corrupted
+    /// length fields fail cleanly instead of attempting huge allocations.
+    fn get_len(&mut self, elem_size: usize) -> Result<usize, StoreError> {
+        let n = self.get_usize()?;
+        let needed = n.checked_mul(elem_size).ok_or_else(|| {
+            StoreError::Malformed(format!("length {n} × {elem_size} bytes overflows"))
+        })?;
+        if needed > self.remaining() {
+            return Err(StoreError::Truncated { needed, available: self.remaining() });
+        }
+        Ok(n)
+    }
+
+    /// IEEE-754 f32.
+    pub fn get_f32(&mut self) -> Result<f32, StoreError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// IEEE-754 f64.
+    pub fn get_f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Strict boolean: any byte other than 0/1 is malformed.
+    pub fn get_bool(&mut self) -> Result<bool, StoreError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(StoreError::Malformed(format!("invalid boolean byte {b}"))),
+        }
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, StoreError> {
+        let n = self.get_len(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| StoreError::Malformed(format!("invalid UTF-8 string: {e}")))
+    }
+
+    /// Length-prefixed f32 slice.
+    pub fn get_f32_slice(&mut self) -> Result<Vec<f32>, StoreError> {
+        let n = self.get_len(4)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_f32()?);
+        }
+        Ok(out)
+    }
+
+    /// Length-prefixed u32 slice.
+    pub fn get_u32_slice(&mut self) -> Result<Vec<u32>, StoreError> {
+        let n = self.get_len(4)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_u32()?);
+        }
+        Ok(out)
+    }
+
+    /// Length-prefixed usize slice.
+    pub fn get_usize_slice(&mut self) -> Result<Vec<usize>, StoreError> {
+        let n = self.get_len(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_usize()?);
+        }
+        Ok(out)
+    }
+
+    /// Length-prefixed bool slice.
+    pub fn get_bool_slice(&mut self) -> Result<Vec<bool>, StoreError> {
+        let n = self.get_len(1)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.get_bool()?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let mut w = Writer::new();
+        w.put_u8(7);
+        w.put_u32(0xDEADBEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_usize(42);
+        w.put_f32(-0.0);
+        w.put_f64(std::f64::consts::PI);
+        w.put_bool(true);
+        w.put_str("intención");
+        w.put_f32_slice(&[1.5, -2.5, f32::MIN_POSITIVE]);
+        w.put_u32_slice(&[1, 2, 3]);
+        w.put_usize_slice(&[9, 0]);
+        w.put_bool_slice(&[true, false, true]);
+        let bytes = w.into_bytes();
+
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u32().unwrap(), 0xDEADBEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_usize().unwrap(), 42);
+        assert_eq!(r.get_f32().unwrap().to_bits(), (-0.0f32).to_bits());
+        assert_eq!(r.get_f64().unwrap(), std::f64::consts::PI);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_str().unwrap(), "intención");
+        assert_eq!(r.get_f32_slice().unwrap(), vec![1.5, -2.5, f32::MIN_POSITIVE]);
+        assert_eq!(r.get_u32_slice().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.get_usize_slice().unwrap(), vec![9, 0]);
+        assert_eq!(r.get_bool_slice().unwrap(), vec![true, false, true]);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn nan_bits_preserved() {
+        let weird = f32::from_bits(0x7FC0_1234); // a payloaded NaN
+        let mut w = Writer::new();
+        w.put_f32(weird);
+        let bytes = w.into_bytes();
+        let got = Reader::new(&bytes).get_f32().unwrap();
+        assert_eq!(got.to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        let payload = b"hello snapshot".to_vec();
+        let sealed = seal(&payload);
+        assert_eq!(unseal(&sealed).unwrap(), payload.as_slice());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let sealed = seal(b"payload bytes");
+        // Flip one payload bit.
+        let mut bad = sealed.clone();
+        bad[MAGIC.len() + 12 + 3] ^= 0x40;
+        assert!(matches!(unseal(&bad), Err(StoreError::ChecksumMismatch { .. })));
+        // Truncate.
+        assert!(matches!(unseal(&sealed[..sealed.len() - 3]), Err(StoreError::Truncated { .. })));
+        // Bad magic.
+        let mut bad = sealed.clone();
+        bad[0] = b'X';
+        assert!(matches!(unseal(&bad), Err(StoreError::BadMagic)));
+        // Future version.
+        let mut bad = sealed.clone();
+        bad[8] = 99;
+        assert!(matches!(unseal(&bad), Err(StoreError::UnsupportedVersion(99))));
+        // Trailing garbage.
+        let mut bad = sealed;
+        bad.push(0);
+        assert!(matches!(unseal(&bad), Err(StoreError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn oversized_length_fields_fail_before_allocating() {
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX / 2); // an absurd element count
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.get_f32_slice(),
+            Err(StoreError::Truncated { .. }) | Err(StoreError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_bool_rejected() {
+        let mut r = Reader::new(&[2]);
+        assert!(matches!(r.get_bool(), Err(StoreError::Malformed(_))));
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Known FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xCBF29CE484222325);
+        assert_eq!(fnv1a64(b"a"), 0xAF63DC4C8601EC8C);
+    }
+}

@@ -19,6 +19,7 @@ pub mod error;
 pub mod intent;
 pub mod labels;
 pub mod pair;
+pub mod query;
 pub mod record;
 pub mod resolution;
 pub mod scale;
@@ -30,6 +31,7 @@ pub use error::TypesError;
 pub use intent::{Intent, IntentId, IntentSet};
 pub use labels::LabelMatrix;
 pub use pair::{CandidateSet, PairRef};
+pub use query::{MatchTarget, RankedMatch, ResolveQuery, ResolveResponse};
 pub use record::{Attribute, Dataset, Record, RecordId};
 pub use resolution::Resolution;
 pub use scale::Scale;

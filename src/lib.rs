@@ -11,6 +11,14 @@
 //! versions of the AmazonMI, Walmart-Amazon and WDC benchmarks, the paper's
 //! evaluation measures, and a harness regenerating every table and figure.
 //!
+//! On top of the batch pipeline sits an **online resolution tier**: a
+//! trained model exports into a versioned, checksummed `.flexer` snapshot
+//! ([`store`](crate::store)), and a [`serve::ResolutionService`] loads it
+//! to answer "which entities match this record, under intent I?" at query
+//! time — exact transductive answers for stored pairs, frozen-weight
+//! inductive scoring (incremental ANN insert + local GNN forward) for new
+//! records, with an LRU embedding cache and p50/p99 latency counters.
+//!
 //! # The `parallel` feature (on by default)
 //!
 //! FlexER trains *P* independent GNNs — one per intent — over the same
@@ -42,6 +50,8 @@ pub use flexer_graph as graph;
 pub use flexer_matcher as matcher;
 pub use flexer_nn as nn;
 pub use flexer_par as par;
+pub use flexer_serve as serve;
+pub use flexer_store as store;
 pub use flexer_types as types;
 
 /// Convenient single-import surface for applications.
@@ -49,8 +59,11 @@ pub mod prelude {
     pub use flexer_core::prelude::*;
     pub use flexer_datasets::{AmazonMiConfig, WalmartAmazonConfig, WdcConfig};
     pub use flexer_eval::{BinaryReport, MultiIntentReport};
+    pub use flexer_serve::{IngestReport, ResolutionService, ServeConfig, ServeMetrics};
+    pub use flexer_store::{IndexKind, ModelSnapshot};
     pub use flexer_types::{
-        CandidateSet, Dataset, EntityMap, Intent, IntentSet, LabelMatrix, MierBenchmark, PairRef,
-        Record, Resolution, Scale, Split,
+        CandidateSet, Dataset, EntityMap, Intent, IntentSet, LabelMatrix, MatchTarget,
+        MierBenchmark, PairRef, RankedMatch, Record, Resolution, ResolveQuery, ResolveResponse,
+        Scale, Split,
     };
 }

@@ -1,0 +1,115 @@
+//! The end-to-end serving invariant (ISSUE 2 acceptance criteria):
+//!
+//! 1. Train a `FlexErModel` on a tiny benchmark, snapshot it, reload it in
+//!    a fresh `ResolutionService`, and `resolve_all_intents` over the
+//!    original corpus reproduces the batch model's per-intent predictions
+//!    **exactly** (bit-exact scores included);
+//! 2. snapshot → load → snapshot is **byte-identical**;
+//! 3. the inductive path (ingest + record queries) serves new data without
+//!    perturbing any stored answer.
+
+use flexer::prelude::*;
+
+struct Trained {
+    ctx: PipelineContext,
+    model: FlexErModel,
+    snapshot: ModelSnapshot,
+}
+
+/// One shared training run for the whole test binary.
+fn trained() -> &'static Trained {
+    static SHARED: std::sync::OnceLock<Trained> = std::sync::OnceLock::new();
+    SHARED.get_or_init(|| {
+        let bench = AmazonMiConfig::at_scale(Scale::Tiny).with_seed(29).generate();
+        let config = FlexErConfig::fast().with_seed(29);
+        let ctx = PipelineContext::new(bench, &config.matcher).unwrap();
+        let base = InParallelModel::fit(&ctx, &config.matcher).unwrap();
+        let model = FlexErModel::fit_from_embeddings(&ctx, &base.embeddings(), &config).unwrap();
+        let snapshot = model.to_snapshot(&ctx, &base, &config, IndexKind::Flat).unwrap();
+        Trained { ctx, model, snapshot }
+    })
+}
+
+#[test]
+fn served_answers_reproduce_batch_predictions_exactly() {
+    let t = trained();
+    let path = std::env::temp_dir().join("flexer_serving_invariant.flexer");
+    t.snapshot.save(&path).unwrap();
+
+    // A *fresh* service, built only from the file on disk.
+    let svc = ResolutionService::load(&path, ServeConfig::default()).unwrap();
+    assert_eq!(svc.n_pairs(), t.ctx.benchmark.n_pairs());
+    assert_eq!(svc.n_intents(), t.ctx.n_intents());
+
+    for pair in 0..svc.n_pairs() {
+        let responses = svc.resolve_all_intents(&ResolveQuery::CorpusPair(pair), 1).unwrap();
+        assert_eq!(responses.len(), t.ctx.n_intents());
+        for r in responses {
+            let top = r.top().expect("pair queries yield one candidate");
+            assert_eq!(
+                top.matched,
+                t.model.predictions.get(pair, r.intent),
+                "pair {pair}, intent {}: served decision != batch prediction",
+                r.intent
+            );
+            assert_eq!(
+                top.score, t.model.trained[r.intent].scores[pair],
+                "pair {pair}, intent {}: served score not bit-exact",
+                r.intent
+            );
+        }
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn snapshot_load_snapshot_is_byte_identical() {
+    let t = trained();
+    let bytes = t.snapshot.to_bytes();
+    let reloaded = ModelSnapshot::from_bytes(&bytes).unwrap();
+    assert_eq!(reloaded.to_bytes(), bytes, "snapshot -> load -> snapshot must be byte-identical");
+
+    // Through the filesystem and the service as well.
+    let p1 = std::env::temp_dir().join("flexer_roundtrip_1.flexer");
+    let p2 = std::env::temp_dir().join("flexer_roundtrip_2.flexer");
+    t.snapshot.save(&p1).unwrap();
+    let svc = ResolutionService::load(&p1, ServeConfig::default()).unwrap();
+    svc.save(&p2).unwrap();
+    assert_eq!(std::fs::read(&p1).unwrap(), std::fs::read(&p2).unwrap());
+    std::fs::remove_file(&p1).ok();
+    std::fs::remove_file(&p2).ok();
+}
+
+#[test]
+fn ingest_and_record_queries_leave_stored_answers_untouched() {
+    let t = trained();
+    let mut svc = ResolutionService::new(t.snapshot.clone(), ServeConfig::default()).unwrap();
+    let n_pairs = svc.n_pairs();
+
+    let before: Vec<Vec<ResolveResponse>> = (0..n_pairs)
+        .map(|p| svc.resolve_all_intents(&ResolveQuery::CorpusPair(p), 1).unwrap())
+        .collect();
+
+    // Ingest two records and fire record + ad-hoc queries in between.
+    let r1 = svc.ingest("Ingested Widget Alpha 100");
+    let eq = t.ctx.equivalence_id().unwrap();
+    let ranked = svc.resolve(&ResolveQuery::record("Ingested Widget Alpha 100"), eq, 5).unwrap();
+    assert!(!ranked.matches.is_empty());
+    let r2 = svc.ingest("Ingested Widget Alpha 100 v2");
+    assert_eq!(r2.record, r1.record + 1);
+    assert_eq!(svc.n_pairs(), n_pairs + r1.n_pairs + r2.n_pairs);
+
+    // Every stored pair still answers exactly as before (additive-only).
+    for (pair, want) in before.iter().enumerate() {
+        let got = svc.resolve_all_intents(&ResolveQuery::CorpusPair(pair), 1).unwrap();
+        assert_eq!(&got, want, "pair {pair} perturbed by ingest");
+    }
+
+    // Ingested pairs are servable and finite.
+    for pair in n_pairs..svc.n_pairs() {
+        let got = svc.resolve_all_intents(&ResolveQuery::CorpusPair(pair), 1).unwrap();
+        for r in got {
+            assert!(r.top().unwrap().score.is_finite());
+        }
+    }
+}
