@@ -16,7 +16,9 @@ fn bench_blocking(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("blocking");
     group.sample_size(10);
-    group.bench_function("block_dataset", |b| b.iter(|| blocker.block(&bench.dataset, 64).len()));
+    group.bench_function("block_dataset", |b| {
+        b.iter(|| blocker.block(&bench.dataset).candidates.len())
+    });
     group.bench_function("block_across_groups", |b| {
         b.iter(|| blocker.block_across(&bench.dataset, &left, &right).len())
     });

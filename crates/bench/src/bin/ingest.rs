@@ -1,0 +1,221 @@
+//! Ingest-throughput harness for the candidate-generation tier: trains a
+//! small model over a **large record corpus**, loads two services from the
+//! same snapshot — one blocked (the snapshot's q-gram blocker), one with
+//! the explicit exhaustive fallback — and measures online `ingest()`
+//! throughput on both, plus candidates-per-record and the blocking
+//! suppression report.
+//!
+//! ```text
+//! cargo run --release --bin ingest -- [--records N] [--seed N] [--json]
+//! ```
+//!
+//! Default corpus is 10k records: at that size an exhaustive ingest embeds
+//! and GNN-scores 10k pairs, while a blocked ingest touches only the
+//! records sharing an uncapped 4-gram with the new title.
+
+use flexer_bench::json::{write_bench_json, JsonObject};
+use flexer_core::{FlexErModel, InParallelModel, PipelineContext};
+use flexer_datasets::catalog::{Catalog, CatalogConfig, RecordCountDist};
+use flexer_datasets::intents::IntentDef;
+use flexer_datasets::mixture::{assemble_benchmark, component, sample_candidate_pairs, PairClass};
+use flexer_datasets::perturb::NoiseConfig;
+use flexer_datasets::taxonomy::{amazonmi_spec, Taxonomy, TaxonomyConfig};
+use flexer_datasets::{CandidateGenerator, NGramBlocker};
+use flexer_serve::{ResolutionService, ServeConfig};
+use flexer_store::IndexKind;
+use flexer_types::Scale;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+/// Training candidate pairs sampled over the corpus (kept modest: the
+/// experiment measures *online ingest*, not batch training).
+const TRAIN_PAIRS: usize = 360;
+/// Ingests measured on the blocked service.
+const BLOCKED_INGESTS: usize = 48;
+/// Ingests measured on the exhaustive service (each one is O(records)).
+const EXHAUSTIVE_INGESTS: usize = 3;
+
+fn main() {
+    let (n_records, seed, json) = parse_args();
+    eprintln!("[ingest] corpus of {n_records} records, seed {seed}");
+
+    // --- Offline phase: catalogue, blocked benchmark, training, snapshot.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let taxonomy = Taxonomy::from_spec(&amazonmi_spec(), TaxonomyConfig::at_scale(Scale::Small));
+    let catalog = Catalog::generate(
+        taxonomy,
+        &CatalogConfig {
+            n_records,
+            record_counts: RecordCountDist([0.35, 0.35, 0.2, 0.1]),
+            noise: NoiseConfig::default(),
+        },
+        &mut rng,
+    );
+    let sampled = sample_candidate_pairs(
+        &catalog,
+        &[
+            component(PairClass::Duplicate, 0.25),
+            component(PairClass::SameFamilyDiffProduct(None), 0.45),
+            component(PairClass::DiffMain(None), 0.3),
+        ],
+        TRAIN_PAIRS,
+        &mut rng,
+    );
+    let bench = assemble_benchmark(
+        "ingest-corpus",
+        &catalog,
+        &[
+            (IntentDef::Equivalence, "Eq."),
+            (IntentDef::SameBrand, "Brand"),
+            (IntentDef::SameMainCategory, "Main-Cat."),
+        ],
+        sampled.candidates,
+        seed,
+    );
+    let config = flexer_core::FlexErConfig::fast().with_seed(seed);
+    let ctx = PipelineContext::new(bench, &config.matcher).expect("valid benchmark");
+    eprintln!("[ingest] training on {} pairs...", ctx.benchmark.n_pairs());
+    let t0 = Instant::now();
+    let base = InParallelModel::fit(&ctx, &config.matcher).expect("base fit");
+    let model =
+        FlexErModel::fit_from_embeddings(&ctx, &base.embeddings(), &config).expect("flexer fit");
+    let snapshot = model.to_snapshot(&ctx, &base, &config, IndexKind::Flat).expect("export");
+    eprintln!("[ingest] trained + snapshotted in {:.1}s", t0.elapsed().as_secs_f64());
+
+    // The corpus-level suppression report of the same blocker the service
+    // runs — what the bucket cap prunes at this scale.
+    let block_outcome = NGramBlocker::default().generate(&catalog.dataset);
+    let report = block_outcome.report;
+    println!(
+        "corpus blocking     : {} candidates ({:.3}% of all pairs), {} stop-grams skipped, \
+         {} comparisons suppressed",
+        report.candidates,
+        100.0 * report.retention(n_records),
+        report.grams_skipped,
+        report.comparisons_suppressed
+    );
+
+    let mut blocked =
+        ResolutionService::new(snapshot.clone(), ServeConfig::default()).expect("load blocked");
+    let mut exhaustive =
+        ResolutionService::new(snapshot, ServeConfig::exhaustive()).expect("load exhaustive");
+
+    // Ingest titles: noisy second listings of existing products, so the
+    // blocker has genuine candidates to find.
+    let titles: Vec<String> = (0..BLOCKED_INGESTS)
+        .map(|i| {
+            let r = rng.gen_range(0..n_records);
+            format!("{} listing {i}", catalog.dataset[r].title())
+        })
+        .collect();
+
+    // --- Blocked ingest throughput.
+    let t0 = Instant::now();
+    let mut blocked_pairs = 0usize;
+    let mut blocked_suppressed = 0usize;
+    for title in &titles {
+        let r = blocked.ingest(title);
+        blocked_pairs += r.n_pairs;
+        blocked_suppressed += r.n_suppressed;
+    }
+    let blocked_secs = t0.elapsed().as_secs_f64();
+    let blocked_per_sec = titles.len() as f64 / blocked_secs;
+    let candidates_per_record = blocked_pairs as f64 / titles.len() as f64;
+    println!(
+        "blocked ingest      : {blocked_per_sec:>10.1} records/sec \
+         ({candidates_per_record:.1} candidates/record, {:.1} suppressed/record)",
+        blocked_suppressed as f64 / titles.len() as f64
+    );
+
+    // --- Exhaustive ingest throughput (the all-pairs fallback).
+    let t0 = Instant::now();
+    let mut exhaustive_pairs = 0usize;
+    for title in titles.iter().take(EXHAUSTIVE_INGESTS) {
+        exhaustive_pairs += exhaustive.ingest(title).n_pairs;
+    }
+    let exhaustive_secs = t0.elapsed().as_secs_f64();
+    let exhaustive_per_sec = EXHAUSTIVE_INGESTS as f64 / exhaustive_secs;
+    println!(
+        "exhaustive ingest   : {exhaustive_per_sec:>10.2} records/sec \
+         ({:.0} candidates/record)",
+        exhaustive_pairs as f64 / EXHAUSTIVE_INGESTS as f64
+    );
+
+    let speedup = blocked_per_sec / exhaustive_per_sec;
+    println!("speedup             : {speedup:>10.1}× (blocked vs exhaustive)");
+    // The acceptance bar (ISSUE 3): at the default 10k-record corpus,
+    // blocked ingest must sustain >= 10x the exhaustive baseline. Smaller
+    // corpora (CI runs --records 2000) have proportionally less to prune,
+    // so the bar applies only at acceptance scale.
+    if n_records >= 10_000 {
+        assert!(
+            speedup >= 10.0,
+            "blocked ingest at {n_records} records is only {speedup:.1}x exhaustive (need >= 10x)"
+        );
+    }
+
+    if json {
+        let doc = JsonObject::new()
+            .str("bench", "ingest")
+            .int("seed", seed)
+            .int("n_records", n_records as u64)
+            .int("n_train_pairs", blocked.n_train_pairs() as u64)
+            .str("blocker", blocked.blocker_kind())
+            .num("blocked_ingest_per_sec", blocked_per_sec)
+            .num("exhaustive_ingest_per_sec", exhaustive_per_sec)
+            .num("speedup", speedup)
+            .num("candidates_per_record", candidates_per_record)
+            .num("suppressed_per_record", blocked_suppressed as f64 / titles.len() as f64)
+            .int("blocked_ingests", titles.len() as u64)
+            .int("exhaustive_ingests", EXHAUSTIVE_INGESTS as u64)
+            .int("corpus_candidates", report.candidates as u64)
+            .num("corpus_retention", report.retention(n_records))
+            .int("grams_indexed", report.grams_indexed as u64)
+            .int("grams_skipped", report.grams_skipped as u64)
+            .int("comparisons_considered", report.comparisons_considered)
+            .int("comparisons_suppressed", report.comparisons_suppressed)
+            .render();
+        let path = write_bench_json("ingest", &doc).expect("write BENCH_ingest.json");
+        eprintln!("[ingest] wrote {}", path.display());
+    }
+}
+
+fn parse_args() -> (usize, u64, bool) {
+    let mut n_records = 10_000usize;
+    let mut seed = 17u64;
+    let mut json = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--records" => {
+                i += 1;
+                n_records = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--records expects an integer"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed expects an integer"));
+            }
+            "--json" => json = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    (n_records, seed, json)
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: ingest [--records N] [--seed N] [--json]");
+    std::process::exit(2)
+}

@@ -1,0 +1,239 @@
+//! Record-level ANN blocking: titles are feature-hashed into fixed-dim
+//! gram-count vectors and each record is paired with its `k` nearest
+//! neighbours under L2, via `flexer-ann`.
+//!
+//! This is the "Faiss offers multiple heuristics" direction of §5.7 applied
+//! to *candidate generation* rather than graph wiring: where the q-gram
+//! blocker keys on exact gram overlap, the ANN blocker ranks by whole-title
+//! gram-profile distance, so it degrades gracefully on heavy title noise
+//! (a pair can survive without sharing a single intact gram).
+//!
+//! Determinism: embeddings are pure functions of the title, and
+//! [`FlatIndex`] search breaks distance ties by ascending id — so batch
+//! blocking is deterministic for a given dataset. For the incremental
+//! index, exact distance ties at the k boundary are resolved by insertion
+//! id; corpora without such ties are fully order-insensitive.
+
+use crate::{BlockingOutcome, CandidateGenerator};
+use flexer_ann::{FlatIndex, VectorIndex};
+use flexer_types::{AnnBlockerConfig, BlockingReport, CandidateSet, Dataset, PairRef, RecordId};
+
+/// Batch record-level ANN blocker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnnBlocker {
+    config: AnnBlockerConfig,
+}
+
+impl AnnBlocker {
+    /// Blocker from a shared config.
+    pub fn new(config: AnnBlockerConfig) -> Self {
+        assert!(config.q > 0, "gram length must be positive");
+        assert!(config.dim > 0, "embedding dimension must be positive");
+        assert!(config.k > 0, "neighbour count must be positive");
+        Self { config }
+    }
+
+    /// The config this blocker runs.
+    pub fn config(&self) -> AnnBlockerConfig {
+        self.config
+    }
+}
+
+impl CandidateGenerator for AnnBlocker {
+    fn name(&self) -> &'static str {
+        "ann"
+    }
+
+    fn generate(&self, dataset: &Dataset) -> BlockingOutcome {
+        let mut index = AnnRecordIndex::new(self.config);
+        for record in dataset.iter() {
+            index.insert(record.title());
+        }
+        let k = self.config.k;
+        let queries: Vec<&[f32]> = (0..dataset.len()).map(|r| index.index.vector(r)).collect();
+        // k + 1 because each record's nearest hit is (usually) itself.
+        let hits = index.index.search_batch(&queries, k + 1);
+        let mut pairs = Vec::with_capacity(dataset.len() * k);
+        let mut considered = 0u64;
+        for (r, neighbors) in hits.iter().enumerate() {
+            considered += neighbors.len() as u64;
+            for h in neighbors.iter().filter(|h| h.id != r).take(k) {
+                pairs.push(PairRef::new(r, h.id).expect("r != id"));
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let report = BlockingReport {
+            comparisons_considered: considered,
+            candidates: pairs.len(),
+            ..Default::default()
+        };
+        BlockingOutcome { candidates: CandidateSet::from_pairs(pairs), report }
+    }
+}
+
+/// Incremental record-level ANN index (the serving-tier shape).
+#[derive(Debug, Clone)]
+pub struct AnnRecordIndex {
+    config: AnnBlockerConfig,
+    index: FlatIndex,
+}
+
+impl AnnRecordIndex {
+    /// Empty index.
+    pub fn new(config: AnnBlockerConfig) -> Self {
+        assert!(config.q > 0, "gram length must be positive");
+        assert!(config.dim > 0, "embedding dimension must be positive");
+        assert!(config.k > 0, "neighbour count must be positive");
+        Self { config, index: FlatIndex::new(config.dim) }
+    }
+
+    /// The config this index runs.
+    pub fn config(&self) -> AnnBlockerConfig {
+        self.config
+    }
+
+    /// Number of records indexed.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether no records are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The hashed gram-count embedding of a title (a pure function of the
+    /// title text).
+    pub fn embed(&self, title: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.config.dim];
+        for g in crate::ngram::gram_set(title, self.config.q) {
+            v[(g % self.config.dim as u64) as usize] += 1.0;
+        }
+        v
+    }
+
+    /// Indexes one record title; returns its id (sequential).
+    pub fn insert(&mut self, title: &str) -> RecordId {
+        let v = self.embed(title);
+        self.index.add(&v)
+    }
+
+    /// The `k` nearest indexed records to a new title, ascending by id.
+    pub fn candidates(&self, title: &str) -> Vec<RecordId> {
+        let v = self.embed(title);
+        let mut ids: Vec<RecordId> =
+            self.index.search(&v, self.config.k).into_iter().map(|h| h.id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// A copy truncated back to the first `n_records` records.
+    pub fn truncated(&self, n_records: usize) -> Self {
+        let n = n_records.min(self.len());
+        let index =
+            FlatIndex::from_rows(self.config.dim, &self.index.data()[..n * self.config.dim]);
+        Self { config: self.config, index }
+    }
+
+    /// The raw `n × dim` embedding buffer (serialization).
+    pub fn data(&self) -> &[f32] {
+        self.index.data()
+    }
+
+    /// Reassembles an index from serialized parts.
+    pub fn from_parts(config: AnnBlockerConfig, data: Vec<f32>) -> Result<Self, String> {
+        if config.q == 0 || config.dim == 0 || config.k == 0 {
+            return Err("q, dim and k must be positive".into());
+        }
+        if data.len() % config.dim != 0 {
+            return Err(format!(
+                "embedding buffer of {} floats is not a multiple of dim {}",
+                data.len(),
+                config.dim
+            ));
+        }
+        if data.iter().any(|x| !x.is_finite()) {
+            return Err("embedding buffer contains non-finite values".into());
+        }
+        Ok(Self { config, index: FlatIndex::from_rows(config.dim, &data) })
+    }
+}
+
+impl PartialEq for AnnRecordIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config && self.index.data() == other.index.data()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexer_types::Record;
+
+    fn dataset(titles: &[&str]) -> Dataset {
+        Dataset::from_records(titles.iter().map(|t| Record::with_title(0, *t)).collect())
+    }
+
+    fn config() -> AnnBlockerConfig {
+        AnnBlockerConfig { q: 3, dim: 32, k: 2 }
+    }
+
+    #[test]
+    fn near_duplicates_are_nearest() {
+        let titles = [
+            "nike lunar force duckboot",
+            "nike lunar force duckboot black",
+            "philips sonicare toothbrush",
+            "oral b electric toothbrush head",
+        ];
+        let out = AnnBlocker::new(config()).generate(&dataset(&titles));
+        assert!(out.candidates.iter().any(|(_, p)| (p.a, p.b) == (0, 1)));
+        assert_eq!(out.report.candidates, out.candidates.len());
+    }
+
+    #[test]
+    fn batch_generation_is_deterministic() {
+        let d = dataset(&["alpha beta", "beta gamma", "gamma delta", "delta epsilon"]);
+        let blocker = AnnBlocker::new(config());
+        assert_eq!(blocker.generate(&d).candidates, blocker.generate(&d).candidates);
+    }
+
+    #[test]
+    fn incremental_candidates_bound_by_k() {
+        let mut index = AnnRecordIndex::new(config());
+        for t in ["aaa bbb", "bbb ccc", "ccc ddd", "ddd eee", "eee fff"] {
+            index.insert(t);
+        }
+        let c = index.candidates("bbb ccc ddd");
+        assert!(c.len() <= 2);
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn truncation_is_exact_inverse_of_inserts() {
+        let mut index = AnnRecordIndex::new(config());
+        index.insert("aaa bbb");
+        index.insert("ccc ddd");
+        let watermark = index.clone();
+        index.insert("eee fff");
+        assert_eq!(index.truncated(2), watermark);
+    }
+
+    #[test]
+    fn from_parts_validates_and_roundtrips() {
+        let mut index = AnnRecordIndex::new(config());
+        index.insert("nike lunar");
+        index.insert("adidas star");
+        let rebuilt = AnnRecordIndex::from_parts(index.config(), index.data().to_vec()).unwrap();
+        assert_eq!(rebuilt, index);
+        assert!(AnnRecordIndex::from_parts(config(), vec![0.0; 33]).is_err());
+        assert!(AnnRecordIndex::from_parts(config(), vec![f32::NAN; 32]).is_err());
+    }
+
+    #[test]
+    fn empty_title_embeds_to_zero() {
+        let index = AnnRecordIndex::new(config());
+        assert!(index.embed("").iter().all(|&x| x == 0.0));
+    }
+}

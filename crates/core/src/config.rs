@@ -2,6 +2,7 @@
 
 use flexer_graph::GnnConfig;
 use flexer_matcher::MatcherConfig;
+use flexer_types::CandidateGenConfig;
 
 /// Which matcher provides the intent-based representations that initialize
 /// the multiplex graph (§5.2.2 describes both; §5.3–5.4 report the
@@ -27,6 +28,10 @@ pub struct FlexErConfig {
     pub k: usize,
     /// Representation source.
     pub representation: RepresentationSource,
+    /// Candidate-generation backend: which blocker produces candidate
+    /// pairs, and the incremental blocker state snapshots carry for the
+    /// serving tier.
+    pub candidates: CandidateGenConfig,
 }
 
 impl Default for FlexErConfig {
@@ -36,6 +41,7 @@ impl Default for FlexErConfig {
             gnn: GnnConfig::default(),
             k: 6,
             representation: RepresentationSource::InParallel,
+            candidates: CandidateGenConfig::default(),
         }
     }
 }
@@ -58,6 +64,12 @@ impl FlexErConfig {
         self.gnn.seed = seed;
         self
     }
+
+    /// Sets the candidate-generation backend.
+    pub fn with_candidates(mut self, candidates: CandidateGenConfig) -> Self {
+        self.candidates = candidates;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -70,6 +82,7 @@ mod tests {
         assert_eq!(c.k, 6);
         assert_eq!(c.gnn.learning_rate, 0.01);
         assert_eq!(c.representation, RepresentationSource::InParallel);
+        assert_eq!(c.candidates.name(), "ngram");
     }
 
     #[test]

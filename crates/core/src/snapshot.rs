@@ -17,6 +17,7 @@ use crate::context::PipelineContext;
 use crate::error::CoreError;
 use crate::flexer::FlexErModel;
 use flexer_ann::{AnyIndex, FlatIndex, IvfIndex};
+use flexer_block::BlockerState;
 use flexer_store::{IndexKind, ModelSnapshot};
 
 impl FlexErModel {
@@ -62,6 +63,9 @@ impl FlexErModel {
             ctx.benchmark.dataset.iter().map(|r| r.title().to_string()).collect();
         let pairs: Vec<(u32, u32)> =
             ctx.benchmark.candidates.iter().map(|(_, pr)| (pr.a as u32, pr.b as u32)).collect();
+        // The candidate-generation tier ships with the model: the serving
+        // side resumes blocking from this state instead of rebuilding it.
+        let blocker = BlockerState::build(&config.candidates, records.iter().map(|r| r.as_str()));
 
         Ok(ModelSnapshot {
             intents: ctx.benchmark.intents.clone(),
@@ -75,6 +79,7 @@ impl FlexErModel {
             trained: self.trained.clone(),
             predictions: self.predictions.clone(),
             indexes,
+            blocker,
         })
     }
 

@@ -1,230 +1,15 @@
-//! Blocking: the q-gram overlap blocker of §5.1.
+//! Blocking: thin adapter over the `flexer-block` candidate-generation
+//! subsystem.
 //!
-//! The paper builds AmazonMI's candidate set with a standard blocker
-//! "preserving record pairs that share at least a 4-gram" and uses a
-//! second blocking pass to harvest WDC's cross-category pairs. This module
-//! provides that blocker as a first-class pipeline component: an inverted
-//! index from character 4-grams of the lower-cased title to record ids.
+//! The q-gram overlap blocker of §5.1 used to live here; it is now a
+//! backend of the first-class [`CandidateGenerator`] tier shared by
+//! benchmark generation, the batch pipeline and the serving tier. This
+//! module re-exports the pieces dataset generation consumes, so the
+//! `flexer_datasets::NGramBlocker` import path still resolves — note the
+//! blocker's API itself moved on: `max_bucket` is a field now, and
+//! `block()` returns a [`BlockingOutcome`] (candidates + suppression
+//! report) instead of a bare candidate set.
 
-use flexer_types::{CandidateSet, Dataset, PairRef, RecordId};
-use std::collections::{HashMap, HashSet};
-
-/// Character q-gram overlap blocker.
-#[derive(Debug, Clone)]
-pub struct NGramBlocker {
-    /// Gram length (the paper uses 4).
-    pub q: usize,
-    /// Minimum number of shared grams for a pair to survive.
-    pub min_shared: usize,
-}
-
-impl Default for NGramBlocker {
-    fn default() -> Self {
-        Self { q: 4, min_shared: 1 }
-    }
-}
-
-impl NGramBlocker {
-    /// Blocker with gram size `q` keeping pairs sharing at least one gram.
-    pub fn new(q: usize) -> Self {
-        Self { q, min_shared: 1 }
-    }
-
-    /// The set of hashed q-grams of a title (lower-cased).
-    pub fn gram_set(&self, title: &str) -> HashSet<u64> {
-        let lowered = title.to_lowercase();
-        let chars: Vec<char> = lowered.chars().collect();
-        let mut grams = HashSet::new();
-        if chars.len() < self.q {
-            if !chars.is_empty() {
-                grams.insert(hash_gram(&chars));
-            }
-            return grams;
-        }
-        for w in chars.windows(self.q) {
-            grams.insert(hash_gram(w));
-        }
-        grams
-    }
-
-    /// Whether two titles share at least `min_shared` q-grams.
-    pub fn survives(&self, a: &str, b: &str) -> bool {
-        let ga = self.gram_set(a);
-        let gb = self.gram_set(b);
-        let (small, large) = if ga.len() <= gb.len() { (&ga, &gb) } else { (&gb, &ga) };
-        small.iter().filter(|g| large.contains(g)).count() >= self.min_shared
-    }
-
-    /// Blocks a whole dataset: returns every record pair sharing at least
-    /// `min_shared` q-grams. `max_bucket` caps inverted-index bucket sizes
-    /// to tame stop-gram blowup (buckets above it are skipped, as real
-    /// blockers do with frequent grams).
-    pub fn block(&self, dataset: &Dataset, max_bucket: usize) -> CandidateSet {
-        let mut index: HashMap<u64, Vec<RecordId>> = HashMap::new();
-        let mut gram_sets: Vec<HashSet<u64>> = Vec::with_capacity(dataset.len());
-        for record in dataset.iter() {
-            let grams = self.gram_set(record.title());
-            for &g in &grams {
-                index.entry(g).or_default().push(record.id);
-            }
-            gram_sets.push(grams);
-        }
-        let mut seen: HashSet<(RecordId, RecordId)> = HashSet::new();
-        let mut pairs = Vec::new();
-        for (_, bucket) in index.iter() {
-            if bucket.len() > max_bucket {
-                continue;
-            }
-            for i in 0..bucket.len() {
-                for j in i + 1..bucket.len() {
-                    let (a, b) = (bucket[i].min(bucket[j]), bucket[i].max(bucket[j]));
-                    if a == b || !seen.insert((a, b)) {
-                        continue;
-                    }
-                    if self.min_shared > 1 {
-                        let shared = gram_sets[a].intersection(&gram_sets[b]).count();
-                        if shared < self.min_shared {
-                            continue;
-                        }
-                    }
-                    pairs.push(PairRef::new(a, b).expect("a != b"));
-                }
-            }
-        }
-        pairs.sort_unstable();
-        CandidateSet::from_pairs(pairs)
-    }
-
-    /// Blocks across two record-id groups only (the WDC cross-category
-    /// expansion): returns pairs with one record in `left` and one in
-    /// `right` that share a q-gram.
-    pub fn block_across(
-        &self,
-        dataset: &Dataset,
-        left: &[RecordId],
-        right: &[RecordId],
-    ) -> Vec<PairRef> {
-        let right_sets: Vec<(RecordId, HashSet<u64>)> =
-            right.iter().map(|&r| (r, self.gram_set(dataset[r].title()))).collect();
-        let mut out = Vec::new();
-        for &l in left {
-            let gl = self.gram_set(dataset[l].title());
-            for (r, gr) in &right_sets {
-                if *r == l {
-                    continue;
-                }
-                let shared = gl.intersection(gr).count();
-                if shared >= self.min_shared {
-                    out.push(PairRef::new(l, *r).expect("l != r"));
-                }
-            }
-        }
-        out.sort_unstable();
-        out.dedup();
-        out
-    }
-}
-
-fn hash_gram(chars: &[char]) -> u64 {
-    // FNV-1a over the gram's chars — fast, deterministic, no dependencies.
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &c in chars {
-        h ^= c as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use flexer_types::Record;
-
-    fn dataset(titles: &[&str]) -> Dataset {
-        Dataset::from_records(titles.iter().map(|t| Record::with_title(0, *t)).collect())
-    }
-
-    #[test]
-    fn duplicates_share_grams() {
-        let b = NGramBlocker::default();
-        assert!(b.survives(
-            "Nike Men's Lunar Force 1 Duckboot",
-            "NIKE Men Lunar Force 1 Duckboot, Black"
-        ));
-    }
-
-    #[test]
-    fn unrelated_titles_do_not_survive() {
-        let b = NGramBlocker::default();
-        assert!(!b.survives("zzzz qqqq", "aaaa bbbb"));
-    }
-
-    #[test]
-    fn case_insensitive() {
-        let b = NGramBlocker::default();
-        assert!(b.survives("DUCKBOOT", "duckboot"));
-    }
-
-    #[test]
-    fn block_emits_only_sharing_pairs() {
-        let d = dataset(&[
-            "Nike Lunar Force Duckboot",
-            "nike lunar force duckboot black",
-            "Completely unrelated xyzw",
-        ]);
-        let b = NGramBlocker::default();
-        let c = b.block(&d, 100);
-        assert!(c.iter().any(|(_, p)| (p.a, p.b) == (0, 1)));
-        for (_, p) in c.iter() {
-            assert!(b.survives(d[p.a].title(), d[p.b].title()));
-        }
-    }
-
-    #[test]
-    fn min_shared_tightens() {
-        let d = dataset(&["abcdef", "abczzz", "abcdxx"]);
-        let loose = NGramBlocker { q: 4, min_shared: 1 }.block(&d, 100);
-        let tight = NGramBlocker { q: 4, min_shared: 2 }.block(&d, 100);
-        assert!(tight.len() <= loose.len());
-    }
-
-    #[test]
-    fn short_titles_hash_whole_string() {
-        let b = NGramBlocker::default();
-        assert!(b.survives("abc", "abc"));
-        assert!(!b.survives("abc", "abd"));
-        assert!(b.gram_set("").is_empty());
-    }
-
-    #[test]
-    fn bucket_cap_prunes_stop_grams() {
-        // All titles share " the " grams; capping buckets at 2 removes them.
-        let d = dataset(&["alpha the one", "beta the two", "gamma the three", "delta the four"]);
-        let b = NGramBlocker::default();
-        let capped = b.block(&d, 2);
-        let uncapped = b.block(&d, 100);
-        assert!(capped.len() <= uncapped.len());
-    }
-
-    #[test]
-    fn block_across_respects_groups() {
-        let d = dataset(&["canon camera body", "canon camera grip", "nikon watch strap"]);
-        let b = NGramBlocker::default();
-        let pairs = b.block_across(&d, &[0, 1], &[2]);
-        for p in &pairs {
-            assert!(p.b == 2 || p.a == 2);
-        }
-        // within-left pairs are absent even though 0 and 1 share grams
-        assert!(!pairs.iter().any(|p| (p.a, p.b) == (0, 1)));
-    }
-
-    #[test]
-    fn blocked_pairs_are_sorted_and_unique() {
-        let d = dataset(&["aaaa bbbb", "aaaa cccc", "aaaa dddd"]);
-        let c = NGramBlocker::default().block(&d, 100);
-        let pairs = c.pairs();
-        for w in pairs.windows(2) {
-            assert!(w[0] < w[1]);
-        }
-    }
-}
+pub use flexer_block::{
+    AnnBlocker, BlockingOutcome, CandidateGenerator, ExhaustivePairs, NGramBlocker, NGramIndex,
+};

@@ -31,8 +31,9 @@ pub mod walmart_amazon;
 pub mod wdc;
 
 pub use amazonmi::AmazonMiConfig;
-pub use blocking::NGramBlocker;
+pub use blocking::{BlockingOutcome, CandidateGenerator, NGramBlocker};
 pub use catalog::{Catalog, Product};
+pub use mixture::blocked_benchmark;
 pub use taxonomy::{Family, Taxonomy, TaxonomyConfig};
 pub use walmart_amazon::WalmartAmazonConfig;
 pub use wdc::WdcConfig;

@@ -223,6 +223,22 @@ fn sample_one(
     Some(PairRef::new(ra, rb).expect("distinct records"))
 }
 
+/// Generates a benchmark whose candidate set comes from a real blocking
+/// pass instead of the calibrated sampler: runs any [`CandidateGenerator`]
+/// backend over the catalogue's records, labels the surviving pairs from
+/// ground truth, and assembles the bundle. Returns the benchmark together
+/// with the blocker's [`BlockingReport`](flexer_types::BlockingReport).
+pub fn blocked_benchmark(
+    name: &str,
+    catalog: &Catalog,
+    intents: &[(IntentDef, &str)],
+    generator: &dyn crate::blocking::CandidateGenerator,
+    seed: u64,
+) -> (MierBenchmark, flexer_types::BlockingReport) {
+    let outcome = generator.generate(&catalog.dataset);
+    (assemble_benchmark(name, catalog, intents, outcome.candidates, seed), outcome.report)
+}
+
 /// Assembles a full [`MierBenchmark`] from a catalogue, an intent list and
 /// a sampled candidate set: derives entity maps and labels, splits 3:1:1,
 /// and (in debug builds) validates the bundle.
@@ -400,6 +416,22 @@ mod tests {
         // eq ⊆ brand and eq ⊆ main on every generated benchmark
         assert!(b.intent_subsumed_by(0, 1));
         assert!(b.intent_subsumed_by(0, 2));
+    }
+
+    #[test]
+    fn blocked_benchmark_consumes_the_generator() {
+        let c = catalog(13);
+        let (b, report) = blocked_benchmark(
+            "blocked",
+            &c,
+            &[(IntentDef::Equivalence, "Eq."), (IntentDef::SameBrand, "Brand")],
+            &crate::blocking::NGramBlocker::default(),
+            13,
+        );
+        b.validate().unwrap();
+        assert_eq!(b.n_pairs(), report.candidates);
+        assert!(report.grams_indexed > 0);
+        assert!(b.intent_subsumed_by(0, 1), "eq ⊆ brand survives blocking");
     }
 
     #[test]

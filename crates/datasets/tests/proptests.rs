@@ -26,8 +26,8 @@ proptest! {
         let dataset = Dataset::from_records(
             titles.iter().map(|t| Record::with_title(0, t.clone())).collect(),
         );
-        let blocker = NGramBlocker::default();
-        let candidates = blocker.block(&dataset, 1_000);
+        let blocker = NGramBlocker::default().with_max_bucket(1_000);
+        let candidates = blocker.block(&dataset).candidates;
         for (_, pair) in candidates.iter() {
             prop_assert!(blocker.survives(dataset[pair.a].title(), dataset[pair.b].title()));
         }
@@ -42,7 +42,7 @@ proptest! {
             Record::with_title(0, title.clone()),
             Record::with_title(0, title),
         ]);
-        let candidates = NGramBlocker::default().block(&dataset, 1_000);
+        let candidates = NGramBlocker::default().with_max_bucket(1_000).block(&dataset).candidates;
         prop_assert_eq!(candidates.len(), 1);
     }
 

@@ -24,11 +24,25 @@
 //! record's candidate pairs join the ANN indexes (incremental
 //! [`AnyIndex::add`]), their per-depth node states extend the pinned state
 //! matrices, and their scores become servable corpus pairs.
+//!
+//! # Candidate generation
+//!
+//! The service keeps the snapshot's incremental blocker
+//! ([`BlockerState`]) resident alongside the model. `ingest()` and
+//! record-level `resolve()` pair a new title only against its *blocked
+//! candidates* — O(candidates) instead of O(records) — and the blocker
+//! grows with every ingest. Blocking only selects which pairs are scored:
+//! a surviving pair's score is bit-identical to what the exhaustive path
+//! would produce, because both paths score against the same pre-ingest
+//! state. Set [`ServeConfig::exhaustive`] to bypass the blocker (the
+//! all-pairs parity baseline).
 
 use crate::cache::LruCache;
 use crate::error::ServeError;
 use crate::metrics::{MetricsInner, ServeMetrics};
 use flexer_ann::{AnyIndex, VectorIndex};
+use flexer_block::BlockerState;
+use flexer_graph::InductiveTrace;
 use flexer_nn::{Matrix, SparseMatrix};
 use flexer_store::ModelSnapshot;
 use flexer_types::{IntentId, MatchTarget, RankedMatch, ResolveQuery, ResolveResponse};
@@ -43,11 +57,22 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Number of resolve latencies kept for the p50/p99 window.
     pub latency_window: usize,
+    /// Bypass the blocker and pair new titles against **every** stored
+    /// record (quadratic). The explicit fallback for parity testing the
+    /// blocked path against; off by default.
+    pub exhaustive: bool,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { cache_capacity: 1024, latency_window: 1024 }
+        Self { cache_capacity: 1024, latency_window: 1024, exhaustive: false }
+    }
+}
+
+impl ServeConfig {
+    /// Config with the blocker bypassed (all-pairs candidate generation).
+    pub fn exhaustive() -> Self {
+        Self { exhaustive: true, ..Self::default() }
     }
 }
 
@@ -58,8 +83,11 @@ pub struct IngestReport {
     pub record: usize,
     /// Pair id of the first candidate pair created for it.
     pub first_pair: usize,
-    /// Number of candidate pairs created (one per pre-existing record).
+    /// Number of candidate pairs created (one per blocked candidate; one
+    /// per pre-existing record under [`ServeConfig::exhaustive`]).
     pub n_pairs: usize,
+    /// Pre-existing records the blocker pruned (0 when exhaustive).
+    pub n_suppressed: usize,
 }
 
 /// Per-intent pair embedding of one (a, b) title pair: `emb[p]` is the
@@ -74,8 +102,14 @@ pub struct ResolutionService {
     /// Pairs the loaded snapshot was trained on (ingested pairs live past
     /// this watermark).
     n_train_pairs: usize,
+    /// Records the loaded snapshot shipped (ingested records live past
+    /// this watermark).
+    n_train_records: usize,
     /// Serving-tier corpus: snapshot records plus everything ingested.
     records: Vec<String>,
+    /// The candidate-generation tier: incremental blocker over `records`;
+    /// grows with ingest.
+    blocker: BlockerState,
     /// Serving-tier candidate pairs (record-id refs), pair-id order.
     pairs: Vec<(u32, u32)>,
     /// Per intent layer: ANN index over initial representations; grows
@@ -145,14 +179,17 @@ impl ResolutionService {
             scores.push(recomputed);
         }
 
-        // The service takes ownership of the ANN indexes (they grow with
-        // ingest); `to_snapshot` reconstructs the training-time prefix on
-        // demand. Keeping a second copy inside `self.snapshot` would double
-        // the dominant memory cost at scale.
+        // The service takes ownership of the ANN indexes and the blocker
+        // (they grow with ingest); `to_snapshot` reconstructs the
+        // training-time prefix on demand. Keeping second copies inside
+        // `self.snapshot` would double the dominant memory cost at scale.
         let indexes = std::mem::take(&mut snapshot.indexes);
+        let blocker = std::mem::replace(&mut snapshot.blocker, BlockerState::Exhaustive);
         Ok(Self {
             n_train_pairs: n_pairs,
+            n_train_records: snapshot.records.len(),
             records: snapshot.records.clone(),
+            blocker,
             pairs: snapshot.pairs.clone(),
             indexes,
             pinned,
@@ -184,11 +221,13 @@ impl ResolutionService {
 
     /// Reassembles the complete training-time snapshot. Ingested
     /// records/pairs are serving-tier state and are *not* part of it
-    /// (index contents are truncated back to the training watermark), so
-    /// the result is always byte-identical to the snapshot loaded.
+    /// (index and blocker contents are truncated back to the training
+    /// watermarks), so the result is always byte-identical to the
+    /// snapshot loaded.
     pub fn to_snapshot(&self) -> ModelSnapshot {
         let mut snapshot = self.snapshot.clone();
         snapshot.indexes = self.indexes.iter().map(|i| self.truncate_index(i)).collect();
+        snapshot.blocker = self.blocker.truncated(self.n_train_records);
         snapshot
     }
 
@@ -211,6 +250,23 @@ impl ResolutionService {
     /// past this watermark were ingested online.
     pub fn n_train_pairs(&self) -> usize {
         self.n_train_pairs
+    }
+
+    /// Number of records the loaded snapshot shipped; records at or past
+    /// this watermark were ingested online.
+    pub fn n_train_records(&self) -> usize {
+        self.n_train_records
+    }
+
+    /// Name of the candidate-generation backend in effect
+    /// (`"exhaustive"` when [`ServeConfig::exhaustive`] bypasses the
+    /// snapshot's blocker).
+    pub fn blocker_kind(&self) -> &'static str {
+        if self.config.exhaustive {
+            "exhaustive"
+        } else {
+            self.blocker.kind_name()
+        }
     }
 
     /// Number of intents `P`.
@@ -276,28 +332,45 @@ impl ResolutionService {
         flexer_par::parallel_map(queries.len(), |i| self.resolve(&queries[i], intent, top_k))
     }
 
-    /// Ingests a new record: creates one candidate pair against every
-    /// pre-existing record, embeds them per intent, **incrementally**
-    /// inserts the embeddings into the per-layer ANN indexes, scores each
-    /// pair inductively under every intent, and makes the pairs servable.
+    /// Ingests a new record: creates one candidate pair per **blocked
+    /// candidate** (every pre-existing record under
+    /// [`ServeConfig::exhaustive`]), embeds the pairs per intent,
+    /// **incrementally** inserts the embeddings into the per-layer ANN
+    /// indexes, scores each pair inductively under every intent, and makes
+    /// the pairs servable. The blocker itself then absorbs the new record.
+    ///
+    /// Scoring is two-phase: every candidate pair is embedded, localized
+    /// and scored against the *pre-ingest* state before anything mutates.
+    /// That makes a surviving pair's score independent of which other
+    /// pairs this ingest creates — so blocked and exhaustive ingests from
+    /// the same service state produce bit-identical scores on the pairs
+    /// both create.
     pub fn ingest(&mut self, title: &str) -> IngestReport {
         let record = self.records.len();
         let first_pair = self.pairs.len();
-        let titles: Vec<(String, String)> =
-            self.records.iter().map(|r| (r.clone(), title.to_string())).collect();
-        self.records.push(title.to_string());
+        let candidates = self.candidate_records(title);
 
+        // Phase 1 (read-only): embed, localize and score each candidate
+        // pair against the current state.
+        let titles: Vec<(&str, &str)> =
+            candidates.iter().map(|&other| (self.records[other].as_str(), title)).collect();
         let embeddings = self.embed_pairs(&titles);
-        for (other, emb) in embeddings.iter().enumerate() {
-            // k-NN over the *current* indexes — the pair must not neighbour
-            // itself, so search precedes insert.
-            let neighbors = self.neighbors_of(emb);
-            for p in 0..self.n_intents() {
-                let (score, trace) = self.score_pair_inductive(emb, &neighbors, p);
+        let p_intents = self.n_intents();
+        let scored: Vec<Vec<(f32, InductiveTrace)>> = embeddings
+            .iter()
+            .map(|emb| {
+                let neighbors = self.neighbors_of(emb);
+                (0..p_intents).map(|p| self.score_pair_inductive(emb, &neighbors, p)).collect()
+            })
+            .collect();
+
+        // Phase 2 (mutate): make the scored pairs servable.
+        for ((&other, emb), per_intent) in candidates.iter().zip(&embeddings).zip(scored) {
+            for (p, (score, trace)) in per_intent.into_iter().enumerate() {
                 self.scores[p].push(score);
                 let l = self.snapshot.trained[p].model.n_layers();
                 for j in 0..l.saturating_sub(1) {
-                    for q in 0..self.n_intents() {
+                    for q in 0..p_intents {
                         self.pinned[p][j][q].push_row(trace.hidden[j].row(q));
                     }
                 }
@@ -307,14 +380,30 @@ impl ResolutionService {
             }
             self.pairs.push((other as u32, record as u32));
         }
+        let n_suppressed = self.records.len() - candidates.len();
+        self.records.push(title.to_string());
+        self.blocker.insert(title);
 
         self.metrics.lock().expect("metrics lock").record_ingest();
-        IngestReport { record, first_pair, n_pairs: self.pairs.len() - first_pair }
+        IngestReport { record, first_pair, n_pairs: candidates.len(), n_suppressed }
     }
 
     // ------------------------------------------------------------------
     // Internals
     // ------------------------------------------------------------------
+
+    /// The record ids a new title is paired against: the blocker's
+    /// candidates, or every stored record when the blocker is exhaustive
+    /// or bypassed by [`ServeConfig::exhaustive`].
+    fn candidate_records(&self, title: &str) -> Vec<usize> {
+        if self.config.exhaustive {
+            return (0..self.records.len()).collect();
+        }
+        match self.blocker.candidates(title) {
+            None => (0..self.records.len()).collect(),
+            Some(c) => c,
+        }
+    }
 
     /// Restores an index to its training-time contents. Flat data is a
     /// prefix; IVF adds only ever *append* ids to list tails, so dropping
@@ -375,7 +464,7 @@ impl ResolutionService {
                     .collect())
             }
             ResolveQuery::TitlePair(a, b) => {
-                let emb = &self.embed_pairs(&[(a.clone(), b.clone())])[0];
+                let emb = &self.embed_pairs(&[(a.as_str(), b.as_str())])[0];
                 let neighbors = self.neighbors_of(emb);
                 Ok(intents
                     .iter()
@@ -393,11 +482,14 @@ impl ResolutionService {
                     .collect())
             }
             ResolveQuery::Record(title) => {
-                // Query-driven collective ER: pair the query against every
-                // served record and rank. (A blocking stage would narrow
-                // the candidate set here at larger scales.)
-                let titles: Vec<(String, String)> =
-                    self.records.iter().map(|r| (r.clone(), title.clone())).collect();
+                // Query-driven collective ER: pair the query against its
+                // blocked candidates (every served record when exhaustive)
+                // and rank.
+                let candidates = self.candidate_records(title);
+                let titles: Vec<(&str, &str)> = candidates
+                    .iter()
+                    .map(|&r| (self.records[r].as_str(), title.as_str()))
+                    .collect();
                 let embeddings = self.embed_pairs(&titles);
                 // Independent per candidate: fan out, each candidate runs
                 // the exact serial scoring, so results are bit-identical
@@ -416,8 +508,8 @@ impl ResolutionService {
                     .map(|(pi, &p)| {
                         let mut ranked: Vec<RankedMatch> = per_candidate
                             .iter()
-                            .enumerate()
-                            .map(|(r, s)| RankedMatch {
+                            .zip(&candidates)
+                            .map(|(s, &r)| RankedMatch {
                                 target: MatchTarget::Record(r),
                                 score: s[pi],
                                 matched: s[pi] > 0.5,
@@ -438,8 +530,10 @@ impl ResolutionService {
     }
 
     /// Per-intent embeddings of title pairs, through the LRU cache; misses
-    /// are featurized and run through all P matchers as one batch.
-    fn embed_pairs(&self, titles: &[(String, String)]) -> Vec<PairEmbedding> {
+    /// are featurized and run through all P matchers as one batch. Takes
+    /// borrowed titles so corpus-sized callers (ingest, record queries)
+    /// never clone the stored record strings.
+    fn embed_pairs(&self, titles: &[(&str, &str)]) -> Vec<PairEmbedding> {
         let mut out: Vec<Option<PairEmbedding>> = vec![None; titles.len()];
         let mut misses: Vec<usize> = Vec::new();
         {

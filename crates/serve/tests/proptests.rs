@@ -1,0 +1,65 @@
+//! Property test for blocked-vs-exhaustive serving parity: for random
+//! ingest titles, every pair the blocked path scores gets a bit-identical
+//! score to the same pair under the exhaustive path — blocking decides
+//! *which* pairs are scored, never *what* they score.
+
+use flexer_core::{FlexErConfig, FlexErModel, InParallelModel, PipelineContext};
+use flexer_datasets::AmazonMiConfig;
+use flexer_serve::{ResolutionService, ServeConfig};
+use flexer_store::{IndexKind, ModelSnapshot};
+use flexer_types::{ResolveQuery, Scale};
+use proptest::prelude::*;
+
+/// One shared training run for the whole test binary.
+fn trained_snapshot() -> &'static ModelSnapshot {
+    static SHARED: std::sync::OnceLock<ModelSnapshot> = std::sync::OnceLock::new();
+    SHARED.get_or_init(|| {
+        let bench = AmazonMiConfig::at_scale(Scale::Tiny).with_seed(41).generate();
+        let config = FlexErConfig::fast();
+        let ctx = PipelineContext::new(bench, &config.matcher).unwrap();
+        let base = InParallelModel::fit(&ctx, &config.matcher).unwrap();
+        let model = FlexErModel::fit_from_embeddings(&ctx, &base.embeddings(), &config).unwrap();
+        model.to_snapshot(&ctx, &base, &config, IndexKind::Flat).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn blocked_ingest_scores_are_bit_identical_to_exhaustive(
+        idx in 0usize..1024,
+        noise in "[a-z ]{0,10}",
+    ) {
+        let snapshot = trained_snapshot();
+        let mut blocked =
+            ResolutionService::new(snapshot.clone(), ServeConfig::default()).unwrap();
+        let mut exhaustive =
+            ResolutionService::new(snapshot.clone(), ServeConfig::exhaustive()).unwrap();
+        // Titles derived from corpus records share grams with part of the
+        // corpus; the noise suffix varies the candidate set.
+        let title = format!("{} {noise}", blocked.record_title(idx % blocked.n_records()));
+        let rb = blocked.ingest(&title);
+        let re = exhaustive.ingest(&title);
+        prop_assert_eq!(
+            rb.n_pairs + rb.n_suppressed,
+            re.n_pairs,
+            "blocked + suppressed must cover the exhaustive pair set"
+        );
+        for bp in rb.first_pair..blocked.n_pairs() {
+            let records = blocked.pair_records(bp);
+            let ep = (re.first_pair..exhaustive.n_pairs())
+                .find(|&p| exhaustive.pair_records(p) == records)
+                .expect("every blocked pair exists under exhaustive generation");
+            for intent in 0..blocked.n_intents() {
+                let sb = blocked.resolve(&ResolveQuery::CorpusPair(bp), intent, 1).unwrap();
+                let se = exhaustive.resolve(&ResolveQuery::CorpusPair(ep), intent, 1).unwrap();
+                prop_assert_eq!(
+                    sb.top().unwrap().score,
+                    se.top().unwrap().score,
+                    "pair {:?} intent {}", records, intent
+                );
+            }
+        }
+    }
+}

@@ -73,7 +73,9 @@ fn serving_pipeline_end_to_end() {
 #[test]
 fn ingest_extends_the_served_corpus() {
     let (snapshot, _) = trained_snapshot();
-    let mut svc = ResolutionService::new(snapshot, ServeConfig::default()).unwrap();
+    // The exhaustive fallback: every pre-existing record is a candidate.
+    let mut svc = ResolutionService::new(snapshot, ServeConfig::exhaustive()).unwrap();
+    assert_eq!(svc.blocker_kind(), "exhaustive");
     let n_records = svc.n_records();
     let n_pairs = svc.n_pairs();
 
@@ -81,9 +83,11 @@ fn ingest_extends_the_served_corpus() {
     assert_eq!(report.record, n_records);
     assert_eq!(report.first_pair, n_pairs);
     assert_eq!(report.n_pairs, n_records, "one pair per pre-existing record");
+    assert_eq!(report.n_suppressed, 0, "exhaustive ingest suppresses nothing");
     assert_eq!(svc.n_records(), n_records + 1);
     assert_eq!(svc.n_pairs(), n_pairs + n_records);
     assert_eq!(svc.n_train_pairs(), n_pairs);
+    assert_eq!(svc.n_train_records(), n_records);
 
     // Ingested pairs are servable corpus pairs now.
     let r = svc.resolve(&ResolveQuery::CorpusPair(n_pairs), 0, 1).unwrap();
@@ -202,6 +206,76 @@ fn corrupted_snapshot_is_refused() {
         }
         other => panic!("expected InconsistentSnapshot, got {other:?}"),
     }
+}
+
+#[test]
+fn blocked_ingest_scores_match_exhaustive_bit_for_bit() {
+    let (snapshot, _) = trained_snapshot();
+    assert_eq!(snapshot.blocker.kind_name(), "ngram", "snapshots carry the blocker tier");
+    let mut blocked = ResolutionService::new(snapshot.clone(), ServeConfig::default()).unwrap();
+    let mut exhaustive = ResolutionService::new(snapshot, ServeConfig::exhaustive()).unwrap();
+    assert_eq!(blocked.blocker_kind(), "ngram");
+
+    // A title sharing grams with some corpus titles but not all.
+    let title = format!("{} deluxe", blocked.record_title(0));
+    let rb = blocked.ingest(&title);
+    let re = exhaustive.ingest(&title);
+    assert!(rb.n_pairs <= re.n_pairs);
+    assert!(rb.n_pairs > 0, "the title shares grams with record 0");
+    assert_eq!(rb.n_pairs + rb.n_suppressed, re.n_pairs, "suppression is accounted for");
+
+    // Every blocked pair exists in the exhaustive service too, with a
+    // bit-identical score under every intent.
+    for bp in rb.first_pair..blocked.n_pairs() {
+        let (a, b) = blocked.pair_records(bp);
+        let ep = (re.first_pair..exhaustive.n_pairs())
+            .find(|&p| exhaustive.pair_records(p) == (a, b))
+            .expect("blocked pair must exist under exhaustive generation");
+        for intent in 0..blocked.n_intents() {
+            let sb = blocked.resolve(&ResolveQuery::CorpusPair(bp), intent, 1).unwrap();
+            let se = exhaustive.resolve(&ResolveQuery::CorpusPair(ep), intent, 1).unwrap();
+            assert_eq!(
+                sb.top().unwrap().score,
+                se.top().unwrap().score,
+                "pair ({a}, {b}) intent {intent}: blocked score must be bit-identical"
+            );
+        }
+    }
+}
+
+#[test]
+fn blocked_record_query_scores_match_exhaustive_bit_for_bit() {
+    let (snapshot, _) = trained_snapshot();
+    let blocked = ResolutionService::new(snapshot.clone(), ServeConfig::default()).unwrap();
+    let exhaustive = ResolutionService::new(snapshot, ServeConfig::exhaustive()).unwrap();
+    let query = ResolveQuery::record(blocked.record_title(2).to_string());
+    let top_all = blocked.n_records();
+    let rb = blocked.resolve(&query, 0, top_all).unwrap();
+    let re = exhaustive.resolve(&query, 0, top_all).unwrap();
+    assert!(!rb.matches.is_empty(), "a corpus title is its own candidate");
+    assert!(rb.matches.len() <= re.matches.len());
+    for m in &rb.matches {
+        let em = re
+            .matches
+            .iter()
+            .find(|e| e.target == m.target)
+            .expect("blocked candidate must be ranked by the exhaustive path too");
+        assert_eq!(m.score, em.score, "{:?}: blocked score must be bit-identical", m.target);
+        assert_eq!(m.matched, em.matched);
+    }
+}
+
+#[test]
+fn blocked_ingest_keeps_snapshot_roundtrip_byte_identical() {
+    let (snapshot, _) = trained_snapshot();
+    let original = snapshot.to_bytes();
+    let mut svc = ResolutionService::new(snapshot, ServeConfig::default()).unwrap();
+    // Ingests grow the blocker; the reconstructed snapshot truncates it
+    // back to the training watermark exactly.
+    svc.ingest("Ingested Blocked Gadget One");
+    let title = format!("{} v2", svc.record_title(1));
+    svc.ingest(&title);
+    assert_eq!(svc.to_snapshot().to_bytes(), original);
 }
 
 #[test]

@@ -9,11 +9,12 @@
 use crate::format::{Reader, StoreError, Writer};
 use flexer_ann::kmeans::KMeans;
 use flexer_ann::{AnyIndex, FlatIndex, IvfIndex};
+use flexer_block::{AnnRecordIndex, BlockerState, NGramIndex};
 use flexer_graph::{Aggregation, CsrGraph, GnnModel, MultiplexGraph, SageLayer, TrainedGnn};
 use flexer_matcher::summarize::DfTable;
 use flexer_matcher::{BinaryMatcher, PairFeaturizer};
 use flexer_nn::{Linear, Matrix, Mlp};
-use flexer_types::{Intent, IntentSet, LabelMatrix};
+use flexer_types::{AnnBlockerConfig, Intent, IntentSet, LabelMatrix, NGramBlockerConfig};
 
 /// Binary encode/decode against the `.flexer` payload format.
 pub trait Codec: Sized {
@@ -344,6 +345,112 @@ impl Codec for AnyIndex {
             0 => Ok(AnyIndex::Flat(FlatIndex::decode(r)?)),
             1 => Ok(AnyIndex::Ivf(IvfIndex::decode(r)?)),
             t => malformed(format!("unknown index tag {t}")),
+        }
+    }
+}
+
+impl Codec for NGramBlockerConfig {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.q);
+        w.put_usize(self.min_shared);
+        w.put_usize(self.max_bucket);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        let q = r.get_usize()?;
+        let min_shared = r.get_usize()?;
+        let max_bucket = r.get_usize()?;
+        if q == 0 || min_shared == 0 {
+            return malformed("n-gram blocker q and min_shared must be positive");
+        }
+        Ok(NGramBlockerConfig { q, min_shared, max_bucket })
+    }
+}
+
+impl Codec for AnnBlockerConfig {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.q);
+        w.put_usize(self.dim);
+        w.put_usize(self.k);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        let q = r.get_usize()?;
+        let dim = r.get_usize()?;
+        let k = r.get_usize()?;
+        if q == 0 || dim == 0 || k == 0 {
+            return malformed("ANN blocker q, dim and k must be positive");
+        }
+        Ok(AnnBlockerConfig { q, dim, k })
+    }
+}
+
+impl Codec for NGramIndex {
+    fn encode(&self, w: &mut Writer) {
+        self.config().encode(w);
+        w.put_usize(self.len());
+        // Buckets in ascending gram-hash order, ids ascending within — the
+        // canonical form that makes re-encoding byte-identical.
+        let buckets = self.sorted_buckets();
+        w.put_usize(buckets.len());
+        for (gram, ids) in buckets {
+            w.put_u64(gram);
+            w.put_u32_slice(ids);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        let config = NGramBlockerConfig::decode(r)?;
+        let n_records = r.get_usize()?;
+        let n_buckets = r.get_usize()?;
+        let mut buckets = Vec::with_capacity(n_buckets.min(1 << 20));
+        let mut prev: Option<u64> = None;
+        for _ in 0..n_buckets {
+            let gram = r.get_u64()?;
+            if prev.is_some_and(|p| p >= gram) {
+                return malformed("blocker buckets are not in ascending gram order");
+            }
+            prev = Some(gram);
+            buckets.push((gram, r.get_u32_slice()?));
+        }
+        NGramIndex::from_parts(config, n_records, buckets).map_err(StoreError::Malformed)
+    }
+}
+
+impl Codec for AnnRecordIndex {
+    fn encode(&self, w: &mut Writer) {
+        self.config().encode(w);
+        w.put_f32_slice(self.data());
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        let config = AnnBlockerConfig::decode(r)?;
+        let data = r.get_f32_slice()?;
+        AnnRecordIndex::from_parts(config, data).map_err(StoreError::Malformed)
+    }
+}
+
+impl Codec for BlockerState {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            BlockerState::Exhaustive => w.put_u8(0),
+            BlockerState::NGram(ix) => {
+                w.put_u8(1);
+                ix.encode(w);
+            }
+            BlockerState::Ann(ix) => {
+                w.put_u8(2);
+                ix.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        match r.get_u8()? {
+            0 => Ok(BlockerState::Exhaustive),
+            1 => Ok(BlockerState::NGram(NGramIndex::decode(r)?)),
+            2 => Ok(BlockerState::Ann(AnnRecordIndex::decode(r)?)),
+            t => malformed(format!("unknown blocker tag {t}")),
         }
     }
 }

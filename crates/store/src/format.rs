@@ -20,7 +20,9 @@ pub const MAGIC: [u8; 8] = *b"FLEXSNAP";
 
 /// Current format version. Bump on any layout change; readers reject
 /// versions they do not understand instead of mis-parsing them.
-pub const VERSION: u32 = 1;
+/// History: 1 = PR 2 layout; 2 = candidate-generation tier (the snapshot
+/// carries the serving blocker state after the ANN indexes).
+pub const VERSION: u32 = 2;
 
 /// Everything that can go wrong reading a snapshot.
 #[derive(Debug)]

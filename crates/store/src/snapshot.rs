@@ -22,6 +22,7 @@
 use crate::codec::Codec;
 use crate::format::{seal, unseal, Reader, StoreError, Writer};
 use flexer_ann::{AnyIndex, VectorIndex};
+use flexer_block::BlockerState;
 use flexer_graph::{MultiplexGraph, TrainedGnn};
 use flexer_matcher::summarize::DfTable;
 use flexer_matcher::{BinaryMatcher, PairFeaturizer};
@@ -64,6 +65,11 @@ pub struct ModelSnapshot {
     pub predictions: LabelMatrix,
     /// One ANN index per intent layer over the initial representations.
     pub indexes: Vec<AnyIndex>,
+    /// The candidate-generation tier: the incremental blocker state over
+    /// the corpus records, so a serving tier resumes blocking exactly
+    /// where the exporter left off ([`BlockerState::Exhaustive`] for the
+    /// explicit all-pairs fallback).
+    pub blocker: BlockerState,
 }
 
 impl ModelSnapshot {
@@ -109,6 +115,15 @@ impl ModelSnapshot {
             if t.scores.len() != n || t.preds.len() != n {
                 return fail(format!("trained GNN {pi} scores/preds do not cover the pairs"));
             }
+        }
+        if !matches!(self.blocker, BlockerState::Exhaustive)
+            && self.blocker.len() != self.records.len()
+        {
+            return fail(format!(
+                "blocker indexes {} records, snapshot lists {}",
+                self.blocker.len(),
+                self.records.len()
+            ));
         }
         Ok(())
     }
@@ -177,6 +192,7 @@ impl Codec for ModelSnapshot {
         self.trained.encode(w);
         self.predictions.encode(w);
         self.indexes.encode(w);
+        self.blocker.encode(w);
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
@@ -201,6 +217,7 @@ impl Codec for ModelSnapshot {
         let trained = Vec::<TrainedGnn>::decode(r)?;
         let predictions = LabelMatrix::decode(r)?;
         let indexes = Vec::<AnyIndex>::decode(r)?;
+        let blocker = BlockerState::decode(r)?;
         Ok(Self {
             intents,
             k,
@@ -213,6 +230,7 @@ impl Codec for ModelSnapshot {
             trained,
             predictions,
             indexes,
+            blocker,
         })
     }
 }

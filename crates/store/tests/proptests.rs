@@ -3,6 +3,7 @@
 //! models compute the same outputs to the bit.
 
 use flexer_ann::{AnyIndex, FlatIndex, IvfConfig, IvfIndex, VectorIndex};
+use flexer_block::BlockerState;
 use flexer_graph::{Aggregation, GnnModel};
 use flexer_nn::{Linear, Matrix, Mlp, MlpConfig};
 use flexer_store::{Codec, Reader, Writer};
@@ -114,6 +115,30 @@ proptest! {
         let hits_a = got.search(&rows[0..dim], 5);
         let hits_b = index.search(&rows[0..dim], 5);
         prop_assert_eq!(hits_a, hits_b);
+    }
+
+    #[test]
+    fn random_blocker_states_roundtrip_bitexact(
+        titles in prop::collection::vec("[a-z ]{0,14}", 0..24),
+        variant in 0u8..3,
+    ) {
+        use flexer_types::{AnnBlockerConfig, CandidateGenConfig, NGramBlockerConfig};
+        let config = match variant {
+            0 => CandidateGenConfig::Exhaustive,
+            1 => CandidateGenConfig::NGram(NGramBlockerConfig {
+                q: 3,
+                min_shared: 1,
+                max_bucket: 8,
+            }),
+            _ => CandidateGenConfig::Ann(AnnBlockerConfig { q: 3, dim: 16, k: 4 }),
+        };
+        let state = BlockerState::build(&config, titles.iter().map(|t| t.as_str()));
+        let got = roundtrip(&state);
+        prop_assert_eq!(&got, &state);
+        // Decoded state answers candidate queries identically.
+        if let Some(title) = titles.first() {
+            prop_assert_eq!(got.candidates(title), state.candidates(title));
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod benchmark;
+pub mod blockcfg;
 pub mod entity;
 pub mod error;
 pub mod intent;
@@ -26,6 +27,7 @@ pub mod scale;
 pub mod splits;
 
 pub use benchmark::MierBenchmark;
+pub use blockcfg::{AnnBlockerConfig, BlockingReport, CandidateGenConfig, NGramBlockerConfig};
 pub use entity::{EntityId, EntityMap};
 pub use error::TypesError;
 pub use intent::{Intent, IntentId, IntentSet};

@@ -15,10 +15,10 @@ use flexer::prelude::*;
 use flexer_core::{clean_view, evaluate_on_split, InParallelModel, PipelineContext};
 use flexer_datasets::catalog::{Catalog, CatalogConfig, RecordCountDist};
 use flexer_datasets::intents::IntentDef;
-use flexer_datasets::mixture::assemble_benchmark;
+use flexer_datasets::mixture::blocked_benchmark;
 use flexer_datasets::perturb::NoiseConfig;
 use flexer_datasets::taxonomy::{amazonmi_spec, Taxonomy, TaxonomyConfig};
-use flexer_datasets::NGramBlocker;
+use flexer_datasets::{CandidateGenerator, NGramBlocker};
 use flexer_matcher::MatcherConfig;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -37,25 +37,14 @@ fn main() {
     );
     println!("catalogue: {} products, {} records", catalog.n_products(), catalog.n_records());
 
-    // --- Phase 1: blocking (the 4-gram overlap blocker of §5.1). ---
-    let blocker = NGramBlocker { q: 4, min_shared: 2 };
-    let candidates = blocker.block(&catalog.dataset, 96);
-    let total_pairs = catalog.n_records() * (catalog.n_records() - 1) / 2;
-    println!(
-        "blocking: {} / {} pairs survive ({:.1}% reduction)",
-        candidates.len(),
-        total_pairs,
-        100.0 * (1.0 - candidates.len() as f64 / total_pairs as f64)
-    );
-
-    // Blocking must not lose true duplicates (it prunes by shared grams,
-    // and duplicates share plenty). Count survivors among golden pairs:
-    let eq_map = IntentDef::Equivalence.entity_map(&catalog);
-    let golden = Resolution::golden(&candidates, &eq_map).unwrap();
-    println!("true duplicate pairs inside the candidate set: {}", golden.len());
+    // --- Phase 1: blocking (the 4-gram overlap blocker of §5.1), through
+    // the candidate-generation tier's `CandidateGenerator` trait — any
+    // backend (q-gram, ANN, exhaustive) plugs in here. ---
+    let blocker = NGramBlocker { q: 4, min_shared: 2, max_bucket: 96 };
+    println!("blocking with the `{}` backend...", CandidateGenerator::name(&blocker));
 
     // --- Label the blocked pairs for three intents and split. ---
-    let bench = assemble_benchmark(
+    let (bench, report) = blocked_benchmark(
         "blocked-amazon",
         &catalog,
         &[
@@ -63,9 +52,25 @@ fn main() {
             (IntentDef::SameBrand, "Brand"),
             (IntentDef::SameMainCategory, "Main-Cat."),
         ],
-        candidates,
+        &blocker,
         11,
     );
+    let total_pairs = catalog.n_records() * (catalog.n_records() - 1) / 2;
+    println!(
+        "blocking: {} / {} pairs survive ({:.1}% reduction); {} stop-grams skipped, \
+         {} comparisons suppressed",
+        bench.n_pairs(),
+        total_pairs,
+        100.0 * (1.0 - report.retention(catalog.n_records())),
+        report.grams_skipped,
+        report.comparisons_suppressed,
+    );
+
+    // Blocking must not lose true duplicates (it prunes by shared grams,
+    // and duplicates share plenty). Count survivors among golden pairs:
+    let eq_map = IntentDef::Equivalence.entity_map(&catalog);
+    let golden = Resolution::golden(&bench.candidates, &eq_map).unwrap();
+    println!("true duplicate pairs inside the candidate set: {}", golden.len());
     println!(
         "labeled benchmark: {} pairs, %Pos per intent = {:?}",
         bench.n_pairs(),

@@ -43,6 +43,7 @@
 //! ```
 
 pub use flexer_ann as ann;
+pub use flexer_block as block;
 pub use flexer_core as core;
 pub use flexer_datasets as datasets;
 pub use flexer_eval as eval;
@@ -56,14 +57,15 @@ pub use flexer_types as types;
 
 /// Convenient single-import surface for applications.
 pub mod prelude {
+    pub use flexer_block::{BlockerState, CandidateGenerator, ExhaustivePairs, NGramBlocker};
     pub use flexer_core::prelude::*;
     pub use flexer_datasets::{AmazonMiConfig, WalmartAmazonConfig, WdcConfig};
     pub use flexer_eval::{BinaryReport, MultiIntentReport};
     pub use flexer_serve::{IngestReport, ResolutionService, ServeConfig, ServeMetrics};
     pub use flexer_store::{IndexKind, ModelSnapshot};
     pub use flexer_types::{
-        CandidateSet, Dataset, EntityMap, Intent, IntentSet, LabelMatrix, MatchTarget,
-        MierBenchmark, PairRef, RankedMatch, Record, Resolution, ResolveQuery, ResolveResponse,
-        Scale, Split,
+        BlockingReport, CandidateGenConfig, CandidateSet, Dataset, EntityMap, Intent, IntentSet,
+        LabelMatrix, MatchTarget, MierBenchmark, PairRef, RankedMatch, Record, Resolution,
+        ResolveQuery, ResolveResponse, Scale, Split,
     };
 }
