@@ -15,8 +15,21 @@
 //! id; corpora without such ties are fully order-insensitive.
 
 use crate::{BlockingOutcome, CandidateGenerator};
-use flexer_ann::{FlatIndex, VectorIndex};
+use flexer_ann::{FlatIndex, Neighbor, VectorIndex};
 use flexer_types::{AnnBlockerConfig, BlockingReport, CandidateSet, Dataset, PairRef, RecordId};
+
+/// The hashed gram-count embedding of a title under an ANN blocker config —
+/// a pure function of the title text, shared by every index built from the
+/// same config (the sharded query path embeds once and searches N shards).
+pub fn embed_title(title: &str, config: &AnnBlockerConfig) -> Vec<f32> {
+    let mut v = vec![0.0f32; config.dim];
+    // gram_vec, not gram_set: same deduplicated grams without building a
+    // HashSet just to iterate it once (this runs per ingest and per query).
+    for g in crate::ngram::gram_vec(title, config.q) {
+        v[(g % config.dim as u64) as usize] += 1.0;
+    }
+    v
+}
 
 /// Batch record-level ANN blocker.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,11 +119,17 @@ impl AnnRecordIndex {
     /// The hashed gram-count embedding of a title (a pure function of the
     /// title text).
     pub fn embed(&self, title: &str) -> Vec<f32> {
-        let mut v = vec![0.0f32; self.config.dim];
-        for g in crate::ngram::gram_set(title, self.config.q) {
-            v[(g % self.config.dim as u64) as usize] += 1.0;
-        }
-        v
+        embed_title(title, &self.config)
+    }
+
+    /// The `k` nearest hits for a pre-embedded query, ascending by
+    /// distance, exact ties by ascending (insertion-order) id — the raw
+    /// shape the sharded merge consumes: it re-sorts hits from every shard
+    /// by `(distance, global id)`, which reproduces the unsharded ordering
+    /// exactly because local insertion order is global insertion order
+    /// restricted to the shard.
+    pub fn nearest(&self, query: &[f32]) -> Vec<Neighbor> {
+        self.index.search(query, self.config.k)
     }
 
     /// Indexes one record title; returns its id (sequential).

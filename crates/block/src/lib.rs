@@ -32,11 +32,15 @@
 
 pub mod ann;
 pub mod ngram;
+pub mod shard;
 
 pub use ann::{AnnBlocker, AnnRecordIndex};
 pub use ngram::{NGramBlocker, NGramIndex};
+pub use shard::ShardedBlocker;
 
-use flexer_types::{BlockingReport, CandidateGenConfig, CandidateSet, Dataset, PairRef, RecordId};
+use flexer_types::{
+    BlockingReport, CandidateGenConfig, CandidateSet, Dataset, EntityMap, PairRef, RecordId,
+};
 
 /// A blocked candidate set together with the accounting of the pass that
 /// produced it.
@@ -46,6 +50,47 @@ pub struct BlockingOutcome {
     pub candidates: CandidateSet,
     /// What the pass considered and what it pruned.
     pub report: BlockingReport,
+}
+
+impl BlockingOutcome {
+    /// Measures golden-pair recall against a ground-truth entity map and
+    /// records it in the report (see [`golden_pair_recall`]).
+    pub fn with_golden_recall(mut self, entities: &EntityMap) -> Self {
+        let (recalled, total) = golden_pair_recall(&self.candidates, entities);
+        self.report.golden_recalled = recalled;
+        self.report.golden_total = total;
+        self
+    }
+}
+
+/// Counts how many golden pairs — distinct record pairs mapped to the same
+/// entity by `entities` — survive in `candidates`. Returns
+/// `(recalled, total)`; `total` is the number of golden pairs in the
+/// ground truth. This is the blocking-recall instrumentation the ROADMAP
+/// calls for: bucket caps and shard layouts are judged by how much golden
+/// signal they let through, measured rather than guessed.
+pub fn golden_pair_recall(candidates: &CandidateSet, entities: &EntityMap) -> (usize, usize) {
+    let mut by_entity: std::collections::HashMap<u64, Vec<RecordId>> =
+        std::collections::HashMap::new();
+    for r in 0..entities.len() {
+        let e = entities.entity_of(r).expect("record ids 0..len are mapped");
+        by_entity.entry(e).or_default().push(r);
+    }
+    let mut pairs: Vec<PairRef> = candidates.pairs().to_vec();
+    pairs.sort_unstable();
+    let (mut recalled, mut total) = (0usize, 0usize);
+    for group in by_entity.values() {
+        for (i, &a) in group.iter().enumerate() {
+            for &b in &group[i + 1..] {
+                total += 1;
+                let pair = PairRef::new(a, b).expect("a < b");
+                if pairs.binary_search(&pair).is_ok() {
+                    recalled += 1;
+                }
+            }
+        }
+    }
+    (recalled, total)
 }
 
 /// A batch candidate-pair generator over a whole dataset.
@@ -192,6 +237,17 @@ impl BlockerState {
             BlockerState::Exhaustive => "exhaustive",
             BlockerState::NGram(_) => "ngram",
             BlockerState::Ann(_) => "ann",
+        }
+    }
+
+    /// The candidate-generation config this state runs — the inverse of
+    /// [`BlockerState::build`], so a state can be re-partitioned (or
+    /// re-built) without out-of-band configuration.
+    pub fn gen_config(&self) -> CandidateGenConfig {
+        match self {
+            BlockerState::Exhaustive => CandidateGenConfig::Exhaustive,
+            BlockerState::NGram(ix) => CandidateGenConfig::NGram(ix.config()),
+            BlockerState::Ann(ix) => CandidateGenConfig::Ann(ix.config()),
         }
     }
 }

@@ -16,7 +16,24 @@
 
 use crate::{BlockingOutcome, CandidateGenerator};
 use flexer_types::{BlockingReport, CandidateSet, Dataset, NGramBlockerConfig, PairRef, RecordId};
+use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
+
+/// Reusable buffers for the hot incremental query path. Candidate queries
+/// run once per ingest and once per record resolve; without reuse each
+/// query allocates a lowercase `String`, a char buffer, a gram set and a
+/// shared-count map — measurable churn at small corpus sizes, where the
+/// per-query constant competes with the scoring work blocking saves.
+#[derive(Debug, Default)]
+struct QueryScratch {
+    chars: Vec<char>,
+    grams: Vec<u64>,
+    shared: HashMap<u32, u32>,
+}
+
+thread_local! {
+    static QUERY_SCRATCH: RefCell<QueryScratch> = RefCell::new(QueryScratch::default());
+}
 
 /// Character q-gram overlap blocker (batch shape).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -183,13 +200,40 @@ impl NGramIndex {
     /// Candidate record ids for a new title: every indexed record sharing
     /// at least `min_shared` kept grams with it, ascending. Grams whose
     /// bucket currently exceeds `max_bucket` are stop-grams and do not
-    /// count.
+    /// count. Runs on thread-local scratch buffers, so the hot ingest /
+    /// record-resolve path allocates only the returned vector.
     pub fn candidates(&self, title: &str) -> Vec<RecordId> {
-        let grams = gram_set(title, self.config.q);
-        let mut shared: HashMap<u32, usize> = HashMap::new();
-        for g in &grams {
+        QUERY_SCRATCH.with(|cell| {
+            let QueryScratch { chars, grams, shared } = &mut *cell.borrow_mut();
+            gram_vec_into(title, self.config.q, chars, grams);
+            self.collect_candidates(grams, true, shared)
+        })
+    }
+
+    /// Candidate record ids among an explicit, pre-filtered gram list —
+    /// the sharded query path: the caller has already made the stop-gram
+    /// decision against *global* bucket sizes, so no per-shard cap is
+    /// applied here (a shard-local cap would disagree with the unsharded
+    /// blocker and break bit-identity).
+    pub fn candidates_for_grams(&self, grams: &[u64]) -> Vec<RecordId> {
+        QUERY_SCRATCH.with(|cell| {
+            let QueryScratch { shared, .. } = &mut *cell.borrow_mut();
+            self.collect_candidates(grams, false, shared)
+        })
+    }
+
+    /// Shared-count accumulation over `grams`, into a reused map;
+    /// candidates are emitted ascending into a pre-sized vector.
+    fn collect_candidates(
+        &self,
+        grams: &[u64],
+        apply_cap: bool,
+        shared: &mut HashMap<u32, u32>,
+    ) -> Vec<RecordId> {
+        shared.clear();
+        for g in grams {
             if let Some(bucket) = self.buckets.get(g) {
-                if bucket.len() > self.config.max_bucket {
+                if apply_cap && bucket.len() > self.config.max_bucket {
                     continue;
                 }
                 for &id in bucket {
@@ -197,11 +241,9 @@ impl NGramIndex {
                 }
             }
         }
-        let mut out: Vec<RecordId> = shared
-            .into_iter()
-            .filter(|&(_, count)| count >= self.config.min_shared)
-            .map(|(id, _)| id as RecordId)
-            .collect();
+        let min = self.config.min_shared as u32;
+        let mut out: Vec<RecordId> = Vec::with_capacity(shared.len());
+        out.extend(shared.iter().filter(|&(_, &c)| c >= min).map(|(&id, _)| id as RecordId));
         out.sort_unstable();
         out
     }
@@ -289,22 +331,41 @@ impl NGramIndex {
     }
 }
 
-/// The set of hashed q-grams of a title (lower-cased). Titles shorter than
-/// `q` hash as one whole-string gram; empty titles have no grams.
-pub fn gram_set(title: &str, q: usize) -> HashSet<u64> {
-    let lowered = title.to_lowercase();
-    let chars: Vec<char> = lowered.chars().collect();
-    let mut grams = HashSet::new();
-    if chars.len() < q {
-        if !chars.is_empty() {
-            grams.insert(hash_gram(&chars));
-        }
-        return grams;
-    }
-    for w in chars.windows(q) {
-        grams.insert(hash_gram(w));
-    }
+/// The sorted, deduplicated hashed q-grams of a title — the same gram set
+/// as [`gram_set`], as a vector (the shape the sharded query path passes
+/// to [`NGramIndex::candidates_for_grams`]).
+pub fn gram_vec(title: &str, q: usize) -> Vec<u64> {
+    let mut chars = Vec::new();
+    let mut grams = Vec::new();
+    gram_vec_into(title, q, &mut chars, &mut grams);
     grams
+}
+
+/// [`gram_vec`] into caller-owned buffers (both are cleared first) — the
+/// allocation-free shape the thread-local query scratch uses.
+fn gram_vec_into(title: &str, q: usize, chars: &mut Vec<char>, grams: &mut Vec<u64>) {
+    chars.clear();
+    chars.extend(title.chars().flat_map(char::to_lowercase));
+    grams.clear();
+    if chars.is_empty() {
+        return;
+    }
+    if chars.len() < q {
+        grams.push(hash_gram(chars));
+        return;
+    }
+    grams.extend(chars.windows(q).map(hash_gram));
+    grams.sort_unstable();
+    grams.dedup();
+}
+
+/// The set of hashed q-grams of a title (lower-cased per character, the
+/// same mapping the scratch-based query path applies — the two must agree
+/// gram-for-gram or incremental candidates would diverge from batch
+/// blocking). Titles shorter than `q` hash as one whole-string gram; empty
+/// titles have no grams.
+pub fn gram_set(title: &str, q: usize) -> HashSet<u64> {
+    gram_vec(title, q).into_iter().collect()
 }
 
 /// FNV-1a over the gram's chars — fast, deterministic, no dependencies.
@@ -475,6 +536,40 @@ mod tests {
         index.insert("reebok classic");
         assert_eq!(index.truncated(2), watermark);
         assert_eq!(index.truncated(10), index);
+    }
+
+    #[test]
+    fn gram_vec_agrees_with_gram_set() {
+        for title in ["Nike Lunar Force 1", "ab", "", "ΣΊΣΥΦΟΣ loop", "aaaaaaa"] {
+            let v = gram_vec(title, 4);
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+            let s: HashSet<u64> = v.iter().copied().collect();
+            assert_eq!(s, gram_set(title, 4), "{title:?}");
+        }
+    }
+
+    #[test]
+    fn candidates_for_grams_skips_the_cap() {
+        // Four titles sharing " the " grams; cap of 2 suppresses them in
+        // the capped query but an explicit gram list bypasses the cap.
+        let config = NGramBlockerConfig { q: 4, min_shared: 1, max_bucket: 2 };
+        let mut index = NGramIndex::new(config);
+        for t in ["alpha the one", "beta the two", "gamma the three", "delta the four"] {
+            index.insert(t);
+        }
+        let capped = index.candidates("echo the five");
+        let uncapped = index.candidates_for_grams(&gram_vec("echo the five", 4));
+        assert!(capped.len() < uncapped.len(), "{capped:?} vs {uncapped:?}");
+        assert_eq!(uncapped, vec![0, 1, 2, 3]);
+        // With no oversized buckets the two paths agree exactly.
+        let loose = NGramIndex::new(NGramBlockerConfig::default());
+        let mut loose = loose;
+        loose.insert("alpha the one");
+        loose.insert("zzzz qqqq");
+        assert_eq!(
+            loose.candidates("alpha the one"),
+            loose.candidates_for_grams(&gram_vec("alpha the one", 4))
+        );
     }
 
     #[test]

@@ -1,0 +1,563 @@
+//! [`ShardedBlocker`] — the candidate-generation tier partitioned across
+//! N shards behind a deterministic title router.
+//!
+//! Each shard holds a [`BlockerState`] over only the records routed to it
+//! (plus the member list mapping shard-local ids back to global record
+//! ids), so per-shard indexes stay `n/N`-sized and candidate queries fan
+//! out over shard-local state via `flexer-par`. The merge is exact, not
+//! approximate — for any shard count the merged candidate set is
+//! **identical** to what the monolithic blocker over the same records
+//! would return:
+//!
+//! * **q-gram**: a record's shared-gram count with a query is computed
+//!   entirely inside its own shard (gram sets are per-record), so the
+//!   per-shard surviving sets are disjoint and their union is the global
+//!   surviving set — *provided* the stop-gram decision is global. Shard
+//!   buckets are `~1/N` of global buckets, so a per-shard `max_bucket`
+//!   test would keep grams the monolithic blocker skips; the sharded
+//!   blocker therefore maintains global gram counts and pre-filters the
+//!   query's grams against them before fanning out
+//!   ([`NGramIndex::candidates_for_grams`] applies no local cap).
+//! * **ANN**: every global top-k record is also in its own shard's top-k,
+//!   so merging all shards' hits by `(distance, global id)` and truncating
+//!   to `k` reproduces the monolithic `(distance, insertion-id)` ordering
+//!   exactly — shard-local insertion order is global insertion order
+//!   restricted to the shard.
+//! * **Exhaustive**: stateless on both sides.
+//!
+//! That equivalence (tested here and property-tested in
+//! `tests/proptests.rs`) is what lets the serving tier treat sharding as
+//! a pure scale-out move: same answers, shard-local work.
+
+use crate::ngram::gram_vec;
+use crate::{AnnRecordIndex, BlockerState, NGramIndex};
+use flexer_types::{CandidateGenConfig, RecordId, ShardConfig, ShardRouter};
+use std::collections::HashMap;
+
+/// An incremental blocker partitioned across N shards (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedBlocker {
+    router: ShardRouter,
+    gen: CandidateGenConfig,
+    /// Shard-local blocker state; local record ids are per-shard sequential.
+    shards: Vec<BlockerState>,
+    /// `members[s][local] = global` record id, ascending by construction.
+    members: Vec<Vec<u32>>,
+    /// Global gram → total bucket size across shards (q-gram backend only):
+    /// the corpus-level stop-gram signal per-shard buckets cannot provide.
+    gram_counts: HashMap<u64, u32>,
+    n_records: usize,
+}
+
+impl ShardedBlocker {
+    /// Empty sharded blocker for a candidate-generation backend.
+    pub fn new(gen: &CandidateGenConfig, config: ShardConfig) -> Self {
+        let router = ShardRouter::new(config);
+        let shards = (0..config.n_shards)
+            .map(|_| BlockerState::build(gen, std::iter::empty::<&str>()))
+            .collect();
+        Self {
+            router,
+            gen: *gen,
+            shards,
+            members: vec![Vec::new(); config.n_shards],
+            gram_counts: HashMap::new(),
+            n_records: 0,
+        }
+    }
+
+    /// Builds a sharded blocker by routing `titles` in record-id order —
+    /// the partitioned equivalent of [`BlockerState::build`].
+    pub fn build<'a>(
+        gen: &CandidateGenConfig,
+        config: ShardConfig,
+        titles: impl IntoIterator<Item = &'a str>,
+    ) -> Self {
+        let mut out = Self::new(gen, config);
+        for t in titles {
+            out.insert(t);
+        }
+        out
+    }
+
+    /// Routes and indexes one record title; returns `(shard, global id)`.
+    /// Global ids are assigned sequentially, so callers must insert in
+    /// record-id order (the same contract as [`BlockerState::insert`]).
+    pub fn insert(&mut self, title: &str) -> (usize, RecordId) {
+        let shard = self.router.route(title);
+        let global = self.n_records;
+        self.shards[shard].insert(title);
+        self.members[shard].push(global as u32);
+        self.count_grams(title);
+        self.n_records += 1;
+        (shard, global)
+    }
+
+    /// Batched insert: routes every title, fans the shard-local index
+    /// updates out across shards in parallel (shards are independent), and
+    /// applies the global bookkeeping serially in input order. The final
+    /// state is identical to inserting the titles one by one.
+    pub fn insert_batch(&mut self, titles: &[&str]) -> Vec<(usize, RecordId)> {
+        let routes: Vec<usize> = titles.iter().map(|t| self.router.route(t)).collect();
+        let mut per_shard: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for (i, &s) in routes.iter().enumerate() {
+            per_shard[s].push(i);
+        }
+        // Group-by-shard, parallel shard-local ingest: each shard absorbs
+        // its titles in input order, exactly as serial inserts would.
+        flexer_par::for_each_row_mut(&mut self.shards, 1, |s, shard| {
+            for &i in &per_shard[s] {
+                shard[0].insert(titles[i]);
+            }
+        });
+        // Single merge step: global ids, member lists and gram counts, in
+        // input order.
+        let base = self.n_records;
+        let mut out = Vec::with_capacity(titles.len());
+        for (i, (&shard, title)) in routes.iter().zip(titles).enumerate() {
+            let global = base + i;
+            self.members[shard].push(global as u32);
+            self.count_grams(title);
+            out.push((shard, global));
+        }
+        self.n_records += titles.len();
+        out
+    }
+
+    fn count_grams(&mut self, title: &str) {
+        if let CandidateGenConfig::NGram(c) = self.gen {
+            for g in gram_vec(title, c.q) {
+                *self.gram_counts.entry(g).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Candidate record ids (global, ascending) for a new title: the fan
+    /// out / merge of the per-shard candidate queries. `None` means "all
+    /// records" (the exhaustive backend). The result is identical to the
+    /// monolithic [`BlockerState::candidates`] over the same records, for
+    /// any shard count.
+    pub fn candidates(&self, title: &str) -> Option<Vec<RecordId>> {
+        match &self.gen {
+            CandidateGenConfig::Exhaustive => None,
+            CandidateGenConfig::NGram(_) => {
+                let per_shard = self.ngram_shard_candidates(title);
+                let mut out: Vec<RecordId> = Vec::new();
+                for (s, locals) in per_shard.iter().enumerate() {
+                    out.extend(locals.iter().map(|&l| self.members[s][l] as RecordId));
+                }
+                out.sort_unstable();
+                Some(out)
+            }
+            CandidateGenConfig::Ann(_) => {
+                let mut out: Vec<RecordId> =
+                    self.ann_merged_top_k(title).into_iter().map(|(g, _)| g as RecordId).collect();
+                out.sort_unstable();
+                Some(out)
+            }
+        }
+    }
+
+    /// Shard-local candidate work for a title, without the merge: the
+    /// number of candidates each shard's query produces. For q-gram
+    /// backends the per-shard surviving sets are disjoint, so the counts
+    /// sum to the global candidate count; for ANN they are the merged
+    /// top-k attributed back to the owning shards. `None` for the
+    /// exhaustive backend (shards hold no state).
+    pub fn local_candidate_counts(&self, title: &str) -> Option<Vec<usize>> {
+        match &self.gen {
+            CandidateGenConfig::Exhaustive => None,
+            CandidateGenConfig::NGram(_) => {
+                Some(self.ngram_shard_candidates(title).iter().map(Vec::len).collect())
+            }
+            CandidateGenConfig::Ann(_) => {
+                let mut counts = vec![0usize; self.shards.len()];
+                for (_, s) in self.ann_merged_top_k(title) {
+                    counts[s] += 1;
+                }
+                Some(counts)
+            }
+        }
+    }
+
+    /// Per-shard q-gram queries (shard-local record ids): the global
+    /// stop-gram decision, then shared-count queries over the kept grams
+    /// only, fanned out via `flexer-par`.
+    fn ngram_shard_candidates(&self, title: &str) -> Vec<Vec<RecordId>> {
+        let CandidateGenConfig::NGram(c) = &self.gen else {
+            unreachable!("q-gram query on a non-q-gram blocker")
+        };
+        let kept: Vec<u64> = gram_vec(title, c.q)
+            .into_iter()
+            .filter(|g| self.gram_counts.get(g).map_or(true, |&n| n as usize <= c.max_bucket))
+            .collect();
+        flexer_par::parallel_map(self.shards.len(), |s| match &self.shards[s] {
+            BlockerState::NGram(ix) => ix.candidates_for_grams(&kept),
+            _ => unreachable!("q-gram config implies q-gram shards"),
+        })
+    }
+
+    /// The fan-out / merge of the per-shard ANN queries: global top-k as
+    /// `(global id, owning shard)`, merged by `(distance, global id)` —
+    /// the monolithic ordering — and truncated to `k`.
+    fn ann_merged_top_k(&self, title: &str) -> Vec<(u32, usize)> {
+        let CandidateGenConfig::Ann(c) = &self.gen else {
+            unreachable!("ANN query on a non-ANN blocker")
+        };
+        let query = crate::ann::embed_title(title, c);
+        let per_shard = flexer_par::parallel_map(self.shards.len(), |s| match &self.shards[s] {
+            BlockerState::Ann(ix) => ix.nearest(&query),
+            _ => unreachable!("ANN config implies ANN shards"),
+        });
+        let mut hits: Vec<(f32, u32, usize)> = Vec::new();
+        for (s, neighbors) in per_shard.iter().enumerate() {
+            hits.extend(neighbors.iter().map(|n| (n.dist, self.members[s][n.id], s)));
+        }
+        hits.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0).expect("index distances are finite").then_with(|| a.1.cmp(&b.1))
+        });
+        hits.truncate(c.k);
+        hits.into_iter().map(|(_, g, s)| (g, s)).collect()
+    }
+
+    /// A copy truncated back to the first `n_records` global records — the
+    /// exact inverse of the inserts past that watermark, shard by shard.
+    pub fn truncated(&self, n_records: usize) -> Self {
+        let n = n_records.min(self.n_records);
+        let limit = n as u32;
+        let members: Vec<Vec<u32>> =
+            self.members.iter().map(|m| m[..m.partition_point(|&g| g < limit)].to_vec()).collect();
+        let shards: Vec<BlockerState> =
+            self.shards.iter().zip(&members).map(|(s, m)| s.truncated(m.len())).collect();
+        let mut out = Self {
+            router: self.router,
+            gen: self.gen,
+            shards,
+            members,
+            gram_counts: HashMap::new(),
+            n_records: n,
+        };
+        out.recount_grams();
+        out
+    }
+
+    /// Reassembles the monolithic [`BlockerState`] the shards partition —
+    /// equal to building the unsharded state over the same titles in
+    /// global id order (tested). Used when an unsharded service loads a
+    /// sharded snapshot.
+    pub fn merged(&self) -> BlockerState {
+        match &self.gen {
+            CandidateGenConfig::Exhaustive => BlockerState::Exhaustive,
+            CandidateGenConfig::NGram(c) => {
+                let mut buckets: HashMap<u64, Vec<u32>> = HashMap::new();
+                for (s, shard) in self.shards.iter().enumerate() {
+                    let BlockerState::NGram(ix) = shard else {
+                        unreachable!("q-gram config implies q-gram shards")
+                    };
+                    for (g, ids) in ix.sorted_buckets() {
+                        buckets
+                            .entry(g)
+                            .or_default()
+                            .extend(ids.iter().map(|&l| self.members[s][l as usize]));
+                    }
+                }
+                let mut parts: Vec<(u64, Vec<u32>)> = buckets
+                    .into_iter()
+                    .map(|(g, mut ids)| {
+                        ids.sort_unstable();
+                        (g, ids)
+                    })
+                    .collect();
+                parts.sort_unstable_by_key(|&(g, _)| g);
+                BlockerState::NGram(
+                    NGramIndex::from_parts(*c, self.n_records, parts)
+                        .expect("merged shards form a valid index"),
+                )
+            }
+            CandidateGenConfig::Ann(c) => {
+                let mut data = vec![0.0f32; self.n_records * c.dim];
+                for (s, shard) in self.shards.iter().enumerate() {
+                    let BlockerState::Ann(ix) = shard else {
+                        unreachable!("ANN config implies ANN shards")
+                    };
+                    for (local, &global) in self.members[s].iter().enumerate() {
+                        let g = global as usize;
+                        data[g * c.dim..(g + 1) * c.dim]
+                            .copy_from_slice(&ix.data()[local * c.dim..(local + 1) * c.dim]);
+                    }
+                }
+                BlockerState::Ann(
+                    AnnRecordIndex::from_parts(*c, data).expect("merged shards form a valid index"),
+                )
+            }
+        }
+    }
+
+    /// Reassembles a sharded blocker from serialized parts, validating
+    /// that the members are a partition of `0..n_records` and that every
+    /// shard runs the same backend. (Routing consistency cannot be checked
+    /// here — titles are not part of the state — so decoders trust the
+    /// writer's routing, exactly as the monolithic codec trusts insertion
+    /// order.)
+    pub fn from_parts(
+        config: ShardConfig,
+        shards: Vec<BlockerState>,
+        members: Vec<Vec<u32>>,
+        n_records: usize,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        if shards.len() != config.n_shards {
+            return Err(format!(
+                "{} shard states for a {}-shard config",
+                shards.len(),
+                config.n_shards
+            ));
+        }
+        if members.len() != shards.len() {
+            return Err(format!("{} member lists for {} shards", members.len(), shards.len()));
+        }
+        let gen = shards[0].gen_config();
+        for (s, state) in shards.iter().enumerate() {
+            if state.gen_config() != gen {
+                return Err(format!("shard {s} runs a different backend than shard 0"));
+            }
+            if !matches!(gen, CandidateGenConfig::Exhaustive) && state.len() != members[s].len() {
+                return Err(format!(
+                    "shard {s} indexes {} records but lists {} members",
+                    state.len(),
+                    members[s].len()
+                ));
+            }
+            if !members[s].windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("shard {s} member ids are not strictly ascending"));
+            }
+        }
+        let mut all: Vec<u32> = members.iter().flatten().copied().collect();
+        all.sort_unstable();
+        if all.len() != n_records || all.iter().enumerate().any(|(i, &g)| g as usize != i) {
+            return Err(format!("shard members do not partition 0..{n_records} exactly"));
+        }
+        let mut out = Self {
+            router: ShardRouter::new(config),
+            gen,
+            shards,
+            members,
+            gram_counts: HashMap::new(),
+            n_records,
+        };
+        out.recount_grams();
+        Ok(out)
+    }
+
+    /// Rebuilds the global gram counts from the per-shard buckets (they
+    /// are derived state, never serialized).
+    fn recount_grams(&mut self) {
+        self.gram_counts.clear();
+        for shard in &self.shards {
+            if let BlockerState::NGram(ix) = shard {
+                for (g, ids) in ix.sorted_buckets() {
+                    *self.gram_counts.entry(g).or_insert(0) += ids.len() as u32;
+                }
+            }
+        }
+    }
+
+    /// Number of records indexed across all shards.
+    pub fn len(&self) -> usize {
+        self.n_records
+    }
+
+    /// Whether no records are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.n_records == 0
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard configuration.
+    pub fn shard_config(&self) -> ShardConfig {
+        self.router.config()
+    }
+
+    /// The candidate-generation backend every shard runs.
+    pub fn gen_config(&self) -> CandidateGenConfig {
+        self.gen
+    }
+
+    /// Short backend name for logs and bench output.
+    pub fn kind_name(&self) -> &'static str {
+        self.gen.name()
+    }
+
+    /// The shard a title routes to.
+    pub fn shard_of(&self, title: &str) -> usize {
+        self.router.route(title)
+    }
+
+    /// Per-shard blocker states (serialization / inspection).
+    pub fn shards(&self) -> &[BlockerState] {
+        &self.shards
+    }
+
+    /// Per-shard global-id member lists (serialization / inspection).
+    pub fn members(&self) -> &[Vec<u32>] {
+        &self.members
+    }
+
+    /// Records held by each shard — the balance diagnostic benches report.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.members.iter().map(Vec::len).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexer_types::{AnnBlockerConfig, NGramBlockerConfig};
+
+    fn titles() -> Vec<String> {
+        (0..40)
+            .map(|i| match i % 4 {
+                0 => format!("nike lunar force model {i}"),
+                1 => format!("adidas superstar mesh {i}"),
+                2 => format!("philips sonicare head {i}"),
+                _ => format!("canon eos camera body {i}"),
+            })
+            .collect()
+    }
+
+    fn assert_equivalent(gen: &CandidateGenConfig, queries: &[&str]) {
+        let titles = titles();
+        let mono = BlockerState::build(gen, titles.iter().map(|t| t.as_str()));
+        for n_shards in [1usize, 2, 3, 7] {
+            let sharded = ShardedBlocker::build(
+                gen,
+                ShardConfig::of(n_shards),
+                titles.iter().map(|t| t.as_str()),
+            );
+            assert_eq!(sharded.len(), titles.len());
+            for q in queries {
+                let merged = sharded.candidates(q);
+                assert_eq!(merged, mono.candidates(q), "{n_shards} shards, query {q:?}");
+                let counts = sharded.local_candidate_counts(q);
+                assert_eq!(
+                    counts.as_ref().map(|c| c.iter().sum::<usize>()),
+                    merged.as_ref().map(Vec::len),
+                    "{n_shards} shards, query {q:?}: local counts must sum to the merge"
+                );
+                assert_eq!(counts.map(|c| c.len()), merged.map(|_| n_shards));
+            }
+            assert_eq!(sharded.merged(), mono, "{n_shards} shards: merged state");
+        }
+    }
+
+    #[test]
+    fn ngram_sharding_is_exactly_the_monolithic_blocker() {
+        assert_equivalent(
+            &CandidateGenConfig::NGram(NGramBlockerConfig::default()),
+            &["nike lunar force", "sonicare replacement head", "zzzz qqqq", ""],
+        );
+    }
+
+    #[test]
+    fn ngram_stop_gram_decision_is_global() {
+        // A gram shared by every title: global bucket (40) blows a cap of
+        // 8, but each of 7 shards holds ≤ 8 — a per-shard cap would keep
+        // it and over-generate candidates.
+        let gen =
+            CandidateGenConfig::NGram(NGramBlockerConfig { q: 4, min_shared: 1, max_bucket: 8 });
+        let shared: Vec<String> = (0..40).map(|i| format!("common stem {i}")).collect();
+        let mono = BlockerState::build(&gen, shared.iter().map(|t| t.as_str()));
+        let sharded =
+            ShardedBlocker::build(&gen, ShardConfig::of(7), shared.iter().map(|t| t.as_str()));
+        let query = "common stem fresh";
+        assert_eq!(sharded.candidates(query), mono.candidates(query));
+    }
+
+    #[test]
+    fn ann_sharding_is_exactly_the_monolithic_blocker() {
+        assert_equivalent(
+            &CandidateGenConfig::Ann(AnnBlockerConfig { q: 3, dim: 32, k: 5 }),
+            &["nike lunar force", "canon camera", "unrelated zzzz"],
+        );
+    }
+
+    #[test]
+    fn exhaustive_sharding_is_stateless() {
+        let gen = CandidateGenConfig::Exhaustive;
+        let titles = titles();
+        let sharded =
+            ShardedBlocker::build(&gen, ShardConfig::of(3), titles.iter().map(|t| t.as_str()));
+        assert_eq!(sharded.candidates("anything"), None);
+        assert_eq!(sharded.merged(), BlockerState::Exhaustive);
+        assert_eq!(sharded.shard_sizes().iter().sum::<usize>(), titles.len());
+    }
+
+    #[test]
+    fn insert_batch_matches_serial_inserts() {
+        let gen = CandidateGenConfig::NGram(NGramBlockerConfig::default());
+        let titles = titles();
+        let refs: Vec<&str> = titles.iter().map(|t| t.as_str()).collect();
+        let mut serial = ShardedBlocker::new(&gen, ShardConfig::of(4));
+        let serial_ids: Vec<(usize, RecordId)> = refs.iter().map(|t| serial.insert(t)).collect();
+        let mut batched = ShardedBlocker::new(&gen, ShardConfig::of(4));
+        let batch_ids = batched.insert_batch(&refs);
+        assert_eq!(serial_ids, batch_ids);
+        assert_eq!(serial, batched);
+    }
+
+    #[test]
+    fn truncation_is_exact_inverse_of_inserts() {
+        let gen = CandidateGenConfig::NGram(NGramBlockerConfig::default());
+        let titles = titles();
+        let mut sharded = ShardedBlocker::build(
+            &gen,
+            ShardConfig::of(3),
+            titles[..25].iter().map(|t| t.as_str()),
+        );
+        let watermark = sharded.clone();
+        for t in &titles[25..] {
+            sharded.insert(t);
+        }
+        assert_eq!(sharded.truncated(25), watermark);
+        assert_eq!(sharded.truncated(100), sharded);
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_validates() {
+        let gen = CandidateGenConfig::NGram(NGramBlockerConfig::default());
+        let titles = titles();
+        let sharded =
+            ShardedBlocker::build(&gen, ShardConfig::of(3), titles.iter().map(|t| t.as_str()));
+        let rebuilt = ShardedBlocker::from_parts(
+            sharded.shard_config(),
+            sharded.shards().to_vec(),
+            sharded.members().to_vec(),
+            sharded.len(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, sharded);
+
+        // Members failing to partition 0..n are rejected.
+        let mut bad_members = sharded.members().to_vec();
+        bad_members[0].pop();
+        assert!(ShardedBlocker::from_parts(
+            sharded.shard_config(),
+            sharded.shards().to_vec(),
+            bad_members,
+            sharded.len(),
+        )
+        .is_err());
+        // Shard-count mismatch is rejected.
+        assert!(ShardedBlocker::from_parts(
+            ShardConfig::of(2),
+            sharded.shards().to_vec(),
+            sharded.members().to_vec(),
+            sharded.len(),
+        )
+        .is_err());
+    }
+}

@@ -4,8 +4,12 @@
 //! agrees with the batch pass, and candidate queries are insensitive to
 //! insertion order.
 
-use flexer_block::{BlockerState, CandidateGenerator, ExhaustivePairs, NGramBlocker, NGramIndex};
-use flexer_types::{CandidateGenConfig, Dataset, NGramBlockerConfig, PairRef, Record};
+use flexer_block::{
+    BlockerState, CandidateGenerator, ExhaustivePairs, NGramBlocker, NGramIndex, ShardedBlocker,
+};
+use flexer_types::{
+    AnnBlockerConfig, CandidateGenConfig, Dataset, NGramBlockerConfig, PairRef, Record, ShardConfig,
+};
 use proptest::prelude::*;
 use std::collections::HashSet;
 
@@ -114,5 +118,63 @@ proptest! {
         for (_, pair) in blocked.candidates.iter() {
             prop_assert!(all.contains(&pair));
         }
+    }
+
+    /// The sharding equivalence lemma, q-gram backend: for any titles,
+    /// shard count, bucket cap and query, the sharded fan-out/merge equals
+    /// the monolithic candidate set exactly, and the merged state is the
+    /// monolithic state.
+    #[test]
+    fn sharded_ngram_equals_monolithic(
+        titles in prop::collection::vec(title_strategy(), 0..14),
+        query in title_strategy(),
+        n_shards in 1usize..6,
+        max_bucket in 1usize..8,
+    ) {
+        let gen = CandidateGenConfig::NGram(NGramBlockerConfig { q: 4, min_shared: 1, max_bucket });
+        let mono = BlockerState::build(&gen, titles.iter().map(|s| s.as_str()));
+        let sharded =
+            ShardedBlocker::build(&gen, ShardConfig::of(n_shards), titles.iter().map(|s| s.as_str()));
+        prop_assert_eq!(sharded.candidates(&query), mono.candidates(&query));
+        prop_assert_eq!(sharded.merged(), mono);
+    }
+
+    /// The sharding equivalence lemma, ANN backend.
+    #[test]
+    fn sharded_ann_equals_monolithic(
+        titles in prop::collection::vec(title_strategy(), 0..14),
+        query in title_strategy(),
+        n_shards in 1usize..6,
+        k in 1usize..5,
+    ) {
+        let gen = CandidateGenConfig::Ann(AnnBlockerConfig { q: 3, dim: 16, k });
+        let mono = BlockerState::build(&gen, titles.iter().map(|s| s.as_str()));
+        let sharded =
+            ShardedBlocker::build(&gen, ShardConfig::of(n_shards), titles.iter().map(|s| s.as_str()));
+        prop_assert_eq!(sharded.candidates(&query), mono.candidates(&query));
+        prop_assert_eq!(sharded.merged(), mono);
+    }
+
+    /// Sharded truncation is the exact inverse of inserts, and batched
+    /// inserts equal serial ones.
+    #[test]
+    fn sharded_insert_batch_and_truncation(
+        titles in prop::collection::vec(title_strategy(), 1..12),
+        split in 0usize..12,
+        n_shards in 1usize..5,
+    ) {
+        let gen = CandidateGenConfig::NGram(NGramBlockerConfig::default());
+        let split = split % titles.len();
+        let refs: Vec<&str> = titles.iter().map(|s| s.as_str()).collect();
+        let mut serial = ShardedBlocker::new(&gen, ShardConfig::of(n_shards));
+        for t in &refs {
+            serial.insert(t);
+        }
+        let mut batched = ShardedBlocker::new(&gen, ShardConfig::of(n_shards));
+        batched.insert_batch(&refs);
+        prop_assert_eq!(&serial, &batched);
+        let prefix =
+            ShardedBlocker::build(&gen, ShardConfig::of(n_shards), refs[..split].iter().copied());
+        prop_assert_eq!(serial.truncated(split), prefix);
     }
 }

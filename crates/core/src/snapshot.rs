@@ -80,6 +80,9 @@ impl FlexErModel {
             predictions: self.predictions.clone(),
             indexes,
             blocker,
+            // Exporters emit the monolithic layout; the serving tier
+            // re-partitions into shard frames on demand.
+            sharding: None,
         })
     }
 

@@ -33,8 +33,10 @@ pub mod cache;
 pub mod error;
 pub mod metrics;
 pub mod service;
+pub mod shard;
 
 pub use cache::LruCache;
 pub use error::ServeError;
 pub use metrics::ServeMetrics;
 pub use service::{IngestReport, ResolutionService, ServeConfig};
+pub use shard::ShardedResolutionService;

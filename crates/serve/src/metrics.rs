@@ -1,10 +1,17 @@
 //! Serving-tier observability: request counters, cache hit rates and
 //! p50/p99 latency over a sliding window.
+//!
+//! Latencies are recorded in **nanoseconds** (clamped to ≥ 1 ns): the hot
+//! transductive path answers in well under a microsecond, so a
+//! microsecond-granular window rounded every sample to 0 and reported
+//! `p50 = 0` whenever fast queries dominated. Percentiles are computed on
+//! the nanosecond samples and reported in fractional microseconds, so they
+//! are non-zero whenever any query ran.
 
 use std::time::Duration;
 
 /// A point-in-time snapshot of the service's counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ServeMetrics {
     /// Resolve requests answered.
     pub resolves: u64,
@@ -16,10 +23,15 @@ pub struct ServeMetrics {
     pub cache_misses: u64,
     /// Latency samples currently in the window.
     pub latency_samples: u64,
-    /// Median resolve latency (µs) over the window.
-    pub p50_latency_us: u64,
-    /// 99th-percentile resolve latency (µs) over the window.
-    pub p99_latency_us: u64,
+    /// Median resolve latency over the window, in nanoseconds.
+    pub p50_latency_ns: u64,
+    /// 99th-percentile resolve latency over the window, in nanoseconds.
+    pub p99_latency_ns: u64,
+    /// Median resolve latency in fractional microseconds — non-zero
+    /// whenever any query ran.
+    pub p50_latency_us: f64,
+    /// 99th-percentile resolve latency in fractional microseconds.
+    pub p99_latency_us: f64,
 }
 
 /// Mutable counter state behind the service's metrics lock.
@@ -29,7 +41,7 @@ pub(crate) struct MetricsInner {
     ingests: u64,
     cache_hits: u64,
     cache_misses: u64,
-    /// Ring buffer of resolve latencies in microseconds.
+    /// Ring buffer of resolve latencies in nanoseconds.
     window: Vec<u64>,
     next: usize,
     filled: usize,
@@ -50,8 +62,10 @@ impl MetricsInner {
 
     pub(crate) fn record_resolve(&mut self, elapsed: Duration) {
         self.resolves += 1;
-        let us = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
-        self.window[self.next] = us;
+        // Clamp to ≥ 1 ns: a measured-as-zero sample still represents a
+        // query that ran, and must not report a zero percentile.
+        let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.window[self.next] = ns.max(1);
         self.next = (self.next + 1) % self.window.len();
         self.filled = (self.filled + 1).min(self.window.len());
     }
@@ -77,14 +91,18 @@ impl MetricsInner {
     pub(crate) fn snapshot(&self) -> ServeMetrics {
         let mut sorted: Vec<u64> = self.window[..self.filled].to_vec();
         sorted.sort_unstable();
+        let p50_ns = self.percentile(&sorted, 50.0);
+        let p99_ns = self.percentile(&sorted, 99.0);
         ServeMetrics {
             resolves: self.resolves,
             ingests: self.ingests,
             cache_hits: self.cache_hits,
             cache_misses: self.cache_misses,
             latency_samples: self.filled as u64,
-            p50_latency_us: self.percentile(&sorted, 50.0),
-            p99_latency_us: self.percentile(&sorted, 99.0),
+            p50_latency_ns: p50_ns,
+            p99_latency_ns: p99_ns,
+            p50_latency_us: p50_ns as f64 / 1_000.0,
+            p99_latency_us: p99_ns as f64 / 1_000.0,
         }
     }
 }
@@ -102,8 +120,35 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.resolves, 100);
         assert_eq!(s.latency_samples, 100);
-        assert_eq!(s.p50_latency_us, 50);
-        assert_eq!(s.p99_latency_us, 99);
+        assert_eq!(s.p50_latency_ns, 50_000);
+        assert_eq!(s.p99_latency_ns, 99_000);
+        assert_eq!(s.p50_latency_us, 50.0);
+        assert_eq!(s.p99_latency_us, 99.0);
+    }
+
+    #[test]
+    fn sub_microsecond_latencies_report_non_zero_percentiles() {
+        // The regression this module fixes: every sample under 1 µs used
+        // to truncate to 0 and p50 reported 0 despite real traffic.
+        let mut m = MetricsInner::new(16);
+        for ns in [120u64, 250, 300, 410, 555] {
+            m.record_resolve(Duration::from_nanos(ns));
+        }
+        let s = m.snapshot();
+        assert_eq!(s.p50_latency_ns, 300);
+        assert_eq!(s.p99_latency_ns, 555);
+        assert!(s.p50_latency_us > 0.0, "p50 must be non-zero whenever any query ran");
+        assert_eq!(s.p50_latency_us, 0.3);
+    }
+
+    #[test]
+    fn zero_duration_samples_still_count() {
+        let mut m = MetricsInner::new(4);
+        m.record_resolve(Duration::ZERO);
+        let s = m.snapshot();
+        assert_eq!(s.latency_samples, 1);
+        assert_eq!(s.p50_latency_ns, 1, "clamped to 1 ns, never 0");
+        assert!(s.p50_latency_us > 0.0);
     }
 
     #[test]
@@ -114,7 +159,7 @@ mod tests {
         }
         let s = m.snapshot();
         assert_eq!(s.latency_samples, 4);
-        assert_eq!(s.p50_latency_us, 1000, "old samples must have aged out");
+        assert_eq!(s.p50_latency_us, 1000.0, "old samples must have aged out");
         assert_eq!(s.resolves, 8);
     }
 
@@ -122,8 +167,8 @@ mod tests {
     fn empty_window_reports_zero() {
         let m = MetricsInner::new(8);
         let s = m.snapshot();
-        assert_eq!(s.p50_latency_us, 0);
-        assert_eq!(s.p99_latency_us, 0);
+        assert_eq!(s.p50_latency_ns, 0);
+        assert_eq!(s.p99_latency_ns, 0);
         assert_eq!(s.latency_samples, 0);
     }
 

@@ -41,11 +41,13 @@ use crate::cache::LruCache;
 use crate::error::ServeError;
 use crate::metrics::{MetricsInner, ServeMetrics};
 use flexer_ann::{AnyIndex, VectorIndex};
-use flexer_block::BlockerState;
+use flexer_block::{BlockerState, ShardedBlocker};
 use flexer_graph::InductiveTrace;
 use flexer_nn::{Matrix, SparseMatrix};
-use flexer_store::ModelSnapshot;
-use flexer_types::{IntentId, MatchTarget, RankedMatch, ResolveQuery, ResolveResponse};
+use flexer_store::{ModelSnapshot, ShardFrames};
+use flexer_types::{
+    IntentId, MatchTarget, RankedMatch, ResolveQuery, ResolveResponse, ShardConfig,
+};
 use std::path::Path;
 use std::sync::Mutex;
 use std::time::Instant;
@@ -94,6 +96,10 @@ pub struct IngestReport {
 /// intent-`p` representation.
 type PairEmbedding = Vec<Vec<f32>>;
 
+/// Phase-1 output of one ingested title: per-candidate embeddings and
+/// per-candidate, per-intent `(score, trace)` pairs.
+type ScoredCandidates = (Vec<PairEmbedding>, Vec<Vec<(f32, InductiveTrace)>>);
+
 /// The online resolution service.
 #[derive(Debug)]
 pub struct ResolutionService {
@@ -110,6 +116,11 @@ pub struct ResolutionService {
     /// The candidate-generation tier: incremental blocker over `records`;
     /// grows with ingest.
     blocker: BlockerState,
+    /// The shard layout the loaded snapshot carried (v3), if any. The
+    /// frames themselves are **not** kept resident — that would hold a
+    /// second, serialized copy of the blocker tier — they are regenerated
+    /// deterministically by `to_snapshot`.
+    train_sharding: Option<ShardConfig>,
     /// Serving-tier candidate pairs (record-id refs), pair-id order.
     pairs: Vec<(u32, u32)>,
     /// Per intent layer: ANN index over initial representations; grows
@@ -132,7 +143,23 @@ impl ResolutionService {
     /// Builds a service from a validated snapshot: runs the warm forward
     /// per intent, pins the per-depth node states, and verifies the
     /// recomputed scores reproduce the snapshot's batch scores exactly.
-    pub fn new(mut snapshot: ModelSnapshot, config: ServeConfig) -> Result<Self, ServeError> {
+    ///
+    /// A shard-aware (v3) snapshot is served monolithically here: its
+    /// per-shard frames are decoded and merged back into one resident
+    /// blocker (the merge is exact — see `flexer_block::ShardedBlocker`).
+    /// Use `ShardedResolutionService` to keep the partitioned layout.
+    pub fn new(snapshot: ModelSnapshot, config: ServeConfig) -> Result<Self, ServeError> {
+        Self::build(snapshot, config, true)
+    }
+
+    /// `new`, with the frame merge optional: the sharded wrapper keeps the
+    /// blocking tier in its own `ShardedBlocker` and must not pay for (or
+    /// hold) a second, monolithic copy.
+    pub(crate) fn build(
+        mut snapshot: ModelSnapshot,
+        config: ServeConfig,
+        merge_sharding: bool,
+    ) -> Result<Self, ServeError> {
         snapshot.validate()?;
         let p_intents = snapshot.n_intents();
         let n_pairs = snapshot.n_pairs();
@@ -184,12 +211,26 @@ impl ResolutionService {
         // training-time prefix on demand. Keeping second copies inside
         // `self.snapshot` would double the dominant memory cost at scale.
         let indexes = std::mem::take(&mut snapshot.indexes);
-        let blocker = std::mem::replace(&mut snapshot.blocker, BlockerState::Exhaustive);
+        let mut blocker = std::mem::replace(&mut snapshot.blocker, BlockerState::Exhaustive);
+        // The frames are not kept resident either — they are a serialized
+        // second copy of the blocker tier; `to_snapshot` regenerates them
+        // from the live state and the remembered layout.
+        let train_sharding = match snapshot.sharding.take() {
+            Some(frames) => {
+                let config = frames.config();
+                if merge_sharding {
+                    blocker = frames.decode_all()?.merged();
+                }
+                Some(config)
+            }
+            None => None,
+        };
         Ok(Self {
             n_train_pairs: n_pairs,
             n_train_records: snapshot.records.len(),
             records: snapshot.records.clone(),
             blocker,
+            train_sharding,
             pairs: snapshot.pairs.clone(),
             indexes,
             pinned,
@@ -213,8 +254,9 @@ impl ResolutionService {
 
     /// The training-time model state this service was built from (graph,
     /// matchers, trained GNNs, corpus metadata). The `indexes` field is
-    /// **empty** here — the service owns the growing ANN indexes; use
-    /// [`Self::to_snapshot`] or [`Self::save`] for a complete snapshot.
+    /// **empty** here and `sharding` is `None` — the service owns the
+    /// growing ANN indexes and blocker tier; use [`Self::to_snapshot`] or
+    /// [`Self::save`] for a complete snapshot.
     pub fn snapshot(&self) -> &ModelSnapshot {
         &self.snapshot
     }
@@ -227,7 +269,26 @@ impl ResolutionService {
     pub fn to_snapshot(&self) -> ModelSnapshot {
         let mut snapshot = self.snapshot.clone();
         snapshot.indexes = self.indexes.iter().map(|i| self.truncate_index(i)).collect();
-        snapshot.blocker = self.blocker.truncated(self.n_train_records);
+        // Shard-aware snapshots carry the blocker tier only as per-shard
+        // frames (the monolithic field stays the canonical Exhaustive
+        // sentinel). The frames are regenerated, not kept resident:
+        // routing the training-time titles reproduces the loaded layout —
+        // and therefore the loaded bytes — exactly.
+        match self.train_sharding {
+            Some(config) => {
+                let sharded = ShardedBlocker::build(
+                    &self.blocker.gen_config(),
+                    config,
+                    self.records[..self.n_train_records].iter().map(|r| r.as_str()),
+                );
+                snapshot.sharding = Some(ShardFrames::from_blocker(&sharded));
+                snapshot.blocker = BlockerState::Exhaustive;
+            }
+            None => {
+                snapshot.sharding = None;
+                snapshot.blocker = self.blocker.truncated(self.n_train_records);
+            }
+        }
         snapshot
     }
 
@@ -290,6 +351,12 @@ impl ResolutionService {
         self.metrics.lock().expect("metrics lock").snapshot()
     }
 
+    /// Records one resolve latency sample (the sharded front-end times its
+    /// own fan-out/merge and reports through the shared counters).
+    pub(crate) fn note_resolve(&self, t0: Instant) {
+        self.metrics.lock().expect("metrics lock").record_resolve(t0.elapsed());
+    }
+
     /// Resolves one query under one intent, returning up to `top_k`
     /// ranked candidates (pair queries return a single candidate).
     pub fn resolve(
@@ -346,26 +413,105 @@ impl ResolutionService {
     /// the same service state produce bit-identical scores on the pairs
     /// both create.
     pub fn ingest(&mut self, title: &str) -> IngestReport {
-        let record = self.records.len();
-        let first_pair = self.pairs.len();
         let candidates = self.candidate_records(title);
+        self.ingest_batch_core(&[title], vec![candidates], true)
+            .pop()
+            .expect("one report per ingested title")
+    }
 
-        // Phase 1 (read-only): embed, localize and score each candidate
-        // pair against the current state.
+    /// Ingests a batch of records that arrived **together**: every title's
+    /// candidate pairs are generated and scored against the pre-batch
+    /// state (batch members are not candidates of each other), the
+    /// scoring fans out across the `flexer-par` thread budget, and one
+    /// serial merge step applies the mutations in input order.
+    ///
+    /// The batch is *simultaneous*, not a shorthand for sequential
+    /// [`ResolutionService::ingest`] calls: scoring against the pre-batch
+    /// state is what makes every title's phase-1 work independent (hence
+    /// parallel), and it is the semantics the sharded service reproduces
+    /// bit-identically for any shard count. Results are bit-identical at
+    /// any thread count, and a singleton batch is exactly `ingest`.
+    pub fn ingest_batch(&mut self, titles: &[&str]) -> Vec<IngestReport> {
+        let candidates: Vec<Vec<usize>> =
+            flexer_par::parallel_map(titles.len(), |i| self.candidate_records(titles[i]));
+        self.ingest_batch_core(titles, candidates, true)
+    }
+
+    /// Shared ingest machinery: phase 1 scores every title's candidate
+    /// pairs against the pre-batch state in parallel; phase 2 applies the
+    /// mutations serially in input order. `update_blocker` is false when
+    /// the caller owns the blocking tier (the sharded service).
+    pub(crate) fn ingest_batch_core(
+        &mut self,
+        titles: &[&str],
+        candidates: Vec<Vec<usize>>,
+        update_blocker: bool,
+    ) -> Vec<IngestReport> {
+        debug_assert_eq!(titles.len(), candidates.len());
+        let pre_batch_records = self.records.len();
+
+        // Phase 1 (read-only): embed, localize and score each title's
+        // candidate pairs against the pre-batch state. Titles are
+        // independent by construction, so they fan out; per-title scoring
+        // fans out again over candidates (nested regions split the thread
+        // budget).
+        let scored: Vec<ScoredCandidates> = flexer_par::parallel_map(titles.len(), |i| {
+            self.score_candidates(titles[i], &candidates[i])
+        });
+
+        // Phase 2 (mutate): make the scored pairs servable, in input
+        // order — pair ids, pinned rows and ANN inserts all append in the
+        // same global sequence a serial ingest of the batch would produce.
+        let mut reports = Vec::with_capacity(titles.len());
+        for ((&title, cands), (embeddings, per_pair)) in titles.iter().zip(&candidates).zip(scored)
+        {
+            reports.push(self.apply_scored(title, cands, embeddings, per_pair, pre_batch_records));
+            if update_blocker {
+                self.blocker.insert(title);
+            }
+            self.metrics.lock().expect("metrics lock").record_ingest();
+        }
+        reports
+    }
+
+    /// Phase-1 worker: per-intent embeddings and inductive scores (plus
+    /// traces, for pinning) of `title` against each candidate record, all
+    /// read-only against the current state. The embedding stage bypasses
+    /// the LRU cache: ingest pairs are one-shot keys that would evict the
+    /// hot query set without ever being asked for again.
+    fn score_candidates(&self, title: &str, candidates: &[usize]) -> ScoredCandidates {
         let titles: Vec<(&str, &str)> =
             candidates.iter().map(|&other| (self.records[other].as_str(), title)).collect();
-        let embeddings = self.embed_pairs(&titles);
+        let embeddings = self.embed_pairs(&titles, false);
         let p_intents = self.n_intents();
-        let scored: Vec<Vec<(f32, InductiveTrace)>> = embeddings
-            .iter()
-            .map(|emb| {
-                let neighbors = self.neighbors_of(emb);
-                (0..p_intents).map(|p| self.score_pair_inductive(emb, &neighbors, p)).collect()
-            })
-            .collect();
+        // Independent per candidate: fan out, each candidate runs the
+        // exact serial scoring kernel, so results are bit-identical at
+        // any thread count.
+        let per_pair: Vec<Vec<(f32, InductiveTrace)>> =
+            flexer_par::parallel_map(embeddings.len(), |j| {
+                let neighbors = self.neighbors_of(&embeddings[j]);
+                (0..p_intents)
+                    .map(|p| self.score_pair_inductive(&embeddings[j], &neighbors, p))
+                    .collect()
+            });
+        (embeddings, per_pair)
+    }
 
-        // Phase 2 (mutate): make the scored pairs servable.
-        for ((&other, emb), per_intent) in candidates.iter().zip(&embeddings).zip(scored) {
+    /// Phase-2 worker: appends one scored record's pairs to the serving
+    /// state. `suppress_base` is the corpus size the candidates were
+    /// generated against (the pre-batch watermark).
+    fn apply_scored(
+        &mut self,
+        title: &str,
+        candidates: &[usize],
+        embeddings: Vec<PairEmbedding>,
+        per_pair: Vec<Vec<(f32, InductiveTrace)>>,
+        suppress_base: usize,
+    ) -> IngestReport {
+        let record = self.records.len();
+        let first_pair = self.pairs.len();
+        let p_intents = self.n_intents();
+        for ((&other, emb), per_intent) in candidates.iter().zip(&embeddings).zip(per_pair) {
             for (p, (score, trace)) in per_intent.into_iter().enumerate() {
                 self.scores[p].push(score);
                 let l = self.snapshot.trained[p].model.n_layers();
@@ -380,12 +526,13 @@ impl ResolutionService {
             }
             self.pairs.push((other as u32, record as u32));
         }
-        let n_suppressed = self.records.len() - candidates.len();
         self.records.push(title.to_string());
-        self.blocker.insert(title);
-
-        self.metrics.lock().expect("metrics lock").record_ingest();
-        IngestReport { record, first_pair, n_pairs: candidates.len(), n_suppressed }
+        IngestReport {
+            record,
+            first_pair,
+            n_pairs: candidates.len(),
+            n_suppressed: suppress_base - candidates.len(),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -395,7 +542,7 @@ impl ResolutionService {
     /// The record ids a new title is paired against: the blocker's
     /// candidates, or every stored record when the blocker is exhaustive
     /// or bypassed by [`ServeConfig::exhaustive`].
-    fn candidate_records(&self, title: &str) -> Vec<usize> {
+    pub(crate) fn candidate_records(&self, title: &str) -> Vec<usize> {
         if self.config.exhaustive {
             return (0..self.records.len()).collect();
         }
@@ -437,6 +584,20 @@ impl ResolutionService {
         intents: &[IntentId],
         top_k: usize,
     ) -> Result<Vec<ResolveResponse>, ServeError> {
+        self.resolve_intents_with(query, intents, top_k, None)
+    }
+
+    /// [`Self::resolve_intents`] with the record-query candidate set
+    /// optionally supplied by the caller — the sharded service passes its
+    /// fan-out/merge result here, which is bit-identical to this service's
+    /// own blocker for any shard count. Pair queries ignore the override.
+    pub(crate) fn resolve_intents_with(
+        &self,
+        query: &ResolveQuery,
+        intents: &[IntentId],
+        top_k: usize,
+        record_candidates: Option<Vec<usize>>,
+    ) -> Result<Vec<ResolveResponse>, ServeError> {
         let p_total = self.n_intents();
         for &p in intents {
             if p >= p_total {
@@ -464,7 +625,7 @@ impl ResolutionService {
                     .collect())
             }
             ResolveQuery::TitlePair(a, b) => {
-                let emb = &self.embed_pairs(&[(a.as_str(), b.as_str())])[0];
+                let emb = &self.embed_pairs(&[(a.as_str(), b.as_str())], true)[0];
                 let neighbors = self.neighbors_of(emb);
                 Ok(intents
                     .iter()
@@ -485,12 +646,12 @@ impl ResolutionService {
                 // Query-driven collective ER: pair the query against its
                 // blocked candidates (every served record when exhaustive)
                 // and rank.
-                let candidates = self.candidate_records(title);
+                let candidates = record_candidates.unwrap_or_else(|| self.candidate_records(title));
                 let titles: Vec<(&str, &str)> = candidates
                     .iter()
                     .map(|&r| (self.records[r].as_str(), title.as_str()))
                     .collect();
-                let embeddings = self.embed_pairs(&titles);
+                let embeddings = self.embed_pairs(&titles, true);
                 // Independent per candidate: fan out, each candidate runs
                 // the exact serial scoring, so results are bit-identical
                 // at any thread count.
@@ -529,14 +690,23 @@ impl ResolutionService {
         }
     }
 
-    /// Per-intent embeddings of title pairs, through the LRU cache; misses
-    /// are featurized and run through all P matchers as one batch. Takes
-    /// borrowed titles so corpus-sized callers (ingest, record queries)
-    /// never clone the stored record strings.
-    fn embed_pairs(&self, titles: &[(&str, &str)]) -> Vec<PairEmbedding> {
+    /// Per-intent embeddings of title pairs; misses are featurized and run
+    /// through all P matchers as one batch. Takes borrowed titles so
+    /// corpus-sized callers (ingest, record queries) never clone the
+    /// stored record strings.
+    ///
+    /// `use_cache` routes the batch through the hot-pair LRU (resolve
+    /// traffic, where repeats are the point). Ingest passes `false`: its
+    /// `(stored record, new title)` keys are one-shot — the new title is
+    /// about to *become* a record, so the same pairing never recurs as a
+    /// query — and caching them both serialized parallel phase-1 workers
+    /// on the cache lock and evicted the genuinely hot entries. That
+    /// eviction churn is why blocked ingest used to *lose* to exhaustive
+    /// at small corpus sizes.
+    fn embed_pairs(&self, titles: &[(&str, &str)], use_cache: bool) -> Vec<PairEmbedding> {
         let mut out: Vec<Option<PairEmbedding>> = vec![None; titles.len()];
         let mut misses: Vec<usize> = Vec::new();
-        {
+        if use_cache {
             let mut cache = self.cache.lock().expect("cache lock");
             for (i, (a, b)) in titles.iter().enumerate() {
                 match cache.get(&cache_key(a, b)) {
@@ -544,6 +714,8 @@ impl ResolutionService {
                     None => misses.push(i),
                 }
             }
+        } else {
+            misses.extend(0..titles.len());
         }
         let n_hits = (titles.len() - misses.len()) as u64;
         if !misses.is_empty() {
@@ -561,22 +733,33 @@ impl ResolutionService {
             let features = SparseMatrix::from_rows(featurizer.total_dim(), &rows);
             let per_intent: Vec<Matrix> =
                 self.snapshot.matchers.iter().map(|m| m.infer(&features).embeddings).collect();
-            // Flood guard: a miss batch that would occupy more than half
-            // the cache (a corpus-sized record query or ingest on a large
-            // corpus) would evict the entire hot set for entries of mostly
-            // one-shot keys — compute but skip caching those.
-            let mut cache = self.cache.lock().expect("cache lock");
-            let cacheable = misses.len() <= cache.capacity() / 2;
-            for (j, &i) in misses.iter().enumerate() {
-                let emb: PairEmbedding = per_intent.iter().map(|e| e.row(j).to_vec()).collect();
-                if cacheable {
-                    let (a, b) = &titles[i];
-                    cache.insert(cache_key(a, b), emb.clone());
+            if use_cache {
+                // Flood guard: a miss batch that would occupy more than
+                // half the cache (a corpus-sized record query) would evict
+                // the entire hot set for entries of mostly one-shot keys —
+                // compute but skip caching those.
+                let mut cache = self.cache.lock().expect("cache lock");
+                let cacheable = misses.len() <= cache.capacity() / 2;
+                for (j, &i) in misses.iter().enumerate() {
+                    let emb: PairEmbedding = per_intent.iter().map(|e| e.row(j).to_vec()).collect();
+                    if cacheable {
+                        let (a, b) = &titles[i];
+                        cache.insert(cache_key(a, b), emb.clone());
+                    }
+                    out[i] = Some(emb);
                 }
-                out[i] = Some(emb);
+            } else {
+                for (j, &i) in misses.iter().enumerate() {
+                    out[i] = Some(per_intent.iter().map(|e| e.row(j).to_vec()).collect());
+                }
             }
         }
-        self.metrics.lock().expect("metrics lock").record_cache(n_hits, misses.len() as u64);
+        if use_cache {
+            // Hit-rate counters describe query traffic only; ingest's
+            // cache-bypassing batches would drown them in structural
+            // misses.
+            self.metrics.lock().expect("metrics lock").record_cache(n_hits, misses.len() as u64);
+        }
         out.into_iter().map(|e| e.expect("every slot filled")).collect()
     }
 

@@ -5,10 +5,12 @@
 
 use flexer_core::{FlexErConfig, FlexErModel, InParallelModel, PipelineContext};
 use flexer_datasets::AmazonMiConfig;
-use flexer_serve::{ResolutionService, ServeConfig};
+use flexer_serve::{ResolutionService, ServeConfig, ShardedResolutionService};
 use flexer_store::{IndexKind, ModelSnapshot};
-use flexer_types::{ResolveQuery, Scale};
+use flexer_types::{ResolveQuery, Scale, ShardConfig};
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// One shared training run for the whole test binary.
 fn trained_snapshot() -> &'static ModelSnapshot {
@@ -61,5 +63,63 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// The sharding acceptance property: for shard counts 1, 2 and 5 and
+    /// random ingest orders (mixed single + batched), the sharded service
+    /// is bit-identical to the unsharded one — reports, every ingested
+    /// pair's score under every intent, and record-query rankings.
+    #[test]
+    fn sharded_service_is_bit_identical_across_shard_counts_and_orders(
+        shard_choice in 0usize..3,
+        seed in any::<u64>(),
+        noise in "[a-z ]{0,8}",
+    ) {
+        let n_shards = [1usize, 2, 5][shard_choice];
+        let snapshot = trained_snapshot();
+        let mut mono =
+            ResolutionService::new(snapshot.clone(), ServeConfig::default()).unwrap();
+        let mut sharded = ShardedResolutionService::new(
+            snapshot.clone(),
+            ServeConfig::default(),
+            ShardConfig::of(n_shards),
+        )
+        .unwrap();
+
+        // A seed-shuffled ingest order over titles derived from corpus
+        // records (gram overlap guaranteed) plus the noise suffix.
+        let mut order: Vec<usize> = (0..5).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..i + 1);
+            order.swap(i, j);
+        }
+        let titles: Vec<String> = order
+            .iter()
+            .map(|&i| {
+                format!("{} {noise}{i}", mono.record_title((i * 7) % mono.n_records()))
+            })
+            .collect();
+
+        for t in titles.iter().take(2) {
+            prop_assert_eq!(sharded.ingest(t), mono.ingest(t));
+        }
+        let rest: Vec<&str> = titles[2..].iter().map(|s| s.as_str()).collect();
+        prop_assert_eq!(sharded.ingest_batch(&rest), mono.ingest_batch(&rest));
+        prop_assert_eq!(sharded.n_pairs(), mono.n_pairs());
+
+        for pair in mono.n_train_pairs()..mono.n_pairs() {
+            prop_assert_eq!(
+                sharded.resolve_all_intents(&ResolveQuery::CorpusPair(pair), 1).unwrap(),
+                mono.resolve_all_intents(&ResolveQuery::CorpusPair(pair), 1).unwrap(),
+                "{} shards, ingested pair {}", n_shards, pair
+            );
+        }
+        let q = ResolveQuery::record(titles[0].clone());
+        prop_assert_eq!(
+            sharded.resolve(&q, 0, mono.n_records()).unwrap(),
+            mono.resolve(&q, 0, mono.n_records()).unwrap(),
+            "{} shards: record query", n_shards
+        );
     }
 }

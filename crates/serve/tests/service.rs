@@ -279,6 +279,41 @@ fn blocked_ingest_keeps_snapshot_roundtrip_byte_identical() {
 }
 
 #[test]
+fn repeated_record_query_is_served_from_the_cache() {
+    let (snapshot, _) = trained_snapshot();
+    let svc = ResolutionService::new(snapshot, ServeConfig::default()).unwrap();
+    let q = ResolveQuery::record(svc.record_title(5).to_string());
+    let first = svc.resolve(&q, 0, 5).unwrap();
+    let m1 = svc.metrics();
+    assert!(m1.cache_misses > 0, "first record query embeds its candidate pairs");
+    let second = svc.resolve(&q, 0, 5).unwrap();
+    let m2 = svc.metrics();
+    assert_eq!(second, first, "cached embeddings must not change the answer");
+    assert_eq!(m2.cache_misses, m1.cache_misses, "repeat must be served from the cache");
+    assert!(m2.cache_hits > m1.cache_hits);
+}
+
+#[test]
+fn ingest_does_not_pollute_the_embedding_cache() {
+    // The small-scale ingest regression: ingest used to push every
+    // (stored record, new title) embedding through the LRU, evicting the
+    // hot query set with keys that can never recur. Ingest now bypasses
+    // the cache entirely — neither its counters nor its contents move.
+    let (snapshot, _) = trained_snapshot();
+    let mut svc = ResolutionService::new(snapshot, ServeConfig::exhaustive()).unwrap();
+    let q = ResolveQuery::record(svc.record_title(7).to_string());
+    svc.resolve(&q, 0, 3).unwrap();
+    let before = svc.metrics();
+    svc.ingest("fresh widget alpha edition");
+    let after = svc.metrics();
+    assert_eq!(after.cache_misses, before.cache_misses, "ingest embeds outside the cache");
+    assert_eq!(after.cache_hits, before.cache_hits);
+    // The pre-ingest query's entries are still resident: a repeat hits.
+    svc.resolve(&q, 0, 3).unwrap();
+    assert!(svc.metrics().cache_hits > after.cache_hits);
+}
+
+#[test]
 fn embedding_cache_hits_on_repeated_queries() {
     let (snapshot, _) = trained_snapshot();
     let svc = ResolutionService::new(snapshot, ServeConfig::default()).unwrap();

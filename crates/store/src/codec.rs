@@ -28,6 +28,22 @@ fn malformed<T>(msg: impl Into<String>) -> Result<T, StoreError> {
     Err(StoreError::Malformed(msg.into()))
 }
 
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            None => w.put_bool(false),
+            Some(v) => {
+                w.put_bool(true);
+                v.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        Ok(if r.get_bool()? { Some(T::decode(r)?) } else { None })
+    }
+}
+
 impl Codec for Matrix {
     fn encode(&self, w: &mut Writer) {
         w.put_usize(self.rows());

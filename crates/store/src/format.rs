@@ -21,8 +21,11 @@ pub const MAGIC: [u8; 8] = *b"FLEXSNAP";
 /// Current format version. Bump on any layout change; readers reject
 /// versions they do not understand instead of mis-parsing them.
 /// History: 1 = PR 2 layout; 2 = candidate-generation tier (the snapshot
-/// carries the serving blocker state after the ANN indexes).
-pub const VERSION: u32 = 2;
+/// carries the serving blocker state after the ANN indexes); 3 =
+/// shard-aware snapshots (an optional sharded-blocker section of
+/// length-prefixed per-shard frames follows the blocker, so shard servers
+/// can decode their own shard without materializing the rest).
+pub const VERSION: u32 = 3;
 
 /// Everything that can go wrong reading a snapshot.
 #[derive(Debug)]
@@ -211,6 +214,12 @@ impl Writer {
         self.buf.extend_from_slice(s.as_bytes());
     }
 
+    /// Length-prefixed raw byte blob (nested frames).
+    pub fn put_bytes(&mut self, bytes: &[u8]) {
+        self.put_usize(bytes.len());
+        self.buf.extend_from_slice(bytes);
+    }
+
     /// Length-prefixed f32 slice.
     pub fn put_f32_slice(&mut self, vs: &[f32]) {
         self.put_usize(vs.len());
@@ -341,6 +350,12 @@ impl<'a> Reader<'a> {
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec())
             .map_err(|e| StoreError::Malformed(format!("invalid UTF-8 string: {e}")))
+    }
+
+    /// Length-prefixed raw byte blob (nested frames).
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, StoreError> {
+        let n = self.get_len(1)?;
+        Ok(self.take(n)?.to_vec())
     }
 
     /// Length-prefixed f32 slice.

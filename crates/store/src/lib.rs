@@ -34,8 +34,10 @@
 
 pub mod codec;
 pub mod format;
+pub mod shard;
 pub mod snapshot;
 
 pub use codec::Codec;
 pub use format::{fnv1a64, seal, unseal, Reader, StoreError, Writer, MAGIC, VERSION};
+pub use shard::ShardFrames;
 pub use snapshot::{IndexKind, ModelSnapshot};

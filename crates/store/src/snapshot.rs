@@ -21,6 +21,7 @@
 
 use crate::codec::Codec;
 use crate::format::{seal, unseal, Reader, StoreError, Writer};
+use crate::shard::ShardFrames;
 use flexer_ann::{AnyIndex, VectorIndex};
 use flexer_block::BlockerState;
 use flexer_graph::{MultiplexGraph, TrainedGnn};
@@ -70,6 +71,13 @@ pub struct ModelSnapshot {
     /// where the exporter left off ([`BlockerState::Exhaustive`] for the
     /// explicit all-pairs fallback).
     pub blocker: BlockerState,
+    /// Shard-aware layout (format v3): when present, the blocker tier is
+    /// partitioned into per-shard frames instead of the monolithic
+    /// `blocker` field (which must then be the [`BlockerState::Exhaustive`]
+    /// sentinel — one canonical representation keeps round-trips
+    /// byte-identical). Shard servers decode only their own frame; an
+    /// unsharded service merges the frames back on load.
+    pub sharding: Option<ShardFrames>,
 }
 
 impl ModelSnapshot {
@@ -124,6 +132,18 @@ impl ModelSnapshot {
                 self.blocker.len(),
                 self.records.len()
             ));
+        }
+        if let Some(sharding) = &self.sharding {
+            if !matches!(self.blocker, BlockerState::Exhaustive) {
+                return fail("sharded snapshots carry the blocker only in per-shard frames".into());
+            }
+            if sharding.n_records() != self.records.len() {
+                return fail(format!(
+                    "shard frames cover {} records, snapshot lists {}",
+                    sharding.n_records(),
+                    self.records.len()
+                ));
+            }
         }
         Ok(())
     }
@@ -193,6 +213,7 @@ impl Codec for ModelSnapshot {
         self.predictions.encode(w);
         self.indexes.encode(w);
         self.blocker.encode(w);
+        self.sharding.encode(w);
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
@@ -218,6 +239,7 @@ impl Codec for ModelSnapshot {
         let predictions = LabelMatrix::decode(r)?;
         let indexes = Vec::<AnyIndex>::decode(r)?;
         let blocker = BlockerState::decode(r)?;
+        let sharding = Option::<ShardFrames>::decode(r)?;
         Ok(Self {
             intents,
             k,
@@ -231,6 +253,7 @@ impl Codec for ModelSnapshot {
             predictions,
             indexes,
             blocker,
+            sharding,
         })
     }
 }

@@ -141,6 +141,44 @@ proptest! {
         }
     }
 
+    /// Shard-aware frames round-trip bit-exactly, one shard decodes
+    /// without the rest, and the reassembled sharded blocker answers
+    /// candidate queries identically — for every backend and shard count.
+    #[test]
+    fn random_shard_frames_roundtrip_bitexact(
+        titles in prop::collection::vec("[a-z ]{0,14}", 0..24),
+        variant in 0u8..3,
+        n_shards in 1usize..6,
+    ) {
+        use flexer_block::ShardedBlocker;
+        use flexer_store::ShardFrames;
+        use flexer_types::{AnnBlockerConfig, CandidateGenConfig, NGramBlockerConfig, ShardConfig};
+        let config = match variant {
+            0 => CandidateGenConfig::Exhaustive,
+            1 => CandidateGenConfig::NGram(NGramBlockerConfig {
+                q: 3,
+                min_shared: 1,
+                max_bucket: 8,
+            }),
+            _ => CandidateGenConfig::Ann(AnnBlockerConfig { q: 3, dim: 16, k: 4 }),
+        };
+        let blocker =
+            ShardedBlocker::build(&config, ShardConfig::of(n_shards), titles.iter().map(|t| t.as_str()));
+        let frames = ShardFrames::from_blocker(&blocker);
+        let got = roundtrip(&frames);
+        prop_assert_eq!(&got, &frames);
+        let decoded = got.decode_all().expect("frames reassemble");
+        prop_assert_eq!(&decoded, &blocker);
+        for s in 0..n_shards {
+            let (members, state) = got.decode_shard(s).expect("single shard decodes");
+            prop_assert_eq!(members.as_slice(), &blocker.members()[s][..]);
+            prop_assert_eq!(&state, &blocker.shards()[s]);
+        }
+        if let Some(title) = titles.first() {
+            prop_assert_eq!(decoded.candidates(title), blocker.candidates(title));
+        }
+    }
+
     #[test]
     fn random_linears_with_extreme_values_roundtrip(
         seed in any::<u64>(),

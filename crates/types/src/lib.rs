@@ -24,6 +24,7 @@ pub mod query;
 pub mod record;
 pub mod resolution;
 pub mod scale;
+pub mod shard;
 pub mod splits;
 
 pub use benchmark::MierBenchmark;
@@ -37,4 +38,5 @@ pub use query::{MatchTarget, RankedMatch, ResolveQuery, ResolveResponse};
 pub use record::{Attribute, Dataset, Record, RecordId};
 pub use resolution::Resolution;
 pub use scale::Scale;
+pub use shard::{ShardConfig, ShardRouter};
 pub use splits::{Split, SplitAssignment, SplitRatios};

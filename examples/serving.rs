@@ -97,8 +97,9 @@ fn main() {
     );
 
     let metrics = svc.metrics();
+    assert!(metrics.p50_latency_us > 0.0, "nanosecond window: p50 is non-zero once queries ran");
     println!(
-        "\nmetrics: {} resolves, {} ingest(s), p50 {}µs / p99 {}µs, cache {}h/{}m",
+        "\nmetrics: {} resolves, {} ingest(s), p50 {:.3}µs / p99 {:.3}µs, cache {}h/{}m",
         metrics.resolves,
         metrics.ingests,
         metrics.p50_latency_us,

@@ -57,15 +57,19 @@ pub use flexer_types as types;
 
 /// Convenient single-import surface for applications.
 pub mod prelude {
-    pub use flexer_block::{BlockerState, CandidateGenerator, ExhaustivePairs, NGramBlocker};
+    pub use flexer_block::{
+        BlockerState, CandidateGenerator, ExhaustivePairs, NGramBlocker, ShardedBlocker,
+    };
     pub use flexer_core::prelude::*;
     pub use flexer_datasets::{AmazonMiConfig, WalmartAmazonConfig, WdcConfig};
     pub use flexer_eval::{BinaryReport, MultiIntentReport};
-    pub use flexer_serve::{IngestReport, ResolutionService, ServeConfig, ServeMetrics};
-    pub use flexer_store::{IndexKind, ModelSnapshot};
+    pub use flexer_serve::{
+        IngestReport, ResolutionService, ServeConfig, ServeMetrics, ShardedResolutionService,
+    };
+    pub use flexer_store::{IndexKind, ModelSnapshot, ShardFrames};
     pub use flexer_types::{
         BlockingReport, CandidateGenConfig, CandidateSet, Dataset, EntityMap, Intent, IntentSet,
         LabelMatrix, MatchTarget, MierBenchmark, PairRef, RankedMatch, Record, Resolution,
-        ResolveQuery, ResolveResponse, Scale, Split,
+        ResolveQuery, ResolveResponse, Scale, ShardConfig, ShardRouter, Split,
     };
 }
