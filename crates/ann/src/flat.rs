@@ -2,7 +2,7 @@
 //! is what the paper's experiments run (§5.7 notes only the exhaustive
 //! version is used).
 
-use crate::distance::l2_sq;
+use crate::distance::l2_sq_rows;
 use crate::{assert_finite, Neighbor, VectorIndex};
 
 /// Flat (brute-force) index over row-major vectors.
@@ -64,18 +64,28 @@ impl VectorIndex for FlatIndex {
             return Vec::new();
         }
         // Bounded insertion into a sorted top-k buffer: O(n·k) worst case but
-        // k ≤ 10 in FlexER, and the distance scan dominates anyway.
+        // k ≤ 10 in FlexER, and the distance scan dominates anyway — so the
+        // scan runs through the blocked kernel (bit-identical distances,
+        // ~4× the throughput of a row-at-a-time fold), a stack block of
+        // distances at a time.
         let mut top: Vec<Neighbor> = Vec::with_capacity(k + 1);
-        for id in 0..n {
-            let dist = l2_sq(query, self.vector(id));
-            if top.len() == k && dist >= top[k - 1].dist {
-                continue;
+        let mut dists = [0.0f32; 64];
+        let mut base = 0;
+        while base < n {
+            let m = (n - base).min(dists.len());
+            l2_sq_rows(query, &self.data[base * self.dim..(base + m) * self.dim], &mut dists[..m]);
+            for (j, &dist) in dists[..m].iter().enumerate() {
+                if top.len() == k && dist >= top[k - 1].dist {
+                    continue;
+                }
+                let id = base + j;
+                let pos = top.iter().position(|nb| dist < nb.dist).unwrap_or(top.len());
+                top.insert(pos, Neighbor { id, dist });
+                if top.len() > k {
+                    top.pop();
+                }
             }
-            let pos = top.iter().position(|nb| dist < nb.dist).unwrap_or(top.len());
-            top.insert(pos, Neighbor { id, dist });
-            if top.len() > k {
-                top.pop();
-            }
+            base += m;
         }
         top
     }

@@ -56,6 +56,46 @@ impl AnyIndex {
             AnyIndex::Ivf(i) => i.vector(id),
         }
     }
+
+    /// The full row-major vector buffer, id-major in insertion order —
+    /// the zero-copy row source of the serving tier's batched gathers.
+    pub fn data(&self) -> &[f32] {
+        match self {
+            AnyIndex::Flat(i) => i.data(),
+            AnyIndex::Ivf(i) => i.data(),
+        }
+    }
+
+    /// A copy of the index truncated to its first `n` vectors — the
+    /// training-time prefix a serving snapshot restores. Flat data is a
+    /// prefix slice. IVF adds only ever *append* to list tails, so each
+    /// inverted list is ascending and the cut point is found by binary
+    /// search instead of filtering every id; the data buffer is a single
+    /// exact-capacity prefix copy, never the full grown vector.
+    pub fn truncated(&self, n: usize) -> AnyIndex {
+        match self {
+            AnyIndex::Flat(f) => {
+                AnyIndex::Flat(FlatIndex::from_rows(f.dim(), &f.data()[..n * f.dim()]))
+            }
+            AnyIndex::Ivf(i) => {
+                let lists: Vec<Vec<usize>> = i
+                    .lists()
+                    .iter()
+                    .map(|l| {
+                        debug_assert!(l.windows(2).all(|w| w[0] < w[1]), "IVF lists are ascending");
+                        l[..l.partition_point(|&id| id < n)].to_vec()
+                    })
+                    .collect();
+                AnyIndex::Ivf(IvfIndex::from_parts(
+                    i.dim(),
+                    i.quantizer().clone(),
+                    lists,
+                    i.data()[..n * i.dim()].to_vec(),
+                    i.nprobe(),
+                ))
+            }
+        }
+    }
 }
 
 impl VectorIndex for AnyIndex {
@@ -130,5 +170,56 @@ pub trait VectorIndex {
         Self: Sync + Sized,
     {
         flexer_par::parallel_map(queries.len(), |q| self.search(queries[q], k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ivf::IvfConfig;
+
+    fn rows(n: usize, dim: usize) -> Vec<f32> {
+        let mut s = 0x9E3779B97F4A7C15u64;
+        (0..n * dim)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 33) as f32 / u32::MAX as f32) * 2.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn truncated_restores_pre_growth_index() {
+        let dim = 4;
+        let data = rows(80, dim);
+        let (train, extra) = data.split_at(60 * dim);
+        for mut index in [
+            AnyIndex::Flat(FlatIndex::from_rows(dim, train)),
+            AnyIndex::Ivf(IvfIndex::build(
+                dim,
+                train,
+                IvfConfig { nlist: 5, nprobe: 5, ..Default::default() },
+            )),
+        ] {
+            let before = index.clone();
+            for v in extra.chunks(dim) {
+                index.add(v);
+            }
+            assert_eq!(index.len(), 80);
+            let cut = index.truncated(60);
+            assert_eq!(cut.len(), 60);
+            assert_eq!(cut.data(), before.data());
+            let q = &data[3 * dim..4 * dim];
+            assert_eq!(cut.search(q, 7), before.search(q, 7));
+        }
+    }
+
+    #[test]
+    fn data_is_id_major() {
+        let dim = 3;
+        let buf = rows(10, dim);
+        let index = AnyIndex::Flat(FlatIndex::from_rows(dim, &buf));
+        assert_eq!(index.data(), &buf[..]);
+        assert_eq!(&index.data()[5 * dim..6 * dim], index.vector(5));
     }
 }

@@ -1,45 +1,162 @@
-//! Serving throughput harness: trains FlexER once, snapshots it, loads a
-//! [`ResolutionService`] and measures the three serving paths —
-//! transductive corpus-pair lookups, inductive record resolution and
-//! online ingest — reporting QPS and p50/p99 latency.
+//! Serving throughput harness for the data-oriented record-resolution hot
+//! path: trains FlexER over a large record corpus, snapshots it, then
+//! loads **two** services from the same snapshot — the default batched
+//! SoA kernel and the per-candidate reference kernel
+//! ([`ServeConfig::reference_scoring`]) — and measures all three serving
+//! paths: transductive corpus-pair lookups, inductive record resolution
+//! (cold and cache-warm, on both kernels, with a counting allocator) and
+//! online ingest.
 //!
 //! ```text
-//! cargo run --release --bin serve -- [--scale tiny|small|paper] [--seed N] [--json]
+//! cargo run --release --bin serve -- [--records N] [--seed N] [--json]
 //! ```
+//!
+//! Default corpus is 10k records, resolved exhaustively so every record
+//! query scores a corpus-sized candidate batch — the workload the SoA
+//! arenas + batched inductive forward exist for.
+//!
+//! **Bars.** Both kernels must return bit-identical responses, warm p99
+//! must stay within 100× of p50, a warm batched query must allocate
+//! ≤ 1/10 of what the reference kernel does (the data-orientation
+//! criterion — no per-(candidate × intent × depth) churn), and warm
+//! batched throughput must be ≥ 2× the reference kernel from 1k records
+//! up. The throughput ratio *understates* the win over the pre-refactor
+//! implementation: the reference kernel here already shares this tier's
+//! Arc'd embedding cache, hashed cache keys, blocked ANN scans and
+//! zero-copy arena gathers, and differs only in its per-candidate
+//! P·(1+k)-row forwards and gather allocations. Both kernels also pay the
+//! same per-candidate ANN localization, which caps the end-to-end ratio
+//! well below both the ~7× kernel FLOP gap (k = 6) and the ~38×
+//! allocation gap.
 
 use flexer_bench::json::{write_bench_json, JsonObject};
-use flexer_bench::{banner, flexer_config, matcher_config, DatasetKind, HarnessArgs};
-use flexer_core::{evaluate_on_split, FlexErModel, InParallelModel, PipelineContext};
+use flexer_core::{FlexErConfig, FlexErModel, InParallelModel, PipelineContext};
+use flexer_datasets::catalog::{Catalog, CatalogConfig, RecordCountDist};
+use flexer_datasets::intents::IntentDef;
+use flexer_datasets::mixture::{assemble_benchmark, component, sample_candidate_pairs, PairClass};
+use flexer_datasets::perturb::NoiseConfig;
+use flexer_datasets::taxonomy::{amazonmi_spec, Taxonomy, TaxonomyConfig};
 use flexer_serve::{ResolutionService, ServeConfig};
 use flexer_store::IndexKind;
-use flexer_types::{ResolveQuery, Scale, Split};
+use flexer_types::{ResolveQuery, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+/// Training candidate pairs sampled over the corpus (kept modest: the
+/// experiment measures *serving*, not batch training).
+const TRAIN_PAIRS: usize = 360;
+/// Distinct record queries in the cold pass (embedding-cache misses).
+const COLD_QUERIES: usize = 8;
+/// Warm repeats of one record query on the batched kernel — the
+/// steady-state scoring measurement and the p50/p99 sample window.
+const WARM_REPEATS: usize = 16;
+/// Warm repeats on the reference kernel (each one re-runs a per-candidate
+/// forward over the whole corpus; a few samples suffice).
+const REF_WARM_REPEATS: usize = 3;
+
+/// System allocator with a global allocation counter, so the harness can
+/// report allocations per record query on both kernels.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
 fn main() {
-    let args = HarnessArgs::parse_with_default(Scale::Tiny);
-    banner("serve: online resolution throughput", &args);
+    let (n_records, seed, json) = parse_args();
+    eprintln!("[serve] corpus of {n_records} records, seed {seed}");
 
-    // Train + snapshot once (the offline phase a production deployment
-    // amortizes across every query that follows).
-    let bench = DatasetKind::AmazonMi.generate(args.scale, args.seed);
-    let mcfg = matcher_config(args.scale, args.seed);
-    let fcfg = flexer_config(args.scale, args.seed);
-    let ctx = PipelineContext::new(bench, &mcfg).expect("valid benchmark");
-    eprintln!("[serve] training FlexER on {} pairs...", ctx.benchmark.n_pairs());
+    // --- Offline phase: catalogue, benchmark, training, snapshot (the
+    // part a production deployment amortizes across every query).
+    let mut rng = StdRng::seed_from_u64(seed);
+    let taxonomy = Taxonomy::from_spec(&amazonmi_spec(), TaxonomyConfig::at_scale(Scale::Small));
+    let catalog = Catalog::generate(
+        taxonomy,
+        &CatalogConfig {
+            n_records,
+            record_counts: RecordCountDist([0.35, 0.35, 0.2, 0.1]),
+            noise: NoiseConfig::default(),
+        },
+        &mut rng,
+    );
+    let sampled = sample_candidate_pairs(
+        &catalog,
+        &[
+            component(PairClass::Duplicate, 0.25),
+            component(PairClass::SameFamilyDiffProduct(None), 0.45),
+            component(PairClass::DiffMain(None), 0.3),
+        ],
+        TRAIN_PAIRS,
+        &mut rng,
+    );
+    let bench = assemble_benchmark(
+        "serve-corpus",
+        &catalog,
+        &[
+            (IntentDef::Equivalence, "Eq."),
+            (IntentDef::SameBrand, "Brand"),
+            (IntentDef::SameMainCategory, "Main-Cat."),
+        ],
+        sampled.candidates,
+        seed,
+    );
+    // Fast training dims (the corpus, not the model, is the scale axis),
+    // but the paper-default intra-layer fan-in k = 6 rather than the test
+    // preset's k = 4: serving cost is dominated by the neighbour fan-in,
+    // so benching at the production k keeps the numbers representative.
+    let config = FlexErConfig::fast().with_seed(seed).with_k(6);
+    let ctx = PipelineContext::new(bench, &config.matcher).expect("valid benchmark");
+    eprintln!("[serve] training on {} pairs...", ctx.benchmark.n_pairs());
     let t0 = Instant::now();
-    let base = InParallelModel::fit(&ctx, &mcfg).expect("base fit");
+    let base = InParallelModel::fit(&ctx, &config.matcher).expect("base fit");
     let model =
-        FlexErModel::fit_from_embeddings(&ctx, &base.embeddings(), &fcfg).expect("flexer fit");
+        FlexErModel::fit_from_embeddings(&ctx, &base.embeddings(), &config).expect("flexer fit");
     let train_secs = t0.elapsed().as_secs_f64();
-    let mi_f = evaluate_on_split(&ctx.benchmark, &model.predictions, Split::Test).mi_f1;
-
-    let snapshot = model.to_snapshot(&ctx, &base, &fcfg, IndexKind::Flat).expect("export");
+    let snapshot = model.to_snapshot(&ctx, &base, &config, IndexKind::Flat).expect("export");
     let bytes = snapshot.to_bytes();
-    println!("trained in {train_secs:.1}s (MI-F {mi_f:.3}); snapshot = {} bytes", bytes.len());
+    println!("trained in {train_secs:.1}s; snapshot = {} bytes", bytes.len());
 
+    // Exhaustive candidates make every record query a corpus-sized batch —
+    // the workload the batched kernel exists for. The cache must hold one
+    // query's embeddings (and clear the > capacity/2 flood guard), so it
+    // scales with the corpus.
+    let serve_config = ServeConfig {
+        exhaustive: true,
+        cache_capacity: (4 * n_records).max(1024),
+        ..ServeConfig::default()
+    };
     let t0 = Instant::now();
-    let mut svc = ResolutionService::new(snapshot, ServeConfig::default()).expect("load service");
+    let mut svc = ResolutionService::new(snapshot.clone(), serve_config).expect("load service");
     let load_secs = t0.elapsed().as_secs_f64();
+    let reference =
+        ResolutionService::new(snapshot, ServeConfig { reference_scoring: true, ..serve_config })
+            .expect("load reference service");
     println!("service warm-loaded in {load_secs:.2}s ({} pairs)", svc.n_pairs());
 
     // --- Path 1: transductive corpus-pair lookups (the hot exact path).
@@ -53,29 +170,76 @@ fn main() {
     let corpus_qps = corpus_queries.len() as f64 / secs;
     println!("corpus-pair resolve : {corpus_qps:>10.0} qps");
 
-    // --- Path 2: inductive record resolution (embed + ANN + GNN). Real
-    // query traffic is zipfian, so each distinct query runs twice: the
-    // second pass is what the embedding cache exists for, and the
-    // hit/miss counters below prove it earns its keep. The passes are
-    // sequential — a duplicate inside one parallel batch can race past the
-    // cache (both copies miss before either inserts), which would make the
-    // counters and qps nondeterministic.
-    let mut seen = std::collections::HashSet::new();
-    let record_queries: Vec<ResolveQuery> = (0..svc.n_records())
-        .map(|i| svc.record_title(i))
-        .filter(|t| seen.insert(t.to_string()))
-        .take(24)
-        .map(ResolveQuery::record)
+    // --- Path 2: inductive record resolution. Distinct corpus titles,
+    // resolved serially (each query already fans its candidate batch out
+    // across the thread budget). The first title doubles as the warm
+    // query: its embeddings are cached by the cold pass, so the warm loop
+    // right after measures the scoring kernel alone — the apples-to-apples
+    // comparison between the batched SoA path and the per-candidate
+    // reference kernel, on identical cache states.
+    let n_cold = COLD_QUERIES.min(n_records);
+    let queries: Vec<ResolveQuery> = (0..n_cold)
+        .map(|i| ResolveQuery::record(svc.record_title(i * (n_records / n_cold))))
         .collect();
-    let t0 = Instant::now();
-    let cold = svc.resolve_batch(&record_queries, 0, 10);
-    let warm = svc.resolve_batch(&record_queries, 0, 10);
-    let secs = t0.elapsed().as_secs_f64();
-    assert!(cold.iter().chain(&warm).all(|r| r.is_ok()));
-    let record_qps = (record_queries.len() * 2) as f64 / secs;
-    println!("record resolve      : {record_qps:>10.2} qps (corpus of {})", svc.n_records());
 
-    // --- Path 3: online ingest.
+    let warm = &queries[0];
+    svc.resolve_all_intents(warm, 10).expect("warm-up");
+    let mut latencies_us = Vec::with_capacity(WARM_REPEATS);
+    let t0 = Instant::now();
+    let warm_allocs = allocs_during(|| {
+        for _ in 0..WARM_REPEATS {
+            let q0 = Instant::now();
+            svc.resolve_all_intents(warm, 10).expect("warm resolve");
+            latencies_us.push(q0.elapsed().as_secs_f64() * 1e6);
+        }
+    });
+    let record_qps = WARM_REPEATS as f64 / t0.elapsed().as_secs_f64();
+    let allocs_per_query = warm_allocs / WARM_REPEATS as u64;
+
+    reference.resolve_all_intents(warm, 10).expect("reference warm-up");
+    let t0 = Instant::now();
+    let ref_allocs = allocs_during(|| {
+        for _ in 0..REF_WARM_REPEATS {
+            reference.resolve_all_intents(warm, 10).expect("reference warm resolve");
+        }
+    });
+    let record_reference_qps = REF_WARM_REPEATS as f64 / t0.elapsed().as_secs_f64();
+    let allocs_per_query_reference = ref_allocs / REF_WARM_REPEATS as u64;
+    let record_speedup = record_qps / record_reference_qps;
+
+    println!(
+        "record resolve      : {record_qps:>10.2} qps warm (corpus of {} candidates/query)",
+        svc.n_records()
+    );
+    println!("  reference kernel  : {record_reference_qps:>10.2} qps warm");
+    println!("  speedup           : {record_speedup:>10.1}× (batched vs per-candidate)");
+    println!(
+        "  allocations/query : {allocs_per_query:>10} batched, {allocs_per_query_reference} reference"
+    );
+
+    // Cold pass over the remaining distinct titles, on both kernels, with
+    // a bit-identity check — the differential contract, enforced at bench
+    // scale too.
+    let t0 = Instant::now();
+    let cold: Vec<_> =
+        queries.iter().map(|q| svc.resolve_all_intents(q, 10).expect("cold resolve")).collect();
+    let record_cold_qps = queries.len() as f64 / t0.elapsed().as_secs_f64();
+    let cold_ref: Vec<_> = queries
+        .iter()
+        .map(|q| reference.resolve_all_intents(q, 10).expect("cold reference resolve"))
+        .collect();
+    assert_eq!(cold, cold_ref, "batched and reference kernels must agree bit-for-bit");
+    println!("  cold (embed+score): {record_cold_qps:>10.2} qps, bit-identical across kernels");
+
+    // Warm-path latency distribution: the data-oriented path must not
+    // trade throughput for tail spikes.
+    latencies_us.sort_by(|a, b| a.total_cmp(b));
+    let p50 = latencies_us[latencies_us.len() / 2];
+    let p99 = latencies_us[(latencies_us.len() * 99 / 100).min(latencies_us.len() - 1)];
+    println!("  warm latency      : p50 {p50:.0}µs, p99 {p99:.0}µs over {WARM_REPEATS} samples");
+    assert!(p99 <= 100.0 * p50, "warm record-resolve p99 ({p99:.0}µs) over 100× p50 ({p50:.0}µs)");
+
+    // --- Path 3: online ingest (exhaustive candidates, batched scoring).
     let t0 = Instant::now();
     for i in 0..4 {
         svc.ingest(&format!("ingested widget number {i} deluxe"));
@@ -85,7 +249,7 @@ fn main() {
 
     let metrics = svc.metrics();
     println!(
-        "latency             : p50 {:.3}µs, p99 {:.3}µs over {} samples",
+        "latency (all paths) : p50 {:.3}µs, p99 {:.3}µs over {} samples",
         metrics.p50_latency_us, metrics.p99_latency_us, metrics.latency_samples
     );
     assert!(
@@ -94,28 +258,93 @@ fn main() {
     );
     println!("embedding cache     : {} hits / {} misses", metrics.cache_hits, metrics.cache_misses);
 
-    if args.json {
+    enforce_bars(n_records, record_speedup, allocs_per_query, allocs_per_query_reference);
+
+    if json {
         let doc = JsonObject::new()
             .str("bench", "serve")
-            .str("scale", &args.scale.to_string())
-            .int("seed", args.seed)
-            .int("n_pairs", n_pairs as u64)
+            .int("seed", seed)
             .int("n_records", svc.n_records() as u64)
+            .int("n_pairs", n_pairs as u64)
+            .int("n_train_pairs", svc.n_train_pairs() as u64)
             .int("snapshot_bytes", bytes.len() as u64)
             .num("train_secs", train_secs)
             .num("load_secs", load_secs)
-            .num("mi_f", mi_f)
             .num("corpus_pair_qps", corpus_qps)
             .num("record_qps", record_qps)
+            .num("record_reference_qps", record_reference_qps)
+            .num("record_speedup", record_speedup)
+            .num("record_cold_qps", record_cold_qps)
+            .int("allocs_per_query", allocs_per_query)
+            .int("allocs_per_query_reference", allocs_per_query_reference)
+            .int("warm_repeats", WARM_REPEATS as u64)
+            .num("record_p50_us", p50)
+            .num("record_p99_us", p99)
             .num("ingest_per_sec", 1.0 / ingest_secs)
             .num("p50_latency_us", metrics.p50_latency_us)
             .num("p99_latency_us", metrics.p99_latency_us)
-            .int("p50_latency_ns", metrics.p50_latency_ns)
-            .int("p99_latency_ns", metrics.p99_latency_ns)
             .int("cache_hits", metrics.cache_hits)
             .int("cache_misses", metrics.cache_misses)
             .render();
         let path = write_bench_json("serve", &doc).expect("write BENCH_serve.json");
         eprintln!("[serve] wrote {}", path.display());
     }
+}
+
+/// The acceptance bars (see the module doc for why the throughput bar
+/// sits below the allocation bar): ≥ 10× fewer allocations per warm query
+/// at any scale, and ≥ 2× the reference kernel's warm throughput from 1k
+/// records up.
+fn enforce_bars(n_records: usize, speedup: f64, allocs: u64, allocs_reference: u64) {
+    assert!(
+        allocs * 10 <= allocs_reference,
+        "batched record resolve allocates {allocs}/query vs {allocs_reference} reference \
+         (need >= 10x fewer)"
+    );
+    if n_records >= 1_000 {
+        assert!(
+            speedup >= 2.0,
+            "batched record resolve at {n_records} records is only {speedup:.1}x the reference \
+             kernel (need >= 2x)"
+        );
+    }
+}
+
+fn parse_args() -> (usize, u64, bool) {
+    let mut n_records = 10_000usize;
+    let mut seed = 17u64;
+    let mut json = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--records" => {
+                i += 1;
+                n_records = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--records expects an integer"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed expects an integer"));
+            }
+            "--json" => json = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    (n_records, seed, json)
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: serve [--records N] [--seed N] [--json]");
+    std::process::exit(2)
 }

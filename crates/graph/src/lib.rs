@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod build;
 pub mod csr;
 pub mod model;
@@ -24,6 +25,7 @@ pub mod multiplex;
 pub mod sage;
 pub mod train;
 
+pub use batch::{BatchInductiveTrace, NeighborArena, RowSource};
 pub use build::build_intent_graph;
 pub use csr::CsrGraph;
 pub use model::{GnnModel, GnnTrace, InductiveTrace};

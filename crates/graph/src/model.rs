@@ -11,6 +11,7 @@
 //! neighbour states are *pinned* from a cached [`GnnTrace`] — replaying an
 //! existing pair through this path is bit-identical to the batch forward.
 
+use crate::batch::{BatchInductiveTrace, NeighborArena, RowSource};
 use crate::csr::CsrGraph;
 use crate::multiplex::MultiplexGraph;
 use crate::sage::{Aggregation, SageCache, SageLayer};
@@ -224,6 +225,52 @@ impl GnnModel {
         }
         let logits = self.head.forward(&h);
         InductiveTrace { hidden, logits }
+    }
+
+    /// Batched inductive forward: scores `B` candidate pairs in one pass,
+    /// walking all `B·P` new nodes through each SAGE layer as one blocked
+    /// matmul instead of `B` per-candidate small matmuls.
+    ///
+    /// `new_features` stacks every candidate's `P × dim` block (row
+    /// `c·P + q` is candidate `c`'s intent-layer-`q` representation);
+    /// `neighbors` holds the flat per-candidate k-NN id lists; and
+    /// `sources[t][q]` is the contiguous pinned-state buffer intra-layer
+    /// ids resolve against when entering GNN layer `t` (depth-0 = the
+    /// initial representations, deeper = the owner's pinned arenas). Rows
+    /// are sliced from the sources, never copied into per-candidate
+    /// gather matrices.
+    ///
+    /// **Bit-identical** to `B` independent
+    /// [`GnnModel::forward_inductive`] calls at any thread count: every
+    /// aggregation row replays the per-candidate accumulation order
+    /// exactly, and the matmul/bias/ReLU/softmax kernels are all
+    /// row-independent (see `crate::batch`). Unlike the per-candidate
+    /// path it also never evaluates the neighbour slots' discarded rows,
+    /// which is where the ~(1+k)× FLOP saving comes from.
+    pub fn forward_inductive_batch(
+        &self,
+        new_features: &Matrix,
+        neighbors: &NeighborArena<'_>,
+        sources: &[Vec<RowSource<'_>>],
+    ) -> BatchInductiveTrace {
+        let p_layers = neighbors.p_layers();
+        let b = neighbors.n_candidates();
+        assert_eq!(new_features.rows(), b * p_layers, "one feature row per (candidate, layer)");
+        assert_eq!(sources.len(), self.layers.len(), "one source set per GNN layer");
+        let mut hidden: Vec<Matrix> = Vec::with_capacity(self.layers.len());
+        let mut concat = Matrix::zeros(0, 0);
+        for (t, layer) in self.layers.iter().enumerate() {
+            let input = if t == 0 { new_features } else { &hidden[t - 1] };
+            crate::batch::batch_concat_states(layer, input, neighbors, &sources[t], &mut concat);
+            let mut out = Matrix::zeros(0, 0);
+            layer.linear().forward_into(&concat, &mut out);
+            if t + 1 < self.layers.len() {
+                relu_inplace(&mut out);
+            }
+            hidden.push(out);
+        }
+        let logits = self.head.forward(hidden.last().expect("at least one layer"));
+        BatchInductiveTrace { p_layers, hidden, logits }
     }
 
     /// [`GnnModel::forward_inductive`] with neighbour states gathered from

@@ -1,0 +1,238 @@
+//! The batched inductive forward must be **bit-identical** to N
+//! independent per-candidate [`GnnModel::forward_inductive`] calls — the
+//! correctness contract of the data-oriented serving hot path — for any
+//! layer stack, aggregation mode, intent count, neighbour-list shape and
+//! thread count.
+
+use flexer_graph::{Aggregation, GnnModel, NeighborArena, RowSource};
+use flexer_nn::Matrix;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic pseudo-random stream (test fixture only).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self, m: u64) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (self.0 >> 33) % m.max(1)
+    }
+
+    fn next_f32(&mut self) -> f32 {
+        self.next(2048) as f32 / 1024.0 - 1.0
+    }
+}
+
+/// One synthetic serving state: pinned per-depth stored states, a batch of
+/// candidates with per-layer neighbour lists (possibly empty), and the
+/// candidates' stacked features.
+struct Fixture {
+    /// `stored[t][q]`: flat `n_stored × width(t)` buffer.
+    stored: Vec<Vec<Vec<f32>>>,
+    /// Per (depth) source row width.
+    widths: Vec<usize>,
+    /// `neighbors[c][q]`: dense stored ids, rank order.
+    neighbors: Vec<Vec<Vec<usize>>>,
+    /// `(B·P) × dim` stacked candidate features.
+    new_features: Matrix,
+    p_layers: usize,
+}
+
+impl Fixture {
+    fn generate(
+        dim: usize,
+        hidden_dims: &[usize],
+        p_layers: usize,
+        n_stored: usize,
+        b: usize,
+        max_k: usize,
+        seed: u64,
+    ) -> Self {
+        let mut lcg = Lcg(seed);
+        let mut widths = vec![dim];
+        widths.extend(hidden_dims[..hidden_dims.len() - 1].iter().copied());
+        let stored: Vec<Vec<Vec<f32>>> = widths
+            .iter()
+            .map(|&w| {
+                (0..p_layers).map(|_| (0..n_stored * w).map(|_| lcg.next_f32()).collect()).collect()
+            })
+            .collect();
+        let neighbors: Vec<Vec<Vec<usize>>> = (0..b)
+            .map(|_| {
+                (0..p_layers)
+                    .map(|_| {
+                        let k = lcg.next(max_k as u64 + 1) as usize;
+                        (0..k).map(|_| lcg.next(n_stored as u64) as usize).collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let new_features = Matrix::from_fn(b * p_layers, dim, |_, _| lcg.next_f32());
+        Self { stored, widths, neighbors, new_features, p_layers }
+    }
+
+    /// The per-candidate gather the existing serving path performs.
+    fn per_candidate_inputs(&self, candidate: usize, n_layers: usize) -> Vec<Vec<Matrix>> {
+        (0..n_layers)
+            .map(|t| {
+                let w = self.widths[t];
+                (0..self.p_layers)
+                    .map(|q| {
+                        let ids = &self.neighbors[candidate][q];
+                        let mut m = Matrix::zeros(ids.len(), w);
+                        for (row, &id) in ids.iter().enumerate() {
+                            m.row_mut(row)
+                                .copy_from_slice(&self.stored[t][q][id * w..(id + 1) * w]);
+                        }
+                        m
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn flat_arena(&self) -> (Vec<u32>, Vec<usize>) {
+        let mut ids = Vec::new();
+        let mut offsets = vec![0usize];
+        for lists in &self.neighbors {
+            for l in lists {
+                ids.extend(l.iter().map(|&id| id as u32));
+                offsets.push(ids.len());
+            }
+        }
+        (ids, offsets)
+    }
+
+    fn sources(&self, n_layers: usize) -> Vec<Vec<RowSource<'_>>> {
+        (0..n_layers)
+            .map(|t| {
+                (0..self.p_layers)
+                    .map(|q| RowSource::new(&self.stored[t][q], self.widths[t]))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Runs both paths over one fixture and asserts bit-identity of logits,
+/// every pinned depth state, and the softmax scores.
+fn assert_batch_matches(model: &GnnModel, fx: &Fixture) {
+    let b = fx.neighbors.len();
+    let (ids, offsets) = fx.flat_arena();
+    let arena = NeighborArena::new(&ids, &offsets, fx.p_layers);
+    let sources = fx.sources(model.n_layers());
+    let batch = model.forward_inductive_batch(&fx.new_features, &arena, &sources);
+    assert_eq!(batch.n_candidates(), b);
+
+    for c in 0..b {
+        let rows: Vec<usize> = (0..fx.p_layers).map(|q| c * fx.p_layers + q).collect();
+        let features = fx.new_features.select_rows(&rows);
+        let single =
+            model.forward_inductive(&features, &fx.per_candidate_inputs(c, model.n_layers()));
+        for q in 0..fx.p_layers {
+            assert_eq!(
+                batch.logits.row(c * fx.p_layers + q),
+                single.logits.row(q),
+                "logits diverge: candidate {c}, layer {q}"
+            );
+            for t in 0..model.n_layers() {
+                assert_eq!(
+                    batch.candidate_hidden(t, c, q),
+                    single.hidden[t].row(q),
+                    "hidden state diverges: candidate {c}, layer {q}, depth {t}"
+                );
+            }
+        }
+        let batch_scores: Vec<f32> = (0..fx.p_layers).map(|q| batch.score(c, q)).collect();
+        let single_scores = single.scores();
+        assert_eq!(batch_scores, single_scores, "scores diverge: candidate {c}");
+        assert_eq!(batch.candidate_scores(c), single_scores);
+    }
+}
+
+#[test]
+fn batched_forward_is_bit_identical_across_architectures() {
+    let mut rng = StdRng::seed_from_u64(21);
+    for (dims, agg, p) in [
+        (vec![5usize, 5], Aggregation::RelationTyped, 3usize),
+        (vec![6, 3, 3], Aggregation::RelationTyped, 2),
+        (vec![4, 4], Aggregation::Pooled, 3),
+        (vec![5, 5], Aggregation::Pooled, 1),
+        (vec![7], Aggregation::RelationTyped, 2),
+    ] {
+        let dim = 4;
+        let model = GnnModel::new(&mut rng, dim, &dims, agg);
+        let fx = Fixture::generate(dim, &dims, p, 17, 6, 4, 0xC0FFEE ^ dims.len() as u64);
+        assert_batch_matches(&model, &fx);
+    }
+}
+
+#[test]
+fn batched_forward_handles_empty_batch_and_empty_neighbours() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let model = GnnModel::new(&mut rng, 3, &[4, 4], Aggregation::RelationTyped);
+    // Every candidate isolated (all k-NN lists empty).
+    let mut fx = Fixture::generate(3, &[4, 4], 2, 9, 4, 0, 77);
+    assert!(fx.neighbors.iter().all(|ls| ls.iter().all(|l| l.is_empty())));
+    assert_batch_matches(&model, &fx);
+    // Zero candidates: a degenerate but reachable serving state.
+    fx.neighbors.clear();
+    fx.new_features = Matrix::zeros(0, 3);
+    let (ids, offsets) = fx.flat_arena();
+    let arena = NeighborArena::new(&ids, &offsets, 2);
+    let batch = model.forward_inductive_batch(&fx.new_features, &arena, &fx.sources(2));
+    assert_eq!(batch.n_candidates(), 0);
+    assert_eq!(batch.logits.rows(), 0);
+}
+
+/// The batched kernel must not depend on the thread budget: one thread and
+/// many threads produce byte-equal traces (the flexer-par contract).
+#[test]
+fn batched_forward_is_thread_count_invariant() {
+    let mut rng = StdRng::seed_from_u64(33);
+    let dims = vec![6usize, 6];
+    let model = GnnModel::new(&mut rng, 5, &dims, Aggregation::RelationTyped);
+    // Large enough batch to cross the internal fan-out thresholds.
+    let fx = Fixture::generate(5, &dims, 3, 64, 48, 8, 1234);
+    let (ids, offsets) = fx.flat_arena();
+    let arena = NeighborArena::new(&ids, &offsets, fx.p_layers);
+    let sources = fx.sources(model.n_layers());
+    let serial = flexer_par::with_threads(1, || {
+        model.forward_inductive_batch(&fx.new_features, &arena, &sources)
+    });
+    let parallel = flexer_par::with_threads(8, || {
+        model.forward_inductive_batch(&fx.new_features, &arena, &sources)
+    });
+    assert_eq!(serial.logits, parallel.logits);
+    assert_eq!(serial.hidden, parallel.hidden);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random architectures, intent counts, corpus sizes, batch sizes and
+    /// neighbour shapes: the batched pass always reproduces N independent
+    /// per-candidate passes to the bit.
+    #[test]
+    fn batched_forward_matches_per_candidate(
+        seed in 0u64..1_000_000,
+        p in 1usize..5,
+        b in 0usize..7,
+        n_stored in 1usize..24,
+        max_k in 0usize..6,
+        arch in 0usize..4,
+    ) {
+        let (dims, agg): (Vec<usize>, Aggregation) = match arch {
+            0 => (vec![5, 5], Aggregation::RelationTyped),
+            1 => (vec![6, 3, 3], Aggregation::RelationTyped),
+            2 => (vec![4, 4], Aggregation::Pooled),
+            _ => (vec![6], Aggregation::RelationTyped),
+        };
+        let dim = 4;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = GnnModel::new(&mut rng, dim, &dims, agg);
+        let fx = Fixture::generate(dim, &dims, p, n_stored, b, max_k, seed ^ 0x5EED);
+        assert_batch_matches(&model, &fx);
+    }
+}

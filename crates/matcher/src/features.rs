@@ -56,7 +56,16 @@ impl PairFeaturizer {
 
     /// Sparse feature vector of one prepared pair.
     pub fn features(&self, a: &[Token], b: &[Token]) -> Vec<(u32, f32)> {
-        let mut out: Vec<(u32, f32)> = Vec::with_capacity(128);
+        let mut out = Vec::with_capacity(128);
+        self.features_into(a, b, &mut out);
+        out
+    }
+
+    /// Like [`features`](Self::features), but writes into a caller-owned
+    /// buffer (cleared first) so batch embedding loops can reuse one
+    /// allocation across many pairs.
+    pub fn features_into(&self, a: &[Token], b: &[Token], out: &mut Vec<(u32, f32)>) {
+        out.clear();
 
         // --- Dense similarity slots ---
         let words_a: Vec<&str> = a.iter().map(|t| t.text.as_str()).collect();
@@ -158,7 +167,6 @@ impl PairFeaturizer {
             }
         }
         out.extend(hashed);
-        out
     }
 
     fn slot(&self, namespace: &str, token: &str) -> (u32, f32) {

@@ -43,9 +43,18 @@ impl Linear {
 
     /// Forward pass for a dense batch `[n, in] → [n, out]`.
     pub fn forward(&self, x: &Matrix) -> Matrix {
-        let mut y = x.matmul(&self.w);
-        y.add_row_broadcast(&self.b);
+        let mut y = Matrix::zeros(0, 0);
+        self.forward_into(x, &mut y);
         y
+    }
+
+    /// [`Linear::forward`] written into a caller-owned output (resized,
+    /// allocation reused) — the blocked-batch entry for hot serving paths
+    /// that walk many batches through the same layer. Bit-identical to
+    /// `forward` at any thread count.
+    pub fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(&self.w, out);
+        out.add_row_broadcast(&self.b);
     }
 
     /// Forward pass for a sparse batch.

@@ -92,13 +92,39 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Reshapes to an all-zero `rows × cols` matrix, reusing the existing
+    /// allocation. The scratch-reuse primitive of the serving hot path.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Consumes the matrix, returning its flat row-major buffer so callers
+    /// can keep the allocation alive across reshapes.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
     /// `self × other` — `[m,k] × [k,n] → [m,n]`. Output rows are computed
     /// independently and fanned out across threads for large operands.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] written into a caller-owned output, which is
+    /// resized and zeroed (allocation reused) — the blocked-batch entry
+    /// the serving tier drives. Each output row is produced by exactly the
+    /// serial per-row kernel, so results are bit-identical to `matmul` at
+    /// any thread count.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.reset(self.rows, other.cols);
         if other.cols == 0 {
-            return out;
+            return;
         }
         let kernel = |i: usize, out_row: &mut [f32]| {
             for (k, &aik) in self.row(i).iter().enumerate() {
@@ -118,7 +144,6 @@ impl Matrix {
                 kernel(i, out_row);
             }
         }
-        out
     }
 
     /// `self × otherᵀ` — `[m,k] × [n,k]ᵀ → [m,n]`. Used by backprop to
@@ -308,6 +333,32 @@ mod tests {
         let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
         let c = a.matmul(&b);
         assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_into_reuses_buffer_and_matches_matmul() {
+        let a = m(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = m(3, 2, &[7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        // Stale shape and contents must be fully overwritten.
+        let mut out = m(1, 4, &[9.0, 9.0, 9.0, 9.0]);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out, a.matmul(&b));
+        // Reuse again with a different right-hand side.
+        let c = m(3, 1, &[1.0, 1.0, 1.0]);
+        a.matmul_into(&c, &mut out);
+        assert_eq!(out.data(), &[6.0, 15.0]);
+    }
+
+    #[test]
+    fn reset_and_into_vec_roundtrip_capacity() {
+        let mut x = Matrix::zeros(2, 2);
+        x.set(1, 1, 3.0);
+        x.reset(1, 3);
+        assert_eq!((x.rows(), x.cols()), (1, 3));
+        assert_eq!(x.data(), &[0.0, 0.0, 0.0]);
+        let buf = x.into_vec();
+        assert_eq!(buf.len(), 3);
+        assert!(buf.capacity() >= 4, "reset must keep the allocation");
     }
 
     #[test]

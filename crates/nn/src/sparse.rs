@@ -24,28 +24,45 @@ impl SparseMatrix {
     /// Builds a CSR matrix from per-row `(column, value)` lists. Entries in
     /// a row are sorted and duplicate columns are summed.
     pub fn from_rows(cols: usize, rows: &[Vec<(u32, f32)>]) -> Self {
-        let mut indptr = Vec::with_capacity(rows.len() + 1);
-        let mut indices = Vec::new();
-        let mut values = Vec::new();
-        indptr.push(0);
+        let mut out = Self::with_cols(cols);
+        let mut scratch = Vec::new();
         for row in rows {
-            let mut entries: Vec<(u32, f32)> = row.clone();
-            entries.sort_unstable_by_key(|e| e.0);
-            let mut merged: Vec<(u32, f32)> = Vec::with_capacity(entries.len());
-            for (c, v) in entries {
-                assert!((c as usize) < cols, "column {c} out of range {cols}");
-                match merged.last_mut() {
-                    Some(last) if last.0 == c => last.1 += v,
-                    _ => merged.push((c, v)),
+            scratch.clear();
+            scratch.extend_from_slice(row);
+            out.push_row_unsorted(&mut scratch);
+        }
+        out
+    }
+
+    /// An empty matrix with `cols` columns and no rows, ready for
+    /// incremental [`push_row_unsorted`](Self::push_row_unsorted) calls —
+    /// the builder shape batch featurization uses to avoid one `Vec` per
+    /// row.
+    pub fn with_cols(cols: usize) -> Self {
+        Self { rows: 0, cols, indptr: vec![0], indices: Vec::new(), values: Vec::new() }
+    }
+
+    /// Appends one row from an unsorted `(column, value)` list. The caller's
+    /// buffer is sorted in place (so it can be reused across rows without
+    /// reallocating) and duplicate columns are summed, exactly as in
+    /// [`from_rows`](Self::from_rows).
+    pub fn push_row_unsorted(&mut self, entries: &mut [(u32, f32)]) {
+        entries.sort_unstable_by_key(|e| e.0);
+        let row_start = self.indices.len();
+        for &(c, v) in entries.iter() {
+            assert!((c as usize) < self.cols, "column {c} out of range {}", self.cols);
+            match self.indices.last() {
+                Some(&last) if self.indices.len() > row_start && last == c => {
+                    *self.values.last_mut().expect("values align with indices") += v;
+                }
+                _ => {
+                    self.indices.push(c);
+                    self.values.push(v);
                 }
             }
-            for (c, v) in merged {
-                indices.push(c);
-                values.push(v);
-            }
-            indptr.push(indices.len());
         }
-        Self { rows: rows.len(), cols, indptr, indices, values }
+        self.indptr.push(self.indices.len());
+        self.rows += 1;
     }
 
     /// Number of rows.
@@ -214,5 +231,31 @@ mod tests {
         assert_eq!(s.nnz(), 0);
         let d = Matrix::zeros(3, 2);
         assert_eq!(s.matmul_dense(&d).rows(), 0);
+    }
+
+    #[test]
+    fn incremental_builder_matches_from_rows() {
+        let rows = vec![
+            vec![(3u32, 1.0f32), (1, 2.0), (3, 0.5)], // unsorted + duplicate
+            vec![],
+            vec![(0, -1.0), (4, 4.0)],
+            vec![(4, 1.0)], // same leading column as previous row's tail
+        ];
+        let reference = SparseMatrix::from_rows(5, &rows);
+        let mut built = SparseMatrix::with_cols(5);
+        let mut scratch = Vec::new();
+        for row in &rows {
+            scratch.clear();
+            scratch.extend_from_slice(row);
+            built.push_row_unsorted(&mut scratch);
+        }
+        assert_eq!(built, reference);
+        assert_eq!(built.rows(), 4);
+        assert_eq!(built.row(0), (&[1u32, 3][..], &[2.0f32, 1.5][..]));
+        assert_eq!(built.row(1), (&[][..], &[][..]));
+        // Row boundaries must not merge: row 3 starts with the same column
+        // row 2 ended on.
+        assert_eq!(built.row(2), (&[0u32, 4][..], &[-1.0f32, 4.0][..]));
+        assert_eq!(built.row(3), (&[4u32][..], &[1.0f32][..]));
     }
 }

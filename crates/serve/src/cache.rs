@@ -7,21 +7,37 @@
 //! eviction scan. At serving capacities (hundreds to a few thousand
 //! entries) the scan is nanoseconds against a matcher forward pass, and
 //! there is no unsafe pointer juggling to audit.
+//!
+//! The cache is generic over its key so the hot path can use a
+//! fixed-width hashed key ([`Copy`], no heap) instead of an owned
+//! `String`, and it keeps its own hit/miss counters: lookups that used to
+//! take a second lock on the metrics mutex now count themselves under the
+//! lock they already hold.
 
+use std::borrow::Borrow;
 use std::collections::HashMap;
+use std::hash::Hash;
 
-/// Fixed-capacity string-keyed LRU cache.
+/// Fixed-capacity LRU cache.
 #[derive(Debug)]
-pub struct LruCache<V> {
+pub struct LruCache<K, V> {
     capacity: usize,
     tick: u64,
-    map: HashMap<String, (V, u64)>,
+    hits: u64,
+    misses: u64,
+    map: HashMap<K, (V, u64)>,
 }
 
-impl<V> LruCache<V> {
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     /// Cache holding at most `capacity` entries (0 disables caching).
     pub fn new(capacity: usize) -> Self {
-        Self { capacity, tick: 0, map: HashMap::with_capacity(capacity.min(1 << 16)) }
+        Self {
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            map: HashMap::with_capacity(capacity.min(1 << 16)),
+        }
     }
 
     /// Number of cached entries.
@@ -39,21 +55,34 @@ impl<V> LruCache<V> {
         self.capacity
     }
 
-    /// Looks up `key`, refreshing its recency on hit.
-    pub fn get(&mut self, key: &str) -> Option<&V> {
+    /// Lifetime `(hits, misses)` counters of [`get`](Self::get).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Looks up `key`, refreshing its recency and counting the outcome.
+    pub fn get<Q>(&mut self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Eq + Hash + ?Sized,
+    {
         self.tick += 1;
         let tick = self.tick;
         match self.map.get_mut(key) {
             Some((v, used)) => {
                 *used = tick;
+                self.hits += 1;
                 Some(&*v)
             }
-            None => None,
+            None => {
+                self.misses += 1;
+                None
+            }
         }
     }
 
     /// Inserts `key`, evicting the least-recently-used entry when full.
-    pub fn insert(&mut self, key: String, value: V) {
+    pub fn insert(&mut self, key: K, value: V) {
         if self.capacity == 0 {
             return;
         }
@@ -76,7 +105,7 @@ mod tests {
 
     #[test]
     fn hit_miss_and_eviction() {
-        let mut cache = LruCache::new(2);
+        let mut cache: LruCache<String, i32> = LruCache::new(2);
         cache.insert("a".into(), 1);
         cache.insert("b".into(), 2);
         assert_eq!(cache.get("a"), Some(&1)); // refresh a
@@ -85,11 +114,12 @@ mod tests {
         assert_eq!(cache.get("b"), None);
         assert_eq!(cache.get("a"), Some(&1));
         assert_eq!(cache.get("c"), Some(&3));
+        assert_eq!(cache.stats(), (3, 1));
     }
 
     #[test]
     fn reinsert_updates_value_without_eviction() {
-        let mut cache = LruCache::new(2);
+        let mut cache: LruCache<String, i32> = LruCache::new(2);
         cache.insert("a".into(), 1);
         cache.insert("b".into(), 2);
         cache.insert("a".into(), 10);
@@ -100,9 +130,20 @@ mod tests {
 
     #[test]
     fn zero_capacity_never_stores() {
-        let mut cache = LruCache::new(0);
+        let mut cache: LruCache<String, i32> = LruCache::new(0);
         cache.insert("a".into(), 1);
         assert!(cache.is_empty());
         assert_eq!(cache.get("a"), None);
+        assert_eq!(cache.stats(), (0, 1), "misses still count with caching disabled");
+    }
+
+    #[test]
+    fn copy_keys_need_no_allocation() {
+        // The serving tier's key shape: a fixed-width hashed id.
+        let mut cache: LruCache<u128, &'static str> = LruCache::new(4);
+        cache.insert(42, "hot");
+        assert_eq!(cache.get(&42), Some(&"hot"));
+        assert_eq!(cache.get(&43), None);
+        assert_eq!(cache.stats(), (1, 1));
     }
 }

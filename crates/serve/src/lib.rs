@@ -29,12 +29,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod cache;
 pub mod error;
 pub mod metrics;
 pub mod service;
 pub mod shard;
 
+pub use arena::PinnedArena;
 pub use cache::LruCache;
 pub use error::ServeError;
 pub use metrics::ServeMetrics;

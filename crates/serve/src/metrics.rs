@@ -34,13 +34,13 @@ pub struct ServeMetrics {
     pub p99_latency_us: f64,
 }
 
-/// Mutable counter state behind the service's metrics lock.
+/// Mutable counter state behind the service's metrics lock. Cache hit/miss
+/// counters live inside the embedding cache itself (counted under the lock
+/// the lookup already holds); [`snapshot`](Self::snapshot) merges them in.
 #[derive(Debug)]
 pub(crate) struct MetricsInner {
     resolves: u64,
     ingests: u64,
-    cache_hits: u64,
-    cache_misses: u64,
     /// Ring buffer of resolve latencies in nanoseconds.
     window: Vec<u64>,
     next: usize,
@@ -49,15 +49,7 @@ pub(crate) struct MetricsInner {
 
 impl MetricsInner {
     pub(crate) fn new(window: usize) -> Self {
-        Self {
-            resolves: 0,
-            ingests: 0,
-            cache_hits: 0,
-            cache_misses: 0,
-            window: vec![0; window.max(1)],
-            next: 0,
-            filled: 0,
-        }
+        Self { resolves: 0, ingests: 0, window: vec![0; window.max(1)], next: 0, filled: 0 }
     }
 
     pub(crate) fn record_resolve(&mut self, elapsed: Duration) {
@@ -74,11 +66,6 @@ impl MetricsInner {
         self.ingests += 1;
     }
 
-    pub(crate) fn record_cache(&mut self, hits: u64, misses: u64) {
-        self.cache_hits += hits;
-        self.cache_misses += misses;
-    }
-
     /// Nearest-rank percentile over the filled window.
     fn percentile(&self, sorted: &[u64], p: f64) -> u64 {
         if sorted.is_empty() {
@@ -88,7 +75,8 @@ impl MetricsInner {
         sorted[rank.min(sorted.len()) - 1]
     }
 
-    pub(crate) fn snapshot(&self) -> ServeMetrics {
+    /// `cache` is the embedding cache's lifetime `(hits, misses)` pair.
+    pub(crate) fn snapshot(&self, cache: (u64, u64)) -> ServeMetrics {
         let mut sorted: Vec<u64> = self.window[..self.filled].to_vec();
         sorted.sort_unstable();
         let p50_ns = self.percentile(&sorted, 50.0);
@@ -96,8 +84,8 @@ impl MetricsInner {
         ServeMetrics {
             resolves: self.resolves,
             ingests: self.ingests,
-            cache_hits: self.cache_hits,
-            cache_misses: self.cache_misses,
+            cache_hits: cache.0,
+            cache_misses: cache.1,
             latency_samples: self.filled as u64,
             p50_latency_ns: p50_ns,
             p99_latency_ns: p99_ns,
@@ -117,7 +105,7 @@ mod tests {
         for us in 1..=100u64 {
             m.record_resolve(Duration::from_micros(us));
         }
-        let s = m.snapshot();
+        let s = m.snapshot((0, 0));
         assert_eq!(s.resolves, 100);
         assert_eq!(s.latency_samples, 100);
         assert_eq!(s.p50_latency_ns, 50_000);
@@ -134,7 +122,7 @@ mod tests {
         for ns in [120u64, 250, 300, 410, 555] {
             m.record_resolve(Duration::from_nanos(ns));
         }
-        let s = m.snapshot();
+        let s = m.snapshot((0, 0));
         assert_eq!(s.p50_latency_ns, 300);
         assert_eq!(s.p99_latency_ns, 555);
         assert!(s.p50_latency_us > 0.0, "p50 must be non-zero whenever any query ran");
@@ -145,7 +133,7 @@ mod tests {
     fn zero_duration_samples_still_count() {
         let mut m = MetricsInner::new(4);
         m.record_resolve(Duration::ZERO);
-        let s = m.snapshot();
+        let s = m.snapshot((0, 0));
         assert_eq!(s.latency_samples, 1);
         assert_eq!(s.p50_latency_ns, 1, "clamped to 1 ns, never 0");
         assert!(s.p50_latency_us > 0.0);
@@ -157,7 +145,7 @@ mod tests {
         for us in [1u64, 2, 3, 4, 1000, 1000, 1000, 1000] {
             m.record_resolve(Duration::from_micros(us));
         }
-        let s = m.snapshot();
+        let s = m.snapshot((0, 0));
         assert_eq!(s.latency_samples, 4);
         assert_eq!(s.p50_latency_us, 1000.0, "old samples must have aged out");
         assert_eq!(s.resolves, 8);
@@ -166,7 +154,7 @@ mod tests {
     #[test]
     fn empty_window_reports_zero() {
         let m = MetricsInner::new(8);
-        let s = m.snapshot();
+        let s = m.snapshot((0, 0));
         assert_eq!(s.p50_latency_ns, 0);
         assert_eq!(s.p99_latency_ns, 0);
         assert_eq!(s.latency_samples, 0);
@@ -175,10 +163,9 @@ mod tests {
     #[test]
     fn cache_and_ingest_counters() {
         let mut m = MetricsInner::new(2);
-        m.record_cache(3, 1);
         m.record_ingest();
-        let s = m.snapshot();
-        assert_eq!(s.cache_hits, 3);
+        let s = m.snapshot((3, 1));
+        assert_eq!(s.cache_hits, 3, "cache counters pass through from the cache itself");
         assert_eq!(s.cache_misses, 1);
         assert_eq!(s.ingests, 1);
     }

@@ -37,19 +37,21 @@
 //! state. Set [`ServeConfig::exhaustive`] to bypass the blocker (the
 //! all-pairs parity baseline).
 
+use crate::arena::PinnedArena;
 use crate::cache::LruCache;
 use crate::error::ServeError;
 use crate::metrics::{MetricsInner, ServeMetrics};
 use flexer_ann::{AnyIndex, VectorIndex};
 use flexer_block::{BlockerState, ShardedBlocker};
-use flexer_graph::InductiveTrace;
+use flexer_graph::{BatchInductiveTrace, InductiveTrace, NeighborArena, RowSource};
 use flexer_nn::{Matrix, SparseMatrix};
 use flexer_store::{ModelSnapshot, ShardFrames};
 use flexer_types::{
-    IntentId, MatchTarget, RankedMatch, ResolveQuery, ResolveResponse, ShardConfig,
+    DenseRecordId, IntentId, MatchTarget, RankedMatch, ResolveQuery, ResolveResponse, ShardConfig,
 };
+use std::cell::RefCell;
 use std::path::Path;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// Tunables of the serving tier.
@@ -63,11 +65,23 @@ pub struct ServeConfig {
     /// record (quadratic). The explicit fallback for parity testing the
     /// blocked path against; off by default.
     pub exhaustive: bool,
+    /// Route inductive scoring through the per-candidate reference kernel
+    /// (one gather + GNN forward per candidate) instead of the batched
+    /// data-oriented path. The two produce bit-identical scores; the
+    /// reference path exists for differential tests and as the baseline
+    /// the serve bench measures the batched speedup against. Off by
+    /// default.
+    pub reference_scoring: bool,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { cache_capacity: 1024, latency_window: 1024, exhaustive: false }
+        Self {
+            cache_capacity: 1024,
+            latency_window: 1024,
+            exhaustive: false,
+            reference_scoring: false,
+        }
     }
 }
 
@@ -75,6 +89,11 @@ impl ServeConfig {
     /// Config with the blocker bypassed (all-pairs candidate generation).
     pub fn exhaustive() -> Self {
         Self { exhaustive: true, ..Self::default() }
+    }
+
+    /// Config with the per-candidate reference scoring kernel.
+    pub fn reference() -> Self {
+        Self { reference_scoring: true, ..Self::default() }
     }
 }
 
@@ -92,13 +111,40 @@ pub struct IngestReport {
     pub n_suppressed: usize,
 }
 
-/// Per-intent pair embedding of one (a, b) title pair: `emb[p]` is the
-/// intent-`p` representation.
-type PairEmbedding = Vec<Vec<f32>>;
+/// Per-intent pair embedding of one (a, b) title pair: a `P × dim` matrix
+/// whose row `p` is the intent-`p` representation — one allocation per
+/// pair, shared by reference through the LRU cache.
+type PairEmbedding = Matrix;
 
-/// Phase-1 output of one ingested title: per-candidate embeddings and
-/// per-candidate, per-intent `(score, trace)` pairs.
-type ScoredCandidates = (Vec<PairEmbedding>, Vec<Vec<(f32, InductiveTrace)>>);
+/// Inductive scores of one candidate batch, in whichever shape the
+/// configured kernel produces them.
+enum ScoredBatch {
+    /// Per-candidate, per-intent `(score, trace)` pairs — the reference
+    /// kernel ([`ServeConfig::reference_scoring`]).
+    Reference(Vec<Vec<(f32, InductiveTrace)>>),
+    /// One batched trace per intent, all candidates at once — the
+    /// data-oriented default.
+    Batched(Vec<BatchInductiveTrace>),
+}
+
+/// Phase-1 output of one ingested title: per-candidate embeddings and the
+/// batch's inductive scores.
+type ScoredCandidates = (Vec<Arc<PairEmbedding>>, ScoredBatch);
+
+/// Per-thread scratch of the batched scoring path, reused across queries:
+/// the flat neighbour-id arena, its offsets, and the stacked candidate
+/// feature buffer. Keeping these warm removes every per-query growth
+/// allocation from the steady-state hot path.
+#[derive(Default)]
+struct BatchScratch {
+    ids: Vec<u32>,
+    offsets: Vec<usize>,
+    features: Vec<f32>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<BatchScratch> = RefCell::new(BatchScratch::default());
+}
 
 /// The online resolution service.
 #[derive(Debug)]
@@ -121,21 +167,23 @@ pub struct ResolutionService {
     /// second, serialized copy of the blocker tier — they are regenerated
     /// deterministically by `to_snapshot`.
     train_sharding: Option<ShardConfig>,
-    /// Serving-tier candidate pairs (record-id refs), pair-id order.
-    pairs: Vec<(u32, u32)>,
+    /// Serving-tier candidate pairs (dense record-id refs), pair-id order.
+    pairs: Vec<(DenseRecordId, DenseRecordId)>,
     /// Per intent layer: ANN index over initial representations; grows
-    /// with ingest.
+    /// with ingest. Its id-major `data()` buffer doubles as the depth-0
+    /// row source of the batched inductive forward.
     indexes: Vec<AnyIndex>,
-    /// `pinned[p][j][q]`: under intent `p`'s GNN, the state of every
-    /// layer-`q` pair node *entering* GNN layer `j + 1` (i.e. the output
-    /// of GNN layer `j`), one row per pair; grows with ingest. Depth-0
-    /// inputs are the initial representations held by `indexes`.
-    pinned: Vec<Vec<Vec<Matrix>>>,
+    /// `pinned[p]`: under intent `p`'s GNN, the flat per-depth states of
+    /// every served pair node — the state *entering* GNN layer `j + 1`
+    /// (i.e. the output of layer `j`) lives at arena depth `j`, keyed by
+    /// dense pair id; grows with ingest. Depth-0 inputs are the initial
+    /// representations held by `indexes`.
+    pinned: Vec<PinnedArena>,
     /// `scores[p][pair]`: match likelihood of every served pair under
     /// intent `p`; the transductive warm-forward values for training
     /// pairs, inductive values for ingested ones.
     scores: Vec<Vec<f32>>,
-    cache: Mutex<LruCache<PairEmbedding>>,
+    cache: Mutex<LruCache<PairKey, Arc<PairEmbedding>>>,
     metrics: Mutex<MetricsInner>,
 }
 
@@ -188,21 +236,20 @@ impl ResolutionService {
                 )));
             }
             let l = trained.model.n_layers();
-            let mut per_depth = Vec::with_capacity(l.saturating_sub(1));
+            let dims: Vec<usize> =
+                (0..l.saturating_sub(1)).map(|j| trace.hidden(j).cols()).collect();
+            let mut arena = PinnedArena::new(p_intents, dims);
             for j in 0..l.saturating_sub(1) {
                 let full = trace.hidden(j);
                 let d = full.cols();
-                let per_layer: Vec<Matrix> = (0..p_intents)
-                    .map(|q| {
-                        // Layer-q node rows are contiguous (node id =
-                        // q·n_pairs + i).
-                        let block = &full.data()[q * n_pairs * d..(q + 1) * n_pairs * d];
-                        Matrix::from_vec(n_pairs, d, block.to_vec())
-                    })
-                    .collect();
-                per_depth.push(per_layer);
+                for q in 0..p_intents {
+                    // Layer-q node rows are contiguous (node id =
+                    // q·n_pairs + i): one block copy per (depth, layer).
+                    arena.append_block(j, q, &full.data()[q * n_pairs * d..(q + 1) * n_pairs * d]);
+                }
             }
-            pinned.push(per_depth);
+            arena.add_rows(n_pairs);
+            pinned.push(arena);
             scores.push(recomputed);
         }
 
@@ -231,7 +278,11 @@ impl ResolutionService {
             records: snapshot.records.clone(),
             blocker,
             train_sharding,
-            pairs: snapshot.pairs.clone(),
+            pairs: snapshot
+                .pairs
+                .iter()
+                .map(|&(a, b)| (DenseRecordId::new(a as usize), DenseRecordId::new(b as usize)))
+                .collect(),
             indexes,
             pinned,
             scores,
@@ -268,7 +319,7 @@ impl ResolutionService {
     /// snapshot loaded.
     pub fn to_snapshot(&self) -> ModelSnapshot {
         let mut snapshot = self.snapshot.clone();
-        snapshot.indexes = self.indexes.iter().map(|i| self.truncate_index(i)).collect();
+        snapshot.indexes = self.indexes.iter().map(|i| i.truncated(self.n_train_pairs)).collect();
         // Shard-aware snapshots carry the blocker tier only as per-shard
         // frames (the monolithic field stays the canonical Exhaustive
         // sentinel). The frames are regenerated, not kept resident:
@@ -343,12 +394,13 @@ impl ResolutionService {
     /// The two record ids of a served candidate pair.
     pub fn pair_records(&self, pair: usize) -> (usize, usize) {
         let (a, b) = self.pairs[pair];
-        (a as usize, b as usize)
+        (a.index(), b.index())
     }
 
     /// Current counters and latency percentiles.
     pub fn metrics(&self) -> ServeMetrics {
-        self.metrics.lock().expect("metrics lock").snapshot()
+        let cache = self.cache.lock().expect("cache lock").stats();
+        self.metrics.lock().expect("metrics lock").snapshot(cache)
     }
 
     /// Records one resolve latency sample (the sharded front-end times its
@@ -463,9 +515,8 @@ impl ResolutionService {
         // order — pair ids, pinned rows and ANN inserts all append in the
         // same global sequence a serial ingest of the batch would produce.
         let mut reports = Vec::with_capacity(titles.len());
-        for ((&title, cands), (embeddings, per_pair)) in titles.iter().zip(&candidates).zip(scored)
-        {
-            reports.push(self.apply_scored(title, cands, embeddings, per_pair, pre_batch_records));
+        for ((&title, cands), (embeddings, batch)) in titles.iter().zip(&candidates).zip(scored) {
+            reports.push(self.apply_scored(title, cands, embeddings, batch, pre_batch_records));
             if update_blocker {
                 self.blocker.insert(title);
             }
@@ -483,18 +534,22 @@ impl ResolutionService {
         let titles: Vec<(&str, &str)> =
             candidates.iter().map(|&other| (self.records[other].as_str(), title)).collect();
         let embeddings = self.embed_pairs(&titles, false);
-        let p_intents = self.n_intents();
-        // Independent per candidate: fan out, each candidate runs the
-        // exact serial scoring kernel, so results are bit-identical at
-        // any thread count.
-        let per_pair: Vec<Vec<(f32, InductiveTrace)>> =
-            flexer_par::parallel_map(embeddings.len(), |j| {
+        let intents: Vec<IntentId> = (0..self.n_intents()).collect();
+        let scored = if self.config.reference_scoring {
+            // Independent per candidate: fan out, each candidate runs the
+            // exact serial scoring kernel, so results are bit-identical at
+            // any thread count.
+            ScoredBatch::Reference(flexer_par::parallel_map(embeddings.len(), |j| {
                 let neighbors = self.neighbors_of(&embeddings[j]);
-                (0..p_intents)
-                    .map(|p| self.score_pair_inductive(&embeddings[j], &neighbors, p))
+                intents
+                    .iter()
+                    .map(|&p| self.score_pair_inductive(&embeddings[j], &neighbors, p))
                     .collect()
-            });
-        (embeddings, per_pair)
+            }))
+        } else {
+            ScoredBatch::Batched(self.score_pairs_batched(&embeddings, &intents))
+        };
+        (embeddings, scored)
     }
 
     /// Phase-2 worker: appends one scored record's pairs to the serving
@@ -504,27 +559,42 @@ impl ResolutionService {
         &mut self,
         title: &str,
         candidates: &[usize],
-        embeddings: Vec<PairEmbedding>,
-        per_pair: Vec<Vec<(f32, InductiveTrace)>>,
+        embeddings: Vec<Arc<PairEmbedding>>,
+        scored: ScoredBatch,
         suppress_base: usize,
     ) -> IngestReport {
         let record = self.records.len();
         let first_pair = self.pairs.len();
         let p_intents = self.n_intents();
-        for ((&other, emb), per_intent) in candidates.iter().zip(&embeddings).zip(per_pair) {
-            for (p, (score, trace)) in per_intent.into_iter().enumerate() {
-                self.scores[p].push(score);
-                let l = self.snapshot.trained[p].model.n_layers();
-                for j in 0..l.saturating_sub(1) {
-                    for q in 0..p_intents {
-                        self.pinned[p][j][q].push_row(trace.hidden[j].row(q));
+        match scored {
+            ScoredBatch::Reference(per_pair) => {
+                for (j, (per_intent, &other)) in per_pair.into_iter().zip(candidates).enumerate() {
+                    for (p, (score, trace)) in per_intent.into_iter().enumerate() {
+                        self.scores[p].push(score);
+                        for t in 0..self.pinned[p].depths() {
+                            for q in 0..p_intents {
+                                self.pinned[p].push_row(t, q, trace.hidden[t].row(q));
+                            }
+                        }
+                        self.pinned[p].add_rows(1);
                     }
+                    self.append_pair(other, record, &embeddings[j]);
                 }
             }
-            for (q, index) in self.indexes.iter_mut().enumerate() {
-                index.add(&emb[q]);
+            ScoredBatch::Batched(traces) => {
+                for (j, &other) in candidates.iter().enumerate() {
+                    for (p, trace) in traces.iter().enumerate() {
+                        self.scores[p].push(trace.score(j, p));
+                        for t in 0..self.pinned[p].depths() {
+                            for q in 0..p_intents {
+                                self.pinned[p].push_row(t, q, trace.candidate_hidden(t, j, q));
+                            }
+                        }
+                        self.pinned[p].add_rows(1);
+                    }
+                    self.append_pair(other, record, &embeddings[j]);
+                }
             }
-            self.pairs.push((other as u32, record as u32));
         }
         self.records.push(title.to_string());
         IngestReport {
@@ -533,6 +603,15 @@ impl ResolutionService {
             n_pairs: candidates.len(),
             n_suppressed: suppress_base - candidates.len(),
         }
+    }
+
+    /// Makes one scored pair servable: its per-intent embedding rows join
+    /// the ANN indexes and it gets the next dense pair id.
+    fn append_pair(&mut self, other: usize, record: usize, emb: &PairEmbedding) {
+        for (q, index) in self.indexes.iter_mut().enumerate() {
+            index.add(emb.row(q));
+        }
+        self.pairs.push((DenseRecordId::new(other), DenseRecordId::new(record)));
     }
 
     // ------------------------------------------------------------------
@@ -549,32 +628,6 @@ impl ResolutionService {
         match self.blocker.candidates(title) {
             None => (0..self.records.len()).collect(),
             Some(c) => c,
-        }
-    }
-
-    /// Restores an index to its training-time contents. Flat data is a
-    /// prefix; IVF adds only ever *append* ids to list tails, so dropping
-    /// ids past the watermark restores the original lists exactly.
-    fn truncate_index(&self, index: &AnyIndex) -> AnyIndex {
-        let n = self.n_train_pairs;
-        match index {
-            AnyIndex::Flat(f) => {
-                AnyIndex::Flat(flexer_ann::FlatIndex::from_rows(f.dim(), &f.data()[..n * f.dim()]))
-            }
-            AnyIndex::Ivf(i) => {
-                let lists: Vec<Vec<usize>> = i
-                    .lists()
-                    .iter()
-                    .map(|l| l.iter().copied().filter(|&id| id < n).collect())
-                    .collect();
-                AnyIndex::Ivf(flexer_ann::IvfIndex::from_parts(
-                    i.dim(),
-                    i.quantizer().clone(),
-                    lists,
-                    i.data()[..n * i.dim()].to_vec(),
-                    i.nprobe(),
-                ))
-            }
         }
     }
 
@@ -625,20 +678,27 @@ impl ResolutionService {
                     .collect())
             }
             ResolveQuery::TitlePair(a, b) => {
-                let emb = &self.embed_pairs(&[(a.as_str(), b.as_str())], true)[0];
-                let neighbors = self.neighbors_of(emb);
+                let embs = self.embed_pairs(&[(a.as_str(), b.as_str())], true);
+                let scores: Vec<f32> = if self.config.reference_scoring {
+                    let neighbors = self.neighbors_of(&embs[0]);
+                    intents
+                        .iter()
+                        .map(|&p| self.score_pair_inductive(&embs[0], &neighbors, p).0)
+                        .collect()
+                } else {
+                    let traces = self.score_pairs_batched(&embs, intents);
+                    traces.iter().zip(intents).map(|(t, &p)| t.score(0, p)).collect()
+                };
                 Ok(intents
                     .iter()
-                    .map(|&p| {
-                        let (score, _) = self.score_pair_inductive(emb, &neighbors, p);
-                        ResolveResponse {
-                            intent: p,
-                            matches: vec![RankedMatch {
-                                target: MatchTarget::AdHoc,
-                                score,
-                                matched: score > 0.5,
-                            }],
-                        }
+                    .zip(scores)
+                    .map(|(&p, score)| ResolveResponse {
+                        intent: p,
+                        matches: vec![RankedMatch {
+                            target: MatchTarget::AdHoc,
+                            score,
+                            matched: score > 0.5,
+                        }],
                     })
                     .collect())
             }
@@ -652,28 +712,45 @@ impl ResolutionService {
                     .map(|&r| (self.records[r].as_str(), title.as_str()))
                     .collect();
                 let embeddings = self.embed_pairs(&titles, true);
-                // Independent per candidate: fan out, each candidate runs
-                // the exact serial scoring, so results are bit-identical
-                // at any thread count.
-                let per_candidate: Vec<Vec<f32>> =
-                    flexer_par::parallel_map(embeddings.len(), |j| {
-                        let neighbors = self.neighbors_of(&embeddings[j]);
-                        intents
-                            .iter()
-                            .map(|&p| self.score_pair_inductive(&embeddings[j], &neighbors, p).0)
-                            .collect()
-                    });
+                // `scores[pi][j]`: requested intent `pi`, candidate `j`.
+                let scores: Vec<Vec<f32>> = if self.config.reference_scoring {
+                    // Independent per candidate: fan out, each candidate
+                    // runs the exact serial scoring, so results are
+                    // bit-identical at any thread count.
+                    let per_candidate: Vec<Vec<f32>> =
+                        flexer_par::parallel_map(embeddings.len(), |j| {
+                            let neighbors = self.neighbors_of(&embeddings[j]);
+                            intents
+                                .iter()
+                                .map(|&p| {
+                                    self.score_pair_inductive(&embeddings[j], &neighbors, p).0
+                                })
+                                .collect()
+                        });
+                    (0..intents.len())
+                        .map(|pi| per_candidate.iter().map(|s| s[pi]).collect())
+                        .collect()
+                } else {
+                    let traces = self.score_pairs_batched(&embeddings, intents);
+                    traces
+                        .iter()
+                        .zip(intents)
+                        .map(|(trace, &p)| {
+                            (0..candidates.len()).map(|j| trace.score(j, p)).collect()
+                        })
+                        .collect()
+                };
                 Ok(intents
                     .iter()
                     .enumerate()
                     .map(|(pi, &p)| {
-                        let mut ranked: Vec<RankedMatch> = per_candidate
+                        let mut ranked: Vec<RankedMatch> = scores[pi]
                             .iter()
                             .zip(&candidates)
-                            .map(|(s, &r)| RankedMatch {
+                            .map(|(&score, &r)| RankedMatch {
                                 target: MatchTarget::Record(r),
-                                score: s[pi],
-                                matched: s[pi] > 0.5,
+                                score,
+                                matched: score > 0.5,
                             })
                             .collect();
                         ranked.sort_by(|x, y| {
@@ -703,62 +780,72 @@ impl ResolutionService {
     /// on the cache lock and evicted the genuinely hot entries. That
     /// eviction churn is why blocked ingest used to *lose* to exhaustive
     /// at small corpus sizes.
-    fn embed_pairs(&self, titles: &[(&str, &str)], use_cache: bool) -> Vec<PairEmbedding> {
-        let mut out: Vec<Option<PairEmbedding>> = vec![None; titles.len()];
+    fn embed_pairs(&self, titles: &[(&str, &str)], use_cache: bool) -> Vec<Arc<PairEmbedding>> {
+        let mut out: Vec<Option<Arc<PairEmbedding>>> = vec![None; titles.len()];
         let mut misses: Vec<usize> = Vec::new();
         if use_cache {
+            // One lock pass covers the lookups *and* the hit/miss counters
+            // (the cache counts its own traffic); an all-hit batch touches
+            // no other lock and allocates nothing — keys are fixed-width
+            // hashes and values are shared `Arc`s.
             let mut cache = self.cache.lock().expect("cache lock");
             for (i, (a, b)) in titles.iter().enumerate() {
-                match cache.get(&cache_key(a, b)) {
-                    Some(emb) => out[i] = Some(emb.clone()),
+                match cache.get(&PairKey::new(a, b)) {
+                    Some(emb) => out[i] = Some(Arc::clone(emb)),
                     None => misses.push(i),
                 }
             }
         } else {
             misses.extend(0..titles.len());
         }
-        let n_hits = (titles.len() - misses.len()) as u64;
         if !misses.is_empty() {
             let featurizer = &self.snapshot.featurizer;
             let df = &self.snapshot.df;
-            let rows: Vec<Vec<(u32, f32)>> = misses
-                .iter()
-                .map(|&i| {
-                    let (a, b) = &titles[i];
-                    let ta = featurizer.prepare(a, df);
-                    let tb = featurizer.prepare(b, df);
-                    featurizer.features(&ta, &tb)
-                })
-                .collect();
-            let features = SparseMatrix::from_rows(featurizer.total_dim(), &rows);
+            let mut features = SparseMatrix::with_cols(featurizer.total_dim());
+            let mut row: Vec<(u32, f32)> = Vec::with_capacity(128);
+            // The right-hand title is the same across a record query's (or
+            // an ingest's) whole candidate batch — prepare it once.
+            // `prepare` is a pure function of the title, so memoizing by
+            // string equality cannot change any feature.
+            let mut prepared_b: Option<&str> = None;
+            let mut tb = Vec::new();
+            for &i in &misses {
+                let (a, b) = titles[i];
+                let ta = featurizer.prepare(a, df);
+                if prepared_b != Some(b) {
+                    tb = featurizer.prepare(b, df);
+                    prepared_b = Some(b);
+                }
+                featurizer.features_into(&ta, &tb, &mut row);
+                features.push_row_unsorted(&mut row);
+            }
             let per_intent: Vec<Matrix> =
                 self.snapshot.matchers.iter().map(|m| m.infer(&features).embeddings).collect();
-            if use_cache {
-                // Flood guard: a miss batch that would occupy more than
-                // half the cache (a corpus-sized record query) would evict
-                // the entire hot set for entries of mostly one-shot keys —
-                // compute but skip caching those.
-                let mut cache = self.cache.lock().expect("cache lock");
-                let cacheable = misses.len() <= cache.capacity() / 2;
-                for (j, &i) in misses.iter().enumerate() {
-                    let emb: PairEmbedding = per_intent.iter().map(|e| e.row(j).to_vec()).collect();
-                    if cacheable {
-                        let (a, b) = &titles[i];
-                        cache.insert(cache_key(a, b), emb.clone());
+            let dim = self.snapshot.graph.dim;
+            let built: Vec<Arc<PairEmbedding>> = (0..misses.len())
+                .map(|j| {
+                    let mut emb = Matrix::zeros(per_intent.len(), dim);
+                    for (q, e) in per_intent.iter().enumerate() {
+                        emb.row_mut(q).copy_from_slice(e.row(j));
                     }
-                    out[i] = Some(emb);
-                }
-            } else {
-                for (j, &i) in misses.iter().enumerate() {
-                    out[i] = Some(per_intent.iter().map(|e| e.row(j).to_vec()).collect());
+                    Arc::new(emb)
+                })
+                .collect();
+            // Flood guard: a miss batch that would occupy more than half
+            // the cache (a corpus-sized record query) would evict the
+            // entire hot set for entries of mostly one-shot keys — compute
+            // but skip caching those. The capacity is config, so the guard
+            // itself needs no lock.
+            if use_cache && misses.len() <= self.config.cache_capacity / 2 {
+                let mut cache = self.cache.lock().expect("cache lock");
+                for (&i, emb) in misses.iter().zip(&built) {
+                    let (a, b) = &titles[i];
+                    cache.insert(PairKey::new(a, b), Arc::clone(emb));
                 }
             }
-        }
-        if use_cache {
-            // Hit-rate counters describe query traffic only; ingest's
-            // cache-bypassing batches would drown them in structural
-            // misses.
-            self.metrics.lock().expect("metrics lock").record_cache(n_hits, misses.len() as u64);
+            for (&i, emb) in misses.iter().zip(built) {
+                out[i] = Some(emb);
+            }
         }
         out.into_iter().map(|e| e.expect("every slot filled")).collect()
     }
@@ -768,13 +855,79 @@ impl ResolutionService {
         let k = self.snapshot.k;
         self.indexes
             .iter()
-            .zip(emb)
-            .map(|(index, e)| index.search(e, k).into_iter().map(|h| h.id).collect())
+            .enumerate()
+            .map(|(q, index)| index.search(emb.row(q), k).into_iter().map(|h| h.id).collect())
             .collect()
     }
 
-    /// Scores one new pair under one intent's frozen GNN; returns the
-    /// match likelihood and the full inductive trace (for ingest).
+    /// Scores a batch of new pairs under every requested intent with one
+    /// GNN forward per intent — the data-oriented hot path. Per-candidate
+    /// ANN searches are unchanged (each runs the exact single-query
+    /// kernel), their results are flattened into one neighbour-id arena,
+    /// the candidates' embeddings are stacked into one `(B·P) × dim`
+    /// feature matrix, and stored states are *sliced* from the pinned
+    /// arenas and index buffers — no per-candidate gather matrices, no
+    /// per-candidate graph builds. Bit-identical to the reference kernel
+    /// for every candidate (`flexer-graph`'s batch contract).
+    fn score_pairs_batched(
+        &self,
+        embeddings: &[Arc<PairEmbedding>],
+        intents: &[IntentId],
+    ) -> Vec<BatchInductiveTrace> {
+        let p_total = self.n_intents();
+        let dim = self.snapshot.graph.dim;
+        let b = embeddings.len();
+        // Independent per candidate: fan out the localization, same search
+        // calls as the reference path in the same order.
+        let neighbors: Vec<Vec<Vec<usize>>> =
+            flexer_par::parallel_map(b, |j| self.neighbors_of(&embeddings[j]));
+        SCRATCH.with(|scratch| {
+            let mut scratch = scratch.borrow_mut();
+            let BatchScratch { ids, offsets, features } = &mut *scratch;
+            ids.clear();
+            offsets.clear();
+            offsets.push(0);
+            for per_layer in &neighbors {
+                for list in per_layer {
+                    ids.extend(list.iter().map(|&id| id as u32));
+                    offsets.push(ids.len());
+                }
+            }
+            features.clear();
+            for emb in embeddings {
+                features.extend_from_slice(emb.data());
+            }
+            let stacked = Matrix::from_vec(b * p_total, dim, std::mem::take(features));
+            let arena = NeighborArena::new(ids, offsets, p_total);
+            let traces = intents
+                .iter()
+                .map(|&p| {
+                    let model = &self.snapshot.trained[p].model;
+                    let sources: Vec<Vec<RowSource<'_>>> = (0..model.n_layers())
+                        .map(|t| {
+                            (0..p_total)
+                                .map(|q| {
+                                    if t == 0 {
+                                        RowSource::new(self.indexes[q].data(), dim)
+                                    } else {
+                                        self.pinned[p].source(t - 1, q)
+                                    }
+                                })
+                                .collect()
+                        })
+                        .collect();
+                    model.forward_inductive_batch(&stacked, &arena, &sources)
+                })
+                .collect();
+            *features = stacked.into_vec();
+            traces
+        })
+    }
+
+    /// Scores one new pair under one intent's frozen GNN — the reference
+    /// kernel ([`ServeConfig::reference_scoring`]) the batched path is
+    /// verified against; returns the match likelihood and the full
+    /// inductive trace (for ingest).
     fn score_pair_inductive(
         &self,
         emb: &PairEmbedding,
@@ -784,22 +937,18 @@ impl ResolutionService {
         let p_total = self.n_intents();
         let dim = self.snapshot.graph.dim;
         let model = &self.snapshot.trained[intent].model;
-        let mut new_features = Matrix::zeros(p_total, dim);
-        for (q, e) in emb.iter().enumerate() {
-            new_features.row_mut(q).copy_from_slice(e);
-        }
         let neighbor_inputs: Vec<Vec<Matrix>> = (0..model.n_layers())
             .map(|t| {
                 (0..p_total)
                     .map(|q| {
                         let ids = &neighbors[q];
-                        let d = if t == 0 { dim } else { self.pinned[intent][t - 1][q].cols() };
+                        let d = if t == 0 { dim } else { self.pinned[intent].dim(t - 1) };
                         let mut m = Matrix::zeros(ids.len(), d);
                         for (row, &id) in ids.iter().enumerate() {
                             let src = if t == 0 {
                                 self.indexes[q].vector(id)
                             } else {
-                                self.pinned[intent][t - 1][q].row(id)
+                                self.pinned[intent].row(t - 1, q, id)
                             };
                             m.row_mut(row).copy_from_slice(src);
                         }
@@ -808,17 +957,34 @@ impl ResolutionService {
                     .collect()
             })
             .collect();
-        let trace = model.forward_inductive(&new_features, &neighbor_inputs);
+        let trace = model.forward_inductive(emb, &neighbor_inputs);
         let score = trace.scores()[intent];
         (score, trace)
     }
 }
 
-/// Cache key of a title pair. Titles are arbitrary user strings, so a bare
-/// separator would let `("x<sep>y", "z")` collide with `("x", "y<sep>z")`;
-/// length-prefixing the first side makes the encoding injective.
-fn cache_key(a: &str, b: &str) -> String {
-    format!("{}:{a}{b}", a.len())
+/// Fixed-width hashed cache key of a title pair: two independent 64-bit
+/// FNV-1a streams over the **length-prefixed** encoding
+/// `len(a) ‖ a ‖ b`. The length prefix keeps the encoding injective
+/// (`("x·y", "z")` and `("x", "y·z")` hash different byte streams no
+/// matter what characters the titles contain), and 128 hashed bits make an
+/// accidental collision astronomically unlikely at cache scale. Unlike the
+/// old `String` key, building one allocates nothing — the cache-hit fast
+/// path is heap-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct PairKey(u128);
+
+impl PairKey {
+    fn new(a: &str, b: &str) -> Self {
+        let mut h1: u64 = 0xcbf29ce484222325;
+        let mut h2: u64 = 0x84222325cbf29ce4;
+        let len = (a.len() as u64).to_le_bytes();
+        for &byte in len.iter().chain(a.as_bytes()).chain(b.as_bytes()) {
+            h1 = (h1 ^ u64::from(byte)).wrapping_mul(0x100000001b3);
+            h2 = (h2 ^ u64::from(byte)).wrapping_mul(0x100000001b3);
+        }
+        Self((u128::from(h1) << 64) | u128::from(h2))
+    }
 }
 
 /// Deterministic ordering key for ranked-match tie-breaking.

@@ -1,0 +1,63 @@
+//! Dense `u32` ids of the serving tier's struct-of-arrays state.
+//!
+//! The online service keys every arena — pinned node states, ANN rows,
+//! served pairs — by *position*: ids are handed out contiguously from 0 in
+//! insertion order, so an id doubles as a row offset into a flat buffer.
+//! These newtypes keep record positions and pair positions from being
+//! swapped silently (both are "just a `u32`") while compiling down to the
+//! raw integer.
+
+/// Dense position of a served record: index into the serving-tier corpus,
+/// snapshot records first, ingested records after, in arrival order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DenseRecordId(u32);
+
+impl DenseRecordId {
+    /// Wraps a corpus position (panics past `u32::MAX` — the serving tier
+    /// addresses rows with `u32` on purpose, half the arena-key footprint).
+    pub fn new(index: usize) -> Self {
+        Self(u32::try_from(index).expect("record id fits in u32"))
+    }
+
+    /// The position back as a buffer index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Dense position of a served candidate pair: row index into every
+/// per-intent arena (pinned states, scores, ANN data), training pairs
+/// first, ingested pairs after.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PairId(u32);
+
+impl PairId {
+    /// Wraps an arena row position (panics past `u32::MAX`).
+    pub fn new(index: usize) -> Self {
+        Self(u32::try_from(index).expect("pair id fits in u32"))
+    }
+
+    /// The position back as a buffer index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_and_order() {
+        assert_eq!(DenseRecordId::new(7).index(), 7);
+        assert_eq!(PairId::new(0).index(), 0);
+        assert!(DenseRecordId::new(1) < DenseRecordId::new(2));
+        assert_eq!(PairId::new(5), PairId::new(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "fits in u32")]
+    fn oversized_record_id_panics() {
+        DenseRecordId::new(u32::MAX as usize + 1);
+    }
+}

@@ -15,6 +15,7 @@
 
 pub mod benchmark;
 pub mod blockcfg;
+pub mod dense;
 pub mod entity;
 pub mod error;
 pub mod intent;
@@ -29,6 +30,7 @@ pub mod splits;
 
 pub use benchmark::MierBenchmark;
 pub use blockcfg::{AnnBlockerConfig, BlockingReport, CandidateGenConfig, NGramBlockerConfig};
+pub use dense::{DenseRecordId, PairId};
 pub use entity::{EntityId, EntityMap};
 pub use error::TypesError;
 pub use intent::{Intent, IntentId, IntentSet};
