@@ -20,6 +20,11 @@
 //! measured corpus of ≥ 300 records, and when run at a larger scale it
 //! *additionally* re-measures a 300-record corpus so the regression is
 //! visible in one `BENCH_ingest.json`.
+//!
+//! The blocked loop also reports its `ingest.block` / `ingest.score` /
+//! `ingest.merge` stage breakdown from the `flexer-obs` spans, so the
+//! JSON shows *where* an ingest regression lives, not just that one
+//! happened.
 
 use flexer_bench::json::{write_bench_json, JsonObject};
 use flexer_core::{FlexErModel, InParallelModel, PipelineContext};
@@ -55,6 +60,9 @@ fn exhaustive_ingests(n_records: usize) -> usize {
 }
 /// Corpus size of the small-scale regression guard.
 const GUARD_RECORDS: usize = 300;
+/// The span paths an online ingest decomposes into: candidate generation,
+/// the parallel pre-batch scoring phase and the serial merge.
+const INGEST_STAGES: [&str; 3] = ["ingest.block", "ingest.score", "ingest.merge"];
 
 /// One full measurement at a given corpus size.
 struct Measurement {
@@ -67,6 +75,10 @@ struct Measurement {
     candidates_per_record: f64,
     suppressed_per_record: f64,
     report: BlockingReport,
+    /// `(span path, summed ns)` per ingest stage over the blocked loop.
+    stage_ns: Vec<(&'static str, u64)>,
+    /// Stage total ÷ the blocked loop's wall time.
+    stage_coverage: f64,
 }
 
 fn measure(n_records: usize, seed: u64) -> Measurement {
@@ -137,7 +149,12 @@ fn measure(n_records: usize, seed: u64) -> Measurement {
         })
         .collect();
 
-    // --- Blocked ingest throughput.
+    // --- Blocked ingest throughput, with the recorder reset so the
+    // ingest.* stage spans cover exactly this loop (the recorder is
+    // process-global; the guard re-measurement resets it again).
+    let rec = flexer_obs::global();
+    let obs_on = rec.is_enabled();
+    rec.reset();
     let t0 = Instant::now();
     let mut blocked_pairs = 0usize;
     let mut blocked_suppressed = 0usize;
@@ -148,6 +165,20 @@ fn measure(n_records: usize, seed: u64) -> Measurement {
     }
     let blocked_secs = t0.elapsed().as_secs_f64();
     let blocked_per_sec = titles.len() as f64 / blocked_secs;
+
+    // Per-stage breakdown of the blocked loop: block / score / merge must
+    // each have been recorded once per ingest.
+    let snap = blocked.obs_snapshot();
+    let stage_ns: Vec<(&'static str, u64)> =
+        INGEST_STAGES.iter().map(|&stage| (stage, snap.span_sum_ns(stage))).collect();
+    let stage_sum_ns: u64 = stage_ns.iter().map(|(_, ns)| ns).sum();
+    let stage_coverage = stage_sum_ns as f64 / (blocked_secs * 1e9);
+    if obs_on {
+        for stage in INGEST_STAGES {
+            let stat = snap.span(stage).unwrap_or_else(|| panic!("span {stage} missing"));
+            assert_eq!(stat.count, titles.len() as u64, "span {stage} must record once per ingest");
+        }
+    }
 
     // --- Exhaustive ingest throughput (the all-pairs fallback).
     let n_exhaustive = exhaustive_ingests(n_records);
@@ -168,6 +199,8 @@ fn measure(n_records: usize, seed: u64) -> Measurement {
         candidates_per_record: blocked_pairs as f64 / titles.len() as f64,
         suppressed_per_record: blocked_suppressed as f64 / titles.len() as f64,
         report,
+        stage_ns,
+        stage_coverage,
     }
 }
 
@@ -188,6 +221,13 @@ fn print_measurement(m: &Measurement) {
     );
     println!("exhaustive ingest   : {:>10.2} records/sec", m.exhaustive_per_sec);
     println!("speedup             : {:>10.1}× (blocked vs exhaustive)", m.speedup);
+    print!("ingest stages       :");
+    let total: u64 = m.stage_ns.iter().map(|(_, ns)| ns).sum();
+    for (stage, ns) in &m.stage_ns {
+        let short = stage.rsplit('.').next().unwrap_or(stage);
+        print!(" {short} {:.1}%", 100.0 * *ns as f64 / total.max(1) as f64);
+    }
+    println!(" (covers {:.1}% of the blocked loop)", 100.0 * m.stage_coverage);
 }
 
 /// The acceptance bars. At the default 10k-record corpus blocked ingest
@@ -254,7 +294,15 @@ fn main() {
             .int("comparisons_suppressed", main_run.report.comparisons_suppressed)
             .int("golden_total", main_run.report.golden_total as u64)
             .int("golden_recalled", main_run.report.golden_recalled as u64)
-            .num("golden_recall", main_run.report.golden_recall().unwrap_or(f64::NAN));
+            .num("golden_recall", main_run.report.golden_recall().unwrap_or(f64::NAN))
+            .raw("stages", {
+                let mut obj = JsonObject::new();
+                for (stage, ns) in &main_run.stage_ns {
+                    obj = obj.int(stage, *ns);
+                }
+                obj.render()
+            })
+            .num("stage_coverage", main_run.stage_coverage);
         if let Some(g) = &guard_run {
             doc = doc
                 .int("guard_n_records", g.n_records as u64)

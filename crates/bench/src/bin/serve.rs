@@ -28,6 +28,12 @@
 //! same per-candidate ANN localization, which caps the end-to-end ratio
 //! well below both the ~7× kernel FLOP gap (k = 6) and the ~38×
 //! allocation gap.
+//!
+//! Two observability bars ride along (see `flexer-obs`): the four
+//! `resolve.*` stage spans must cover 90–105% of the warm window's
+//! end-to-end resolve time as summed by the latency histogram, and a
+//! span guard on a *disabled* recorder must be cheap enough that a
+//! pessimistic per-query touch count stays under 5% of the warm p50.
 
 use flexer_bench::json::{write_bench_json, JsonObject};
 use flexer_core::{FlexErConfig, FlexErModel, InParallelModel, PipelineContext};
@@ -56,6 +62,14 @@ const WARM_REPEATS: usize = 16;
 /// Warm repeats on the reference kernel (each one re-runs a per-candidate
 /// forward over the whole corpus; a few samples suffice).
 const REF_WARM_REPEATS: usize = 3;
+/// The span paths a record resolve decomposes into (see
+/// `flexer-serve::service`); their sums must cover ~all of the end-to-end
+/// resolve time the latency histogram measures over the same window.
+const RESOLVE_STAGES: [&str; 4] =
+    ["resolve.block", "resolve.embed", "resolve.forward", "resolve.rank"];
+/// Upper bound on recorder touches per record resolve (4 span guards plus
+/// a handful of counter adds), used by the disabled-path overhead gate.
+const OBS_OPS_PER_QUERY: f64 = 16.0;
 
 /// System allocator with a global allocation counter, so the harness can
 /// report allocations per record query on both kernels.
@@ -184,6 +198,13 @@ fn main() {
 
     let warm = &queries[0];
     svc.resolve_all_intents(warm, 10).expect("warm-up");
+    // Scope the per-stage span accounting to exactly the warm window: the
+    // recorder is process-global, so reset it and diff the latency
+    // histogram's running sum around the measured loop.
+    let rec = flexer_obs::global();
+    let obs_on = rec.is_enabled();
+    rec.reset();
+    let m_warm0 = svc.metrics();
     let mut latencies_us = Vec::with_capacity(WARM_REPEATS);
     let t0 = Instant::now();
     let warm_allocs = allocs_during(|| {
@@ -195,6 +216,29 @@ fn main() {
     });
     let record_qps = WARM_REPEATS as f64 / t0.elapsed().as_secs_f64();
     let allocs_per_query = warm_allocs / WARM_REPEATS as u64;
+
+    // Per-stage breakdown of the warm window. The four resolve.* spans
+    // are timed inside the same end-to-end window the latency histogram
+    // sums, so they must account for ~all of it — the bar that keeps the
+    // instrumentation honest (a stage that silently stops recording shows
+    // up as lost coverage, not as a quietly shrinking number).
+    let m_warm1 = svc.metrics();
+    let resolve_sum_ns = m_warm1.latency_sum_ns - m_warm0.latency_sum_ns;
+    let stage_snap = svc.obs_snapshot();
+    let stage_ns: Vec<(&str, u64)> =
+        RESOLVE_STAGES.iter().map(|&stage| (stage, stage_snap.span_sum_ns(stage))).collect();
+    let stage_sum_ns: u64 = stage_ns.iter().map(|(_, ns)| ns).sum();
+    let stage_coverage = stage_sum_ns as f64 / resolve_sum_ns.max(1) as f64;
+    if obs_on {
+        for (stage, ns) in &stage_ns {
+            assert!(*ns > 0, "stage span {stage} recorded nothing over the warm window");
+        }
+        assert!(
+            (0.9..=1.05).contains(&stage_coverage),
+            "resolve stage spans cover {:.1}% of end-to-end resolve time (need 90-105%)",
+            100.0 * stage_coverage
+        );
+    }
 
     reference.resolve_all_intents(warm, 10).expect("reference warm-up");
     let t0 = Instant::now();
@@ -238,6 +282,45 @@ fn main() {
     let p99 = latencies_us[(latencies_us.len() * 99 / 100).min(latencies_us.len() - 1)];
     println!("  warm latency      : p50 {p50:.0}µs, p99 {p99:.0}µs over {WARM_REPEATS} samples");
     assert!(p99 <= 100.0 * p50, "warm record-resolve p99 ({p99:.0}µs) over 100× p50 ({p50:.0}µs)");
+
+    print!("  stage breakdown   :");
+    for (stage, ns) in &stage_ns {
+        let short = stage.rsplit('.').next().unwrap_or(stage);
+        print!(" {short} {:.1}%", 100.0 * *ns as f64 / resolve_sum_ns.max(1) as f64);
+    }
+    println!(" (coverage {:.1}%)", 100.0 * stage_coverage);
+
+    // Disabled-path overhead gate: a span guard on a disabled recorder is
+    // one branch + one relaxed load, so even a pessimistic count of
+    // recorder touches per query must stay under 5% of the warm p50.
+    // `black_box` keeps the optimizer from deleting the loop outright.
+    let disabled = flexer_obs::Recorder::disabled();
+    let t0 = Instant::now();
+    for _ in 0..1_000_000u32 {
+        let _g = std::hint::black_box(&disabled).span("bench.noop");
+    }
+    let noop_span_ns = t0.elapsed().as_nanos() as f64 / 1e6;
+    let overhead_frac = OBS_OPS_PER_QUERY * noop_span_ns / (p50 * 1e3);
+    println!(
+        "  obs off-path cost : {noop_span_ns:.2} ns/span, {:.4}% of a warm resolve",
+        100.0 * overhead_frac
+    );
+    assert!(
+        overhead_frac < 0.05,
+        "disabled-recorder spans cost {:.2}% of a warm record resolve (need < 5%)",
+        100.0 * overhead_frac
+    );
+
+    // Runtime-toggle comparison on the very same service — reported, not
+    // asserted ({WARM_REPEATS} samples is scheduler-jitter territory).
+    rec.set_enabled(false);
+    let t0 = Instant::now();
+    for _ in 0..WARM_REPEATS {
+        svc.resolve_all_intents(warm, 10).expect("warm resolve, obs off");
+    }
+    let record_qps_obs_off = WARM_REPEATS as f64 / t0.elapsed().as_secs_f64();
+    rec.set_enabled(obs_on);
+    println!("  obs-off warm qps  : {record_qps_obs_off:>10.2} (recorded: {record_qps:.2})");
 
     // --- Path 3: online ingest (exhaustive candidates, batched scoring).
     let t0 = Instant::now();
@@ -285,6 +368,21 @@ fn main() {
             .num("p99_latency_us", metrics.p99_latency_us)
             .int("cache_hits", metrics.cache_hits)
             .int("cache_misses", metrics.cache_misses)
+            .num("cache_hit_rate", metrics.cache_hit_rate)
+            .int("flood_rejections", metrics.flood_rejections)
+            .bool("obs_enabled", obs_on)
+            .raw("stages", {
+                let mut obj = JsonObject::new();
+                for (stage, ns) in &stage_ns {
+                    obj = obj.int(stage, *ns);
+                }
+                obj.render()
+            })
+            .int("resolve_sum_ns", resolve_sum_ns)
+            .int("stage_sum_ns", stage_sum_ns)
+            .num("stage_coverage", stage_coverage)
+            .num("noop_span_ns", noop_span_ns)
+            .num("record_qps_obs_off", record_qps_obs_off)
             .render();
         let path = write_bench_json("serve", &doc).expect("write BENCH_serve.json");
         eprintln!("[serve] wrote {}", path.display());

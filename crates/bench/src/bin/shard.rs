@@ -14,6 +14,12 @@
 //! work is partitioned. `partition_factor` = global candidates per ingest
 //! ÷ the *largest* shard-local candidate set (the critical-path shard): at
 //! the default 10k-record corpus it must be ≥ 2 for the ≥ 4-shard entries.
+//!
+//! Each sweep entry also reports per-shard ingest-*time* balance (max/mean
+//! of the `shard.ingest.local.<s>` span sums — the measured counterpart of
+//! the candidate-count partition factor) and the `resolve.*` stage
+//! breakdown of its query loop, which must cover 90–105% of the
+//! end-to-end resolve time (same bar as the serve harness).
 
 use flexer_bench::json::{array, write_bench_json, JsonObject};
 use flexer_block::golden_pair_recall;
@@ -40,6 +46,11 @@ const INGESTS: usize = 48;
 const BATCH: usize = 12;
 /// Record queries resolved per shard count.
 const RECORD_QUERIES: usize = 24;
+/// The span paths a record resolve decomposes into; the sharded front-end
+/// times its fan-out/merge under the same `resolve.block` path as the
+/// unsharded blocker, so the breakdown is comparable across deployments.
+const RESOLVE_STAGES: [&str; 4] =
+    ["resolve.block", "resolve.embed", "resolve.forward", "resolve.rank"];
 
 fn main() {
     let args = parse_args();
@@ -144,7 +155,12 @@ fn main() {
             max_local += locals.iter().copied().max().unwrap_or(0);
         }
 
-        // Batched ingest throughput.
+        // Batched ingest throughput, with the recorder reset so the
+        // shard.ingest.local.<s> spans cover exactly this sweep entry's
+        // ingests (the recorder is process-global across the sweep).
+        let rec = flexer_obs::global();
+        let obs_on = rec.is_enabled();
+        rec.reset();
         let t0 = Instant::now();
         let mut reports = Vec::with_capacity(INGESTS);
         for batch in title_refs.chunks(BATCH) {
@@ -152,6 +168,24 @@ fn main() {
         }
         let ingest_secs = t0.elapsed().as_secs_f64();
         let ingest_per_sec = INGESTS as f64 / ingest_secs;
+
+        // Per-shard ingest-time balance: each shard's blocking-tier insert
+        // work is timed under its own span, so max/mean of the per-shard
+        // time sums is the wall-clock imbalance a shard-per-server
+        // deployment would see on its critical path.
+        let ingest_snap = svc.obs_snapshot();
+        let shard_ingest_ns: Vec<u64> = (0..n_shards)
+            .map(|s| ingest_snap.span(&format!("shard.ingest.local.{s}")).map_or(0, |st| st.sum))
+            .collect();
+        let mean_ns = shard_ingest_ns.iter().sum::<u64>() as f64 / n_shards as f64;
+        let max_ns = shard_ingest_ns.iter().copied().max().unwrap_or(0) as f64;
+        let ingest_imbalance = if mean_ns > 0.0 { max_ns / mean_ns } else { 1.0 };
+        if obs_on {
+            assert!(
+                shard_ingest_ns.iter().all(|&ns| ns > 0),
+                "every shard must record local ingest time, got {shard_ingest_ns:?}"
+            );
+        }
 
         // Bit-identity across the sweep: every shard count must produce
         // the same reports (records, pair ids, candidate counts).
@@ -164,14 +198,34 @@ fn main() {
             ),
         }
 
-        // Record-resolve throughput over the grown corpus.
+        // Record-resolve throughput over the grown corpus, with the
+        // resolve.* stage spans diffed against the latency histogram's
+        // running sum over the same window (same coverage bar as the
+        // serve harness, here per shard count).
         let queries: Vec<ResolveQuery> = (0..RECORD_QUERIES)
             .map(|i| ResolveQuery::record(svc.record_title((i * 17) % args.n_records)))
             .collect();
+        rec.reset();
+        let m0 = svc.metrics();
         let t0 = Instant::now();
         let results = svc.resolve_batch(&queries, 0, 10);
         let record_qps = queries.len() as f64 / t0.elapsed().as_secs_f64();
         assert!(results.iter().all(|r| r.is_ok()));
+        let m1 = svc.metrics();
+        let resolve_sum_ns = m1.latency_sum_ns - m0.latency_sum_ns;
+        let resolve_snap = svc.obs_snapshot();
+        let stage_ns: Vec<(&str, u64)> =
+            RESOLVE_STAGES.iter().map(|&stage| (stage, resolve_snap.span_sum_ns(stage))).collect();
+        let stage_sum_ns: u64 = stage_ns.iter().map(|(_, ns)| ns).sum();
+        let stage_coverage = stage_sum_ns as f64 / resolve_sum_ns.max(1) as f64;
+        if obs_on {
+            assert!(
+                (0.9..=1.05).contains(&stage_coverage),
+                "{n_shards} shards: resolve stage spans cover {:.1}% of end-to-end resolve \
+                 time (need 90-105%)",
+                100.0 * stage_coverage
+            );
+        }
 
         let candidates_per_record = global_candidates as f64 / INGESTS as f64;
         let max_local_per_record = max_local as f64 / INGESTS as f64;
@@ -185,6 +239,12 @@ fn main() {
              {record_qps:>8.2} record qps, {candidates_per_record:>6.1} candidates/record \
              ({max_local_per_record:.1} on the largest shard, {partition_factor:.2}x partition)",
         );
+        println!(
+            "                      ingest balance {ingest_imbalance:.2}x max/mean, \
+             resolve stages cover {:.1}% of {:.2} ms",
+            100.0 * stage_coverage,
+            resolve_sum_ns as f64 / 1e6
+        );
         rows.push(SweepRow {
             n_shards,
             ingest_per_sec,
@@ -193,6 +253,11 @@ fn main() {
             max_local_per_record,
             partition_factor,
             shard_sizes: svc.shard_sizes(),
+            shard_ingest_ns,
+            ingest_imbalance,
+            stage_ns,
+            resolve_sum_ns,
+            stage_coverage,
         });
     }
 
@@ -220,6 +285,17 @@ fn main() {
                 .num("max_local_candidates_per_record", r.max_local_per_record)
                 .num("partition_factor", r.partition_factor)
                 .raw("shard_sizes", array(r.shard_sizes.iter().map(|s| s.to_string())))
+                .raw("shard_ingest_ns", array(r.shard_ingest_ns.iter().map(|ns| ns.to_string())))
+                .num("ingest_imbalance", r.ingest_imbalance)
+                .raw("stages", {
+                    let mut obj = JsonObject::new();
+                    for (stage, ns) in &r.stage_ns {
+                        obj = obj.int(stage, *ns);
+                    }
+                    obj.render()
+                })
+                .int("resolve_sum_ns", r.resolve_sum_ns)
+                .num("stage_coverage", r.stage_coverage)
                 .render()
         }));
         let doc = JsonObject::new()
@@ -250,6 +326,17 @@ struct SweepRow {
     max_local_per_record: f64,
     partition_factor: f64,
     shard_sizes: Vec<usize>,
+    /// Summed blocking-tier ingest time each shard spent, from the
+    /// `shard.ingest.local.<s>` spans.
+    shard_ingest_ns: Vec<u64>,
+    /// max/mean of `shard_ingest_ns` — 1.0 is a perfectly balanced layout.
+    ingest_imbalance: f64,
+    /// `(span path, summed ns)` for each resolve stage over the query loop.
+    stage_ns: Vec<(&'static str, u64)>,
+    /// End-to-end resolve time of the same loop per the latency histogram.
+    resolve_sum_ns: u64,
+    /// `stage_ns` total ÷ `resolve_sum_ns`.
+    stage_coverage: f64,
 }
 
 struct Args {

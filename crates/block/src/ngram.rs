@@ -203,11 +203,25 @@ impl NGramIndex {
     /// count. Runs on thread-local scratch buffers, so the hot ingest /
     /// record-resolve path allocates only the returned vector.
     pub fn candidates(&self, title: &str) -> Vec<RecordId> {
-        QUERY_SCRATCH.with(|cell| {
+        // Explicit dotted path, not a nested span guard: candidate queries
+        // run from arbitrary caller contexts (serial ingest, parallel
+        // shard fan-out workers) and must aggregate under one stable path.
+        let rec = flexer_obs::global();
+        let t0 = rec.is_enabled().then(std::time::Instant::now);
+        let mut skipped = 0u64;
+        let out = QUERY_SCRATCH.with(|cell| {
             let QueryScratch { chars, grams, shared } = &mut *cell.borrow_mut();
             gram_vec_into(title, self.config.q, chars, grams);
-            self.collect_candidates(grams, true, shared)
-        })
+            self.collect_candidates(grams, true, shared, &mut skipped)
+        });
+        if let Some(t0) = t0 {
+            rec.record_span_ns("block.ngram.query", t0.elapsed().as_nanos() as u64);
+            rec.add("block.ngram.candidates", out.len() as u64);
+            if skipped > 0 {
+                rec.add("block.ngram.stop_grams_skipped", skipped);
+            }
+        }
+        out
     }
 
     /// Candidate record ids among an explicit, pre-filtered gram list —
@@ -218,22 +232,26 @@ impl NGramIndex {
     pub fn candidates_for_grams(&self, grams: &[u64]) -> Vec<RecordId> {
         QUERY_SCRATCH.with(|cell| {
             let QueryScratch { shared, .. } = &mut *cell.borrow_mut();
-            self.collect_candidates(grams, false, shared)
+            let mut skipped = 0u64;
+            self.collect_candidates(grams, false, shared, &mut skipped)
         })
     }
 
     /// Shared-count accumulation over `grams`, into a reused map;
-    /// candidates are emitted ascending into a pre-sized vector.
+    /// candidates are emitted ascending into a pre-sized vector. Grams
+    /// suppressed by the bucket cap are tallied into `skipped`.
     fn collect_candidates(
         &self,
         grams: &[u64],
         apply_cap: bool,
         shared: &mut HashMap<u32, u32>,
+        skipped: &mut u64,
     ) -> Vec<RecordId> {
         shared.clear();
         for g in grams {
             if let Some(bucket) = self.buckets.get(g) {
                 if apply_cap && bucket.len() > self.config.max_bucket {
+                    *skipped += 1;
                     continue;
                 }
                 for &id in bucket {

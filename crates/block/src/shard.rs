@@ -34,6 +34,11 @@ use crate::{AnnRecordIndex, BlockerState, NGramIndex};
 use flexer_types::{CandidateGenConfig, RecordId, ShardConfig, ShardRouter};
 use std::collections::HashMap;
 
+/// Whole nanoseconds since `t0` (saturating into `u64`).
+fn elapsed_ns(t0: std::time::Instant) -> u64 {
+    t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
 /// An incremental blocker partitioned across N shards (see module docs).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardedBlocker {
@@ -104,14 +109,23 @@ impl ShardedBlocker {
             per_shard[s].push(i);
         }
         // Group-by-shard, parallel shard-local ingest: each shard absorbs
-        // its titles in input order, exactly as serial inserts would.
+        // its titles in input order, exactly as serial inserts would. Each
+        // shard's wall time aggregates under `shard.ingest.local.<s>`, the
+        // balance evidence the shard bench reports (max/mean imbalance).
         flexer_par::for_each_row_mut(&mut self.shards, 1, |s, shard| {
+            let rec = flexer_obs::global();
+            let t0 = rec.is_enabled().then(std::time::Instant::now);
             for &i in &per_shard[s] {
                 shard[0].insert(titles[i]);
+            }
+            if let Some(t0) = t0 {
+                rec.record_span_ns_indexed("shard.ingest.local", s, elapsed_ns(t0));
             }
         });
         // Single merge step: global ids, member lists and gram counts, in
         // input order.
+        let rec = flexer_obs::global();
+        let t0 = rec.is_enabled().then(std::time::Instant::now);
         let base = self.n_records;
         let mut out = Vec::with_capacity(titles.len());
         for (i, (&shard, title)) in routes.iter().zip(titles).enumerate() {
@@ -121,6 +135,9 @@ impl ShardedBlocker {
             out.push((shard, global));
         }
         self.n_records += titles.len();
+        if let Some(t0) = t0 {
+            rec.record_span_ns("shard.ingest.merge", elapsed_ns(t0));
+        }
         out
     }
 
@@ -138,21 +155,35 @@ impl ShardedBlocker {
     /// monolithic [`BlockerState::candidates`] over the same records, for
     /// any shard count.
     pub fn candidates(&self, title: &str) -> Option<Vec<RecordId>> {
+        let rec = flexer_obs::global();
         match &self.gen {
             CandidateGenConfig::Exhaustive => None,
             CandidateGenConfig::NGram(_) => {
+                let t0 = rec.is_enabled().then(std::time::Instant::now);
                 let per_shard = self.ngram_shard_candidates(title);
+                let t1 = rec.is_enabled().then(std::time::Instant::now);
                 let mut out: Vec<RecordId> = Vec::new();
                 for (s, locals) in per_shard.iter().enumerate() {
                     out.extend(locals.iter().map(|&l| self.members[s][l] as RecordId));
                 }
                 out.sort_unstable();
+                if let (Some(t0), Some(t1)) = (t0, t1) {
+                    rec.record_span_ns("shard.fanout", (t1 - t0).as_nanos() as u64);
+                    rec.record_span_ns("shard.merge", elapsed_ns(t1));
+                }
                 Some(out)
             }
             CandidateGenConfig::Ann(_) => {
+                let t0 = rec.is_enabled().then(std::time::Instant::now);
+                let merged = self.ann_merged_top_k(title);
+                let t1 = rec.is_enabled().then(std::time::Instant::now);
                 let mut out: Vec<RecordId> =
-                    self.ann_merged_top_k(title).into_iter().map(|(g, _)| g as RecordId).collect();
+                    merged.into_iter().map(|(g, _)| g as RecordId).collect();
                 out.sort_unstable();
+                if let (Some(t0), Some(t1)) = (t0, t1) {
+                    rec.record_span_ns("shard.fanout", (t1 - t0).as_nanos() as u64);
+                    rec.record_span_ns("shard.merge", elapsed_ns(t1));
+                }
                 Some(out)
             }
         }

@@ -1,0 +1,264 @@
+//! Log-bucketed streaming histogram of `u64` values.
+//!
+//! HDR-style log2-linear bucketing with [`SUB`] linear sub-buckets per
+//! octave, done entirely in integer arithmetic so that bucket assignment
+//! is deterministic across platforms. Values below `2 * SUB` are recorded
+//! exactly; above that the relative quantile error is bounded by
+//! `1 / (2 * SUB)` ≈ 1.6%. Memory is fixed ([`N_BUCKETS`] `u64` slots,
+//! ~15 KiB) regardless of how many samples are recorded, and two
+//! histograms merge by element-wise addition — `merge(a, b)` is
+//! bit-identical to ingesting the concatenated sample stream, which makes
+//! per-thread and per-shard aggregation exact.
+
+/// log2 of the sub-bucket count per octave.
+const SUB_BITS: u32 = 5;
+/// Linear sub-buckets per octave; the quantile error bound is `1/(2*SUB)`.
+pub const SUB: u64 = 1 << SUB_BITS;
+/// Total bucket count: 64 exact buckets + 58 octaves × 32 sub-buckets.
+pub const N_BUCKETS: usize = (2 * SUB as usize) + 58 * SUB as usize;
+
+/// Upper bound on the relative error of [`Histogram::quantile`] versus an
+/// exact nearest-rank oracle over the same samples.
+pub const REL_ERROR_BOUND: f64 = 1.0 / (2.0 * SUB as f64);
+
+/// Bucket index for a value. Zero values are clamped to 1 (the histogram
+/// stores strictly positive samples; callers clamp, as the serve metrics
+/// layer does for nanosecond latencies).
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    let v = v.max(1);
+    if v < 2 * SUB {
+        v as usize
+    } else {
+        let top = 63 - v.leading_zeros();
+        let octave = top - SUB_BITS;
+        let sub = (v >> octave) - SUB;
+        (2 * SUB + (octave as u64 - 1) * SUB + sub) as usize
+    }
+}
+
+/// Representative value for a bucket: the exact value for the low exact
+/// range, the bucket midpoint above it.
+#[inline]
+fn bucket_rep(idx: usize) -> u64 {
+    if idx < 2 * SUB as usize {
+        idx as u64
+    } else {
+        let rel = idx as u64 - 2 * SUB;
+        let octave = (rel / SUB + 1) as u32;
+        let sub = rel % SUB;
+        let low = (SUB + sub) << octave;
+        low + (1u64 << octave) / 2
+    }
+}
+
+/// Fixed-memory mergeable histogram of positive `u64` samples.
+///
+/// Equality is structural over the full bucket array, so
+/// `merge(a, b) == ingest(a ∪ b)` can be asserted bit-exactly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Empty histogram with all buckets allocated.
+    pub fn new() -> Self {
+        Histogram { counts: vec![0; N_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Record one sample (clamped to ≥ 1).
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Record `n` occurrences of the same sample value.
+    #[inline]
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let v = v.max(1);
+        self.counts[bucket_index(v)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(v.saturating_mul(n));
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Fold another histogram into this one. Element-wise bucket addition:
+    /// the result is bit-identical to having recorded both sample streams
+    /// into a single histogram, in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (post-clamp, saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Mean of recorded samples, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile estimate: the representative value of the
+    /// bucket holding the sample of rank `ceil(q * count)`. Returns 0 on an
+    /// empty histogram. The estimate is exact for values below `2 * SUB`
+    /// and within [`REL_ERROR_BOUND`] relative error otherwise.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // The true sample lies inside this bucket, and so do the
+                // recorded min/max whenever this is the first/last occupied
+                // bucket — clamping only moves the estimate closer to it.
+                return bucket_rep(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 1..2 * SUB {
+            h.record(v);
+        }
+        for v in 1..2 * SUB {
+            let q = (v as f64) / (2 * SUB - 1) as f64;
+            assert_eq!(h.quantile(q), v, "q={q}");
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut values: Vec<u64> = (1..4096).collect();
+        for shift in 12..64u32 {
+            for off in [0u64, 1, 1 << (shift - 3)] {
+                values.push((1u64 << shift).saturating_add(off));
+            }
+        }
+        values.sort_unstable();
+        let mut prev = 0usize;
+        for v in values {
+            let idx = bucket_index(v);
+            assert!(idx < N_BUCKETS, "v={v} idx={idx}");
+            assert!(idx >= prev, "non-monotone at v={v}: {idx} < {prev}");
+            prev = idx;
+        }
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn representative_lies_in_its_bucket() {
+        for idx in 1..N_BUCKETS {
+            let rep = bucket_rep(idx);
+            assert_eq!(bucket_index(rep), idx, "idx={idx} rep={rep}");
+        }
+    }
+
+    #[test]
+    fn zero_is_clamped_to_one() {
+        let mut h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.quantile(0.5), 1);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.sum(), 1);
+    }
+
+    #[test]
+    fn empty_reports_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn merge_matches_single_stream() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut all = Histogram::new();
+        for i in 0..1000u64 {
+            let v = i * i * 7 + 1;
+            if i % 3 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn large_value_quantile_within_bound() {
+        let mut h = Histogram::new();
+        let v = 123_456_789u64;
+        h.record_n(v, 10);
+        let est = h.quantile(0.5);
+        let err = (est as f64 - v as f64).abs() / v as f64;
+        assert!(err <= REL_ERROR_BOUND, "err={err}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Disabled-path and steady-state overhead guarantees, asserted with a
+//! counting global allocator in the style of `flexer-serve`'s
+//! `alloc_bound.rs` (test binary only; the library stays
+//! `forbid(unsafe_code)`).
+//!
+//! Everything lives in ONE `#[test]`: the allocation counter is global to
+//! the process, so concurrently-running sibling tests (or the libtest
+//! harness printing their results) would race spurious allocations into a
+//! measured window. A single test serializes the binary by construction.
+
+use flexer_obs::Recorder;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_during(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn recording_paths_respect_allocation_bounds() {
+    // A runtime-disabled recorder's span guard must not allocate at all —
+    // it is the hot-path cost a production binary pays with metrics off.
+    let rec = Recorder::disabled();
+    let counter = rec.counter("noop");
+    let n = allocs_during(|| {
+        for _ in 0..10_000 {
+            let _span = rec.span("resolve.block");
+            counter.inc();
+        }
+    });
+    assert_eq!(n, 0, "disabled span path allocated {n} times over 10k iterations");
+
+    // After the first occurrence of each span path (which allocates the
+    // owned histogram key), the enabled recording path reuses thread-local
+    // scratch and is allocation-free.
+    #[cfg(feature = "enabled")]
+    {
+        let rec = Recorder::new();
+        let counter = rec.counter("serve.forward.rows");
+        // Warm: first occurrence allocates the path key + histogram
+        // buckets, and the thread-local stack/scratch grow to size.
+        for _ in 0..3 {
+            let _outer = rec.span("resolve");
+            let _inner = rec.span("forward");
+            rec.record_span_ns_indexed("shard.ingest.local", 7, 100);
+            counter.add(64);
+        }
+        let n = allocs_during(|| {
+            for _ in 0..10_000 {
+                let _outer = rec.span("resolve");
+                let _inner = rec.span("forward");
+                rec.record_span_ns_indexed("shard.ingest.local", 7, 100);
+                counter.add(64);
+            }
+        });
+        assert_eq!(n, 0, "steady-state span recording allocated {n} times over 10k iterations");
+    }
+
+    // With the `enabled` feature compiled out, even a runtime-enabled
+    // recorder records nothing and never touches the allocator.
+    #[cfg(not(feature = "enabled"))]
+    {
+        let rec = Recorder::new();
+        let n = allocs_during(|| {
+            for _ in 0..10_000 {
+                let _span = rec.span("resolve.block");
+            }
+        });
+        assert_eq!(n, 0);
+        assert!(rec.snapshot().spans.is_empty());
+    }
+}

@@ -45,12 +45,14 @@ use flexer_ann::{AnyIndex, VectorIndex};
 use flexer_block::{BlockerState, ShardedBlocker};
 use flexer_graph::{BatchInductiveTrace, InductiveTrace, NeighborArena, RowSource};
 use flexer_nn::{Matrix, SparseMatrix};
+use flexer_obs::{Counter, MetricsSnapshot, Recorder};
 use flexer_store::{ModelSnapshot, ShardFrames};
 use flexer_types::{
     DenseRecordId, IntentId, MatchTarget, RankedMatch, ResolveQuery, ResolveResponse, ShardConfig,
 };
 use std::cell::RefCell;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -59,7 +61,9 @@ use std::time::Instant;
 pub struct ServeConfig {
     /// Capacity of the hot pair-embedding LRU cache.
     pub cache_capacity: usize,
-    /// Number of resolve latencies kept for the p50/p99 window.
+    /// Unused since the latency window became a cumulative streaming
+    /// histogram (`flexer-obs`); retained so existing config literals keep
+    /// compiling.
     pub latency_window: usize,
     /// Bypass the blocker and pair new titles against **every** stored
     /// record (quadratic). The explicit fallback for parity testing the
@@ -185,6 +189,16 @@ pub struct ResolutionService {
     scores: Vec<Vec<f32>>,
     cache: Mutex<LruCache<PairKey, Arc<PairEmbedding>>>,
     metrics: Mutex<MetricsInner>,
+    /// Span/counter aggregator for the per-stage breakdown. A clone of the
+    /// process-global recorder by default, so the blocking and store tiers'
+    /// instrumentation lands in the same aggregate.
+    recorder: Recorder,
+    /// Embeddings the flood guard computed but refused to cache.
+    flood_rejections: AtomicU64,
+    /// Rows fed through `forward_inductive_batch` (B·P per batched call).
+    ctr_forward_rows: Counter,
+    /// Candidate records considered across record-level resolves.
+    ctr_resolve_candidates: Counter,
 }
 
 impl ResolutionService {
@@ -272,6 +286,9 @@ impl ResolutionService {
             }
             None => None,
         };
+        let recorder = flexer_obs::global().clone();
+        let ctr_forward_rows = recorder.counter("serve.forward.rows");
+        let ctr_resolve_candidates = recorder.counter("serve.resolve.candidates");
         Ok(Self {
             n_train_pairs: n_pairs,
             n_train_records: snapshot.records.len(),
@@ -287,7 +304,11 @@ impl ResolutionService {
             pinned,
             scores,
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
-            metrics: Mutex::new(MetricsInner::new(config.latency_window)),
+            metrics: Mutex::new(MetricsInner::new()),
+            recorder,
+            flood_rejections: AtomicU64::new(0),
+            ctr_forward_rows,
+            ctr_resolve_candidates,
             snapshot,
             config,
         })
@@ -400,7 +421,38 @@ impl ResolutionService {
     /// Current counters and latency percentiles.
     pub fn metrics(&self) -> ServeMetrics {
         let cache = self.cache.lock().expect("cache lock").stats();
-        self.metrics.lock().expect("metrics lock").snapshot(cache)
+        let flood = self.flood_rejections.load(Ordering::Relaxed);
+        self.metrics.lock().expect("metrics lock").snapshot(cache, flood)
+    }
+
+    /// The span/counter recorder this service reports into — a clone of
+    /// [`flexer_obs::global`], so blocking-tier and store instrumentation
+    /// aggregates alongside the serving spans.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
+    }
+
+    /// Full observability snapshot: every span path, counter and value
+    /// histogram recorded so far, plus instantaneous state gauges (arena
+    /// occupancy, served records/pairs, cache hit rate).
+    pub fn obs_snapshot(&self) -> MetricsSnapshot {
+        let (hits, misses) = self.cache.lock().expect("cache lock").stats();
+        let lookups = hits + misses;
+        self.recorder.set_gauge("serve.records", self.records.len() as f64);
+        self.recorder.set_gauge("serve.pairs", self.pairs.len() as f64);
+        self.recorder
+            .set_gauge("serve.arena.rows", self.pinned.first().map_or(0.0, |a| a.n_rows() as f64));
+        self.recorder.set_gauge("serve.cache.hits", hits as f64);
+        self.recorder.set_gauge("serve.cache.misses", misses as f64);
+        self.recorder.set_gauge(
+            "serve.cache.hit_rate",
+            if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 },
+        );
+        self.recorder.set_gauge(
+            "serve.cache.flood_rejections",
+            self.flood_rejections.load(Ordering::Relaxed) as f64,
+        );
+        self.recorder.snapshot()
     }
 
     /// Records one resolve latency sample (the sharded front-end times its
@@ -465,7 +517,10 @@ impl ResolutionService {
     /// the same service state produce bit-identical scores on the pairs
     /// both create.
     pub fn ingest(&mut self, title: &str) -> IngestReport {
-        let candidates = self.candidate_records(title);
+        let candidates = {
+            let _span = self.recorder.span("ingest.block");
+            self.candidate_records(title)
+        };
         self.ingest_batch_core(&[title], vec![candidates], true)
             .pop()
             .expect("one report per ingested title")
@@ -484,8 +539,10 @@ impl ResolutionService {
     /// bit-identically for any shard count. Results are bit-identical at
     /// any thread count, and a singleton batch is exactly `ingest`.
     pub fn ingest_batch(&mut self, titles: &[&str]) -> Vec<IngestReport> {
-        let candidates: Vec<Vec<usize>> =
-            flexer_par::parallel_map(titles.len(), |i| self.candidate_records(titles[i]));
+        let candidates: Vec<Vec<usize>> = {
+            let _span = self.recorder.span("ingest.block");
+            flexer_par::parallel_map(titles.len(), |i| self.candidate_records(titles[i]))
+        };
         self.ingest_batch_core(titles, candidates, true)
     }
 
@@ -501,27 +558,40 @@ impl ResolutionService {
     ) -> Vec<IngestReport> {
         debug_assert_eq!(titles.len(), candidates.len());
         let pre_batch_records = self.records.len();
+        self.recorder.record_value("ingest.batch_titles", titles.len() as u64);
 
         // Phase 1 (read-only): embed, localize and score each title's
         // candidate pairs against the pre-batch state. Titles are
         // independent by construction, so they fan out; per-title scoring
         // fans out again over candidates (nested regions split the thread
         // budget).
-        let scored: Vec<ScoredCandidates> = flexer_par::parallel_map(titles.len(), |i| {
-            self.score_candidates(titles[i], &candidates[i])
-        });
+        let scored: Vec<ScoredCandidates> = {
+            let _span = self.recorder.span("ingest.score");
+            flexer_par::parallel_map(titles.len(), |i| {
+                self.score_candidates(titles[i], &candidates[i])
+            })
+        };
 
         // Phase 2 (mutate): make the scored pairs servable, in input
         // order — pair ids, pinned rows and ANN inserts all append in the
         // same global sequence a serial ingest of the batch would produce.
         let mut reports = Vec::with_capacity(titles.len());
-        for ((&title, cands), (embeddings, batch)) in titles.iter().zip(&candidates).zip(scored) {
-            reports.push(self.apply_scored(title, cands, embeddings, batch, pre_batch_records));
-            if update_blocker {
-                self.blocker.insert(title);
+        {
+            // Guard a clone (cheap `Arc` handle) so the span borrow does
+            // not pin `self` immutably across the mutating merge.
+            let recorder = self.recorder.clone();
+            let _span = recorder.span("ingest.merge");
+            for ((&title, cands), (embeddings, batch)) in titles.iter().zip(&candidates).zip(scored)
+            {
+                reports.push(self.apply_scored(title, cands, embeddings, batch, pre_batch_records));
+                if update_blocker {
+                    self.blocker.insert(title);
+                }
+                self.metrics.lock().expect("metrics lock").record_ingest();
             }
-            self.metrics.lock().expect("metrics lock").record_ingest();
         }
+        self.recorder
+            .set_gauge("serve.arena.rows", self.pinned.first().map_or(0.0, |a| a.n_rows() as f64));
         reports
     }
 
@@ -678,7 +748,11 @@ impl ResolutionService {
                     .collect())
             }
             ResolveQuery::TitlePair(a, b) => {
-                let embs = self.embed_pairs(&[(a.as_str(), b.as_str())], true);
+                let embs = {
+                    let _span = self.recorder.span("resolve.embed");
+                    self.embed_pairs(&[(a.as_str(), b.as_str())], true)
+                };
+                let _span = self.recorder.span("resolve.forward");
                 let scores: Vec<f32> = if self.config.reference_scoring {
                     let neighbors = self.neighbors_of(&embs[0]);
                     intents
@@ -689,6 +763,7 @@ impl ResolutionService {
                     let traces = self.score_pairs_batched(&embs, intents);
                     traces.iter().zip(intents).map(|(t, &p)| t.score(0, p)).collect()
                 };
+                drop(_span);
                 Ok(intents
                     .iter()
                     .zip(scores)
@@ -705,14 +780,26 @@ impl ResolutionService {
             ResolveQuery::Record(title) => {
                 // Query-driven collective ER: pair the query against its
                 // blocked candidates (every served record when exhaustive)
-                // and rank.
-                let candidates = record_candidates.unwrap_or_else(|| self.candidate_records(title));
+                // and rank. The sharded front-end passes its own fan-out
+                // result in (and times it under the same span path).
+                let candidates = match record_candidates {
+                    Some(c) => c,
+                    None => {
+                        let _span = self.recorder.span("resolve.block");
+                        self.candidate_records(title)
+                    }
+                };
+                self.ctr_resolve_candidates.add(candidates.len() as u64);
                 let titles: Vec<(&str, &str)> = candidates
                     .iter()
                     .map(|&r| (self.records[r].as_str(), title.as_str()))
                     .collect();
-                let embeddings = self.embed_pairs(&titles, true);
+                let embeddings = {
+                    let _span = self.recorder.span("resolve.embed");
+                    self.embed_pairs(&titles, true)
+                };
                 // `scores[pi][j]`: requested intent `pi`, candidate `j`.
+                let fwd_span = self.recorder.span("resolve.forward");
                 let scores: Vec<Vec<f32>> = if self.config.reference_scoring {
                     // Independent per candidate: fan out, each candidate
                     // runs the exact serial scoring, so results are
@@ -740,6 +827,8 @@ impl ResolutionService {
                         })
                         .collect()
                 };
+                drop(fwd_span);
+                let _span = self.recorder.span("resolve.rank");
                 Ok(intents
                     .iter()
                     .enumerate()
@@ -836,11 +925,15 @@ impl ResolutionService {
             // entire hot set for entries of mostly one-shot keys — compute
             // but skip caching those. The capacity is config, so the guard
             // itself needs no lock.
-            if use_cache && misses.len() <= self.config.cache_capacity / 2 {
-                let mut cache = self.cache.lock().expect("cache lock");
-                for (&i, emb) in misses.iter().zip(&built) {
-                    let (a, b) = &titles[i];
-                    cache.insert(PairKey::new(a, b), Arc::clone(emb));
+            if use_cache {
+                if misses.len() <= self.config.cache_capacity / 2 {
+                    let mut cache = self.cache.lock().expect("cache lock");
+                    for (&i, emb) in misses.iter().zip(&built) {
+                        let (a, b) = &titles[i];
+                        cache.insert(PairKey::new(a, b), Arc::clone(emb));
+                    }
+                } else {
+                    self.flood_rejections.fetch_add(misses.len() as u64, Ordering::Relaxed);
                 }
             }
             for (&i, emb) in misses.iter().zip(built) {
@@ -877,6 +970,7 @@ impl ResolutionService {
         let p_total = self.n_intents();
         let dim = self.snapshot.graph.dim;
         let b = embeddings.len();
+        self.ctr_forward_rows.add((b * p_total) as u64);
         // Independent per candidate: fan out the localization, same search
         // calls as the reference path in the same order.
         let neighbors: Vec<Vec<Vec<usize>>> =

@@ -104,7 +104,10 @@ impl ShardedResolutionService {
     /// own shard absorbs it. Bit-identical to the unsharded
     /// [`ResolutionService::ingest`].
     pub fn ingest(&mut self, title: &str) -> IngestReport {
-        let candidates = self.candidate_records(title);
+        let candidates = {
+            let _span = self.service.recorder().span("ingest.block");
+            self.candidate_records(title)
+        };
         let report = self
             .service
             .ingest_batch_core(&[title], vec![candidates], false)
@@ -121,9 +124,13 @@ impl ShardedResolutionService {
     /// the unsharded [`ResolutionService::ingest_batch`] for any shard
     /// count.
     pub fn ingest_batch(&mut self, titles: &[&str]) -> Vec<IngestReport> {
-        let candidates: Vec<Vec<usize>> =
-            flexer_par::parallel_map(titles.len(), |i| self.candidate_records(titles[i]));
+        let candidates: Vec<Vec<usize>> = {
+            let _span = self.service.recorder().span("ingest.block");
+            flexer_par::parallel_map(titles.len(), |i| self.candidate_records(titles[i]))
+        };
         let reports = self.service.ingest_batch_core(titles, candidates, false);
+        // The blocking tier times its own per-shard ingest and serial merge
+        // under `shard.ingest.*` (see `flexer_block::shard`).
         self.shards.insert_batch(titles);
         reports
     }
@@ -174,7 +181,12 @@ impl ShardedResolutionService {
         top_k: usize,
     ) -> Result<Vec<ResolveResponse>, ServeError> {
         let record_candidates = match query {
-            ResolveQuery::Record(title) => Some(self.candidate_records(title)),
+            ResolveQuery::Record(title) => {
+                // Same span path as the unsharded blocker lookup, so the
+                // per-stage breakdown is comparable across deployments.
+                let _span = self.service.recorder().span("resolve.block");
+                Some(self.candidate_records(title))
+            }
             _ => None,
         };
         self.service.resolve_intents_with(query, intents, top_k, record_candidates)
@@ -283,5 +295,16 @@ impl ShardedResolutionService {
     /// Current counters and latency percentiles.
     pub fn metrics(&self) -> ServeMetrics {
         self.service.metrics()
+    }
+
+    /// The span/counter recorder the shared scoring tier reports into.
+    pub fn recorder(&self) -> &flexer_obs::Recorder {
+        self.service.recorder()
+    }
+
+    /// Full observability snapshot (spans, counters, values, gauges) —
+    /// see [`ResolutionService::obs_snapshot`].
+    pub fn obs_snapshot(&self) -> flexer_obs::MetricsSnapshot {
+        self.service.obs_snapshot()
     }
 }

@@ -291,6 +291,59 @@ fn repeated_record_query_is_served_from_the_cache() {
     assert_eq!(second, first, "cached embeddings must not change the answer");
     assert_eq!(m2.cache_misses, m1.cache_misses, "repeat must be served from the cache");
     assert!(m2.cache_hits > m1.cache_hits);
+    assert!(
+        m2.cache_hit_rate > 0.0,
+        "repeat traffic must surface as a non-zero hit rate, got {}",
+        m2.cache_hit_rate
+    );
+    assert_eq!(m2.cache_hit_rate, m2.cache_hits as f64 / (m2.cache_hits + m2.cache_misses) as f64);
+}
+
+#[test]
+fn flood_guard_rejections_surface_in_metrics() {
+    // A record query whose miss batch exceeds half the cache capacity is
+    // computed but not cached; the guard's rejections must be observable.
+    let (snapshot, _) = trained_snapshot();
+    let config = ServeConfig { cache_capacity: 4, ..ServeConfig::exhaustive() };
+    let svc = ResolutionService::new(snapshot, config).unwrap();
+    let q = ResolveQuery::record(svc.record_title(2).to_string());
+    svc.resolve(&q, 0, 5).unwrap();
+    let m = svc.metrics();
+    assert!(
+        m.flood_rejections > 2,
+        "corpus-sized miss batch must trip the flood guard, got {}",
+        m.flood_rejections
+    );
+    // Rejected embeddings never entered the cache: a repeat misses again
+    // and the rejection count keeps growing.
+    svc.resolve(&q, 0, 5).unwrap();
+    let m2 = svc.metrics();
+    assert_eq!(m2.cache_hits, m.cache_hits);
+    assert!(m2.flood_rejections > m.flood_rejections);
+}
+
+#[cfg(feature = "obs")]
+#[test]
+fn obs_snapshot_exposes_resolve_stage_spans_and_gauges() {
+    let (snapshot, _) = trained_snapshot();
+    let svc = ResolutionService::new(snapshot, ServeConfig::default()).unwrap();
+    let q = ResolveQuery::record(svc.record_title(3).to_string());
+    svc.resolve(&q, 0, 5).unwrap();
+    svc.resolve(&q, 0, 5).unwrap();
+    let snap = svc.obs_snapshot();
+    // The recorder is process-global (shared across tests in this
+    // binary), so assert presence and floors, not exact counts.
+    for path in ["resolve.block", "resolve.embed", "resolve.forward", "resolve.rank"] {
+        let stat = snap.span(path).unwrap_or_else(|| panic!("span {path} missing"));
+        assert!(stat.count >= 2, "span {path} count {}", stat.count);
+        assert!(stat.sum >= stat.count, "span {path} must accumulate ≥1 ns per sample");
+    }
+    assert!(snap.counter("serve.resolve.candidates").unwrap_or(0) > 0);
+    assert!(snap.gauge("serve.records").unwrap_or(0.0) > 0.0);
+    assert!(snap.gauge("serve.cache.hit_rate").is_some());
+    // Both export formats carry the span families.
+    assert!(snap.to_json().contains("\"resolve.embed\""));
+    assert!(snap.to_prometheus().contains("flexer_span_ns{path=\"resolve.forward\""));
 }
 
 #[test]

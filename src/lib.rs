@@ -50,6 +50,7 @@ pub use flexer_eval as eval;
 pub use flexer_graph as graph;
 pub use flexer_matcher as matcher;
 pub use flexer_nn as nn;
+pub use flexer_obs as obs;
 pub use flexer_par as par;
 pub use flexer_serve as serve;
 pub use flexer_store as store;
