@@ -39,9 +39,123 @@ pub fn l2_sq_x4(query: &[f32], rows: [&[f32]; 4]) -> [f32; 4] {
     [s0, s1, s2, s3]
 }
 
+/// Sixteen [`l2_sq`] evaluations at once: four queries against four rows,
+/// every (query, row) fold in exact [`l2_sq`] order — bit-identical
+/// results. Four in-flight chains (the [`l2_sq_x4`] shape) still leave the
+/// scalar FMA pipeline half idle on a single core; sixteen independent
+/// accumulators saturate it, and each row element loaded from the index is
+/// reused by all four queries while it sits in a register.
+#[inline]
+pub fn l2_sq_x4x4(queries: [&[f32]; 4], rows: [&[f32]; 4]) -> [[f32; 4]; 4] {
+    let dim = queries[0].len();
+    debug_assert!(queries.iter().all(|q| q.len() == dim), "query dimension mismatch");
+    debug_assert!(rows.iter().all(|r| r.len() == dim), "row dimension mismatch");
+    let [q0, q1, q2, q3] = queries.map(|q| &q[..dim]);
+    let [r0, r1, r2, r3] = rows.map(|r| &r[..dim]);
+    let mut acc = [[0.0f32; 4]; 4];
+    for i in 0..dim {
+        let r = [r0[i], r1[i], r2[i], r3[i]];
+        let q = [q0[i], q1[i], q2[i], q3[i]];
+        for (a, &qv) in acc.iter_mut().zip(&q) {
+            for (s, &rv) in a.iter_mut().zip(&r) {
+                let d = qv - rv;
+                *s += d * d;
+            }
+        }
+    }
+    acc
+}
+
+/// Eight queries against four rows: 32 independent exact-order folds. Same
+/// bit-identity argument as [`l2_sq_x4x4`]; each loaded row element is
+/// reused by all eight queries, pushing the op:load ratio high enough to
+/// keep the FMA pipeline the bottleneck instead of the load ports.
+#[inline]
+pub fn l2_sq_x8x4(queries: [&[f32]; 8], rows: [&[f32]; 4]) -> [[f32; 4]; 8] {
+    let dim = queries[0].len();
+    debug_assert!(queries.iter().all(|q| q.len() == dim), "query dimension mismatch");
+    debug_assert!(rows.iter().all(|r| r.len() == dim), "row dimension mismatch");
+    let qs = queries.map(|q| &q[..dim]);
+    let [r0, r1, r2, r3] = rows.map(|r| &r[..dim]);
+    let mut acc = [[0.0f32; 4]; 8];
+    for i in 0..dim {
+        let r = [r0[i], r1[i], r2[i], r3[i]];
+        for (a, q) in acc.iter_mut().zip(&qs) {
+            let qv = q[i];
+            for (s, &rv) in a.iter_mut().zip(&r) {
+                let d = qv - rv;
+                *s += d * d;
+            }
+        }
+    }
+    acc
+}
+
+/// Squared L2 distances from each of four queries to `m` consecutive rows
+/// of a row-major buffer: `outs[q][j]` is query `q` against row `j`.
+/// Bit-identical to four [`l2_sq_rows`] calls (every (query, row) pair is
+/// an independent exact-order fold); the win is the 16-chain ILP of
+/// [`l2_sq_x4x4`] plus 4× register reuse of every loaded row element.
+pub fn l2_sq_rows_x4q(queries: [&[f32]; 4], rows: &[f32], outs: &mut [&mut [f32]; 4]) {
+    let dim = queries[0].len();
+    let m = outs[0].len();
+    debug_assert!(queries.iter().all(|q| q.len() == dim), "query dimension mismatch");
+    debug_assert!(outs.iter().all(|o| o.len() == m), "output length mismatch");
+    debug_assert_eq!(rows.len(), m * dim, "whole rows");
+    if dim == 0 {
+        for o in outs.iter_mut() {
+            o.fill(0.0);
+        }
+        return;
+    }
+    let (blocks, tail) = flexer_nn::kernels::split_rows4(rows, dim);
+    let m4 = blocks.len() / (4 * dim) * 4;
+    for (b, block) in blocks.chunks_exact(4 * dim).enumerate() {
+        let d = l2_sq_x4x4(queries, flexer_nn::kernels::block4(block, dim));
+        for (o, dq) in outs.iter_mut().zip(&d) {
+            o[4 * b..4 * b + 4].copy_from_slice(dq);
+        }
+    }
+    for (t, row) in tail.chunks_exact(dim).enumerate() {
+        for (o, q) in outs.iter_mut().zip(&queries) {
+            o[m4 + t] = l2_sq(q, row);
+        }
+    }
+}
+
+/// The eight-query analogue of [`l2_sq_rows_x4q`], built on
+/// [`l2_sq_x8x4`]. Bit-identical to eight [`l2_sq_rows`] calls.
+pub fn l2_sq_rows_x8q(queries: [&[f32]; 8], rows: &[f32], outs: &mut [&mut [f32]; 8]) {
+    let dim = queries[0].len();
+    let m = outs[0].len();
+    debug_assert!(queries.iter().all(|q| q.len() == dim), "query dimension mismatch");
+    debug_assert!(outs.iter().all(|o| o.len() == m), "output length mismatch");
+    debug_assert_eq!(rows.len(), m * dim, "whole rows");
+    if dim == 0 {
+        for o in outs.iter_mut() {
+            o.fill(0.0);
+        }
+        return;
+    }
+    let (blocks, tail) = flexer_nn::kernels::split_rows4(rows, dim);
+    let m4 = blocks.len() / (4 * dim) * 4;
+    for (b, block) in blocks.chunks_exact(4 * dim).enumerate() {
+        let d = l2_sq_x8x4(queries, flexer_nn::kernels::block4(block, dim));
+        for (o, dq) in outs.iter_mut().zip(&d) {
+            o[4 * b..4 * b + 4].copy_from_slice(dq);
+        }
+    }
+    for (t, row) in tail.chunks_exact(dim).enumerate() {
+        for (o, q) in outs.iter_mut().zip(&queries) {
+            o[m4 + t] = l2_sq(q, row);
+        }
+    }
+}
+
 /// Squared L2 distances from one query to `out.len()` consecutive rows of
 /// a row-major buffer, four rows at a time via [`l2_sq_x4`]. Bit-identical
-/// to calling [`l2_sq`] per row.
+/// to calling [`l2_sq`] per row. The 4-row block shape is shared with the
+/// packed matmul kernels (`flexer_nn::kernels`).
 pub fn l2_sq_rows(query: &[f32], rows: &[f32], out: &mut [f32]) {
     let dim = query.len();
     debug_assert_eq!(rows.len(), out.len() * dim, "whole rows");
@@ -49,16 +163,13 @@ pub fn l2_sq_rows(query: &[f32], rows: &[f32], out: &mut [f32]) {
         out.fill(0.0);
         return;
     }
-    let mut blocks = rows.chunks_exact(4 * dim);
+    let (blocks, tail) = flexer_nn::kernels::split_rows4(rows, dim);
     let mut outs = out.chunks_exact_mut(4);
-    for (block, o) in (&mut blocks).zip(&mut outs) {
-        let (r0, rest) = block.split_at(dim);
-        let (r1, rest) = rest.split_at(dim);
-        let (r2, r3) = rest.split_at(dim);
-        let d = l2_sq_x4(query, [r0, r1, r2, r3]);
+    for (block, o) in blocks.chunks_exact(4 * dim).zip(&mut outs) {
+        let d = l2_sq_x4(query, flexer_nn::kernels::block4(block, dim));
         o.copy_from_slice(&d);
     }
-    for (row, o) in blocks.remainder().chunks_exact(dim).zip(outs.into_remainder()) {
+    for (row, o) in tail.chunks_exact(dim).zip(outs.into_remainder()) {
         *o = l2_sq(query, row);
     }
 }

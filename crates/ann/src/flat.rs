@@ -2,7 +2,7 @@
 //! is what the paper's experiments run (§5.7 notes only the exhaustive
 //! version is used).
 
-use crate::distance::l2_sq_rows;
+use crate::distance::{l2_sq_rows, l2_sq_rows_x4q, l2_sq_rows_x8q};
 use crate::{assert_finite, Neighbor, VectorIndex};
 
 /// Flat (brute-force) index over row-major vectors.
@@ -11,6 +11,14 @@ pub struct FlatIndex {
     dim: usize,
     data: Vec<f32>,
 }
+
+/// Queries interleaved per index block in [`FlatIndex::search_batch`]. The
+/// stored-vector block is streamed once and reused for every query in the
+/// group while it is still cache-hot, dividing index memory traffic by the
+/// group width — the exhaustive scan is bandwidth-bound, so this is the
+/// whole win. 16 queries × a 64-row block keeps the working set in L1/L2
+/// at FlexER's embedding widths.
+const QUERY_GROUP: usize = 16;
 
 impl FlatIndex {
     /// Empty index of the given dimensionality.
@@ -43,6 +51,75 @@ impl FlatIndex {
     /// The full `n × dim` row-major buffer (snapshot export).
     pub fn data(&self) -> &[f32] {
         &self.data
+    }
+
+    /// One pass over the stored vectors for a group of queries. Each query
+    /// sees the index blocks in the same order as [`FlatIndex::search`];
+    /// eights (then quads, then singles) of queries stream every block
+    /// through the multi-chain `l2_sq_rows_x8q`/`l2_sq_rows_x4q` kernels
+    /// (each (query, row) pair an independent exact-order fold — bitwise
+    /// the single-query distances), then each query's distances feed the
+    /// same bounded-insertion top-k. Every
+    /// per-query result is bitwise equal to a standalone `search` call;
+    /// only traversal interleaving (and cache/ILP behaviour) differs.
+    fn search_group(&self, queries: &[&[f32]], k: usize) -> Vec<Vec<Neighbor>> {
+        let n = self.len();
+        let nq = queries.len();
+        let mut tops: Vec<Vec<Neighbor>> =
+            queries.iter().map(|_| Vec::with_capacity(k + 1)).collect();
+        let mut dists = [[0.0f32; 64]; 8];
+        let mut base = 0;
+        while base < n {
+            let m = (n - base).min(64);
+            let rows = &self.data[base * self.dim..(base + m) * self.dim];
+            let mut q0 = 0;
+            while q0 < nq {
+                let qn = (nq - q0).min(8);
+                if qn == 8 {
+                    let eight: [&[f32]; 8] = std::array::from_fn(|c| queries[q0 + c]);
+                    let [d0, d1, d2, d3, d4, d5, d6, d7] = &mut dists;
+                    let mut outs = [
+                        &mut d0[..m],
+                        &mut d1[..m],
+                        &mut d2[..m],
+                        &mut d3[..m],
+                        &mut d4[..m],
+                        &mut d5[..m],
+                        &mut d6[..m],
+                        &mut d7[..m],
+                    ];
+                    l2_sq_rows_x8q(eight, rows, &mut outs);
+                } else if qn >= 4 {
+                    let quad: [&[f32]; 4] = std::array::from_fn(|c| queries[q0 + c]);
+                    let [d0, d1, d2, d3, ..] = &mut dists;
+                    let mut outs = [&mut d0[..m], &mut d1[..m], &mut d2[..m], &mut d3[..m]];
+                    l2_sq_rows_x4q(quad, rows, &mut outs);
+                    for (c, query) in queries[q0 + 4..q0 + qn].iter().enumerate() {
+                        l2_sq_rows(query, rows, &mut dists[4 + c][..m]);
+                    }
+                } else {
+                    for (c, query) in queries[q0..q0 + qn].iter().enumerate() {
+                        l2_sq_rows(query, rows, &mut dists[c][..m]);
+                    }
+                }
+                for (c, top) in tops[q0..q0 + qn].iter_mut().enumerate() {
+                    for (j, &dist) in dists[c][..m].iter().enumerate() {
+                        if top.len() == k && dist >= top[k - 1].dist {
+                            continue;
+                        }
+                        let id = base + j;
+                        let pos = top.iter().position(|nb| dist < nb.dist).unwrap_or(top.len());
+                        top.insert(pos, Neighbor { id, dist });
+                        if top.len() > k {
+                            top.pop();
+                        }
+                    }
+                }
+                q0 += qn;
+            }
+            base += m;
+        }
+        tops
     }
 }
 
@@ -88,6 +165,29 @@ impl VectorIndex for FlatIndex {
             base += m;
         }
         top
+    }
+
+    /// Query-blocked exhaustive scan: groups of [`QUERY_GROUP`] queries
+    /// share each pass over the stored vectors (groups fan out across the
+    /// `flexer-par` thread budget). Bit-identical to calling
+    /// [`search`](FlatIndex::search) per query — see
+    /// [`FlatIndex::search_group`].
+    fn search_batch(&self, queries: &[&[f32]], k: usize) -> Vec<Vec<Neighbor>> {
+        for query in queries {
+            assert_eq!(query.len(), self.dim, "query dimension mismatch");
+            assert_finite(query, "FlatIndex::search");
+        }
+        let k = k.min(self.len());
+        if k == 0 {
+            return vec![Vec::new(); queries.len()];
+        }
+        let n_groups = queries.len().div_ceil(QUERY_GROUP);
+        let per_group: Vec<Vec<Vec<Neighbor>>> = flexer_par::parallel_map(n_groups, |g| {
+            let q0 = g * QUERY_GROUP;
+            let group = &queries[q0..(q0 + QUERY_GROUP).min(queries.len())];
+            self.search_group(group, k)
+        });
+        per_group.into_iter().flatten().collect()
     }
 }
 

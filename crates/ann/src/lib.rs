@@ -119,6 +119,13 @@ impl VectorIndex for AnyIndex {
             AnyIndex::Ivf(i) => i.search(query, k),
         }
     }
+
+    fn search_batch(&self, queries: &[&[f32]], k: usize) -> Vec<Vec<Neighbor>> {
+        match self {
+            AnyIndex::Flat(i) => i.search_batch(queries, k),
+            AnyIndex::Ivf(i) => i.search_batch(queries, k),
+        }
+    }
 }
 
 /// Panics with a clear message if any component is NaN/Inf. Every index

@@ -1,0 +1,106 @@
+//! `compare` — diff two `BENCH_*.json` sets and gate on regressions.
+//!
+//! ```text
+//! compare --baseline BENCH_serve.json --candidate /tmp/BENCH_serve.json
+//! compare --baseline a1.json,a2.json,a3.json --candidate b1.json,b2.json,b3.json --strict
+//! ```
+//!
+//! With one file per side the gate is a relative-change threshold
+//! (`--threshold`, default 0.25 — wall-clock benches are noisy). With
+//! two or more files per side (interleaved re-runs), Welch's t-test
+//! replaces the threshold. `--strict` exits non-zero when any gated
+//! metric regresses; the default is report-only. `--inject-regression F`
+//! synthetically worsens the candidate set by the fraction `F` before
+//! comparing — CI uses it to prove the gate fires.
+
+use flexer_bench::compare::{compare_sets, inject_regression, parse_json, JsonValue};
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!(
+        "usage: compare --baseline F[,F...] --candidate F[,F...] \
+         [--threshold FRAC] [--strict] [--inject-regression FRAC]"
+    );
+    std::process::exit(2)
+}
+
+fn load_set(spec: &str) -> Vec<JsonValue> {
+    spec.split(',')
+        .map(|path| {
+            let src = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| usage(&format!("cannot read {path}: {e}")));
+            parse_json(&src).unwrap_or_else(|e| usage(&format!("{path}: {e}")))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline = None;
+    let mut candidate = None;
+    let mut threshold = 0.25f64;
+    let mut strict = false;
+    let mut inject = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                baseline =
+                    Some(args.get(i).cloned().unwrap_or_else(|| usage("--baseline expects files")));
+            }
+            "--candidate" => {
+                i += 1;
+                candidate = Some(
+                    args.get(i).cloned().unwrap_or_else(|| usage("--candidate expects files")),
+                );
+            }
+            "--threshold" => {
+                i += 1;
+                threshold = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--threshold expects a fraction"));
+            }
+            "--inject-regression" => {
+                i += 1;
+                inject = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse::<f64>().ok())
+                        .unwrap_or_else(|| usage("--inject-regression expects a fraction")),
+                );
+            }
+            "--strict" => strict = true,
+            "--help" | "-h" => usage(""),
+            other => usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    let base = load_set(&baseline.unwrap_or_else(|| usage("--baseline is required")));
+    let mut cand = load_set(&candidate.unwrap_or_else(|| usage("--candidate is required")));
+    if let Some(frac) = inject {
+        for v in &mut cand {
+            inject_regression(v, frac);
+        }
+        println!("(candidate metrics synthetically worsened by {frac})");
+    }
+    let mode = if base.len() >= 2 && cand.len() >= 2 {
+        format!("Welch t-test over {}v{} samples", base.len(), cand.len())
+    } else {
+        format!("relative threshold {threshold} (single-sample mode)")
+    };
+    println!("== bench compare :: {mode} ==");
+    let report = compare_sets(&base, &cand, threshold);
+    print!("{}", report.render());
+    if report.has_regressions() {
+        if strict {
+            eprintln!("FAIL: regressions detected (strict mode)");
+            std::process::exit(1);
+        }
+        println!("regressions detected (report-only mode)");
+    } else {
+        println!("no regressions");
+    }
+}

@@ -412,6 +412,7 @@ fn parse_args() -> (usize, u64, bool) {
     let mut n_records = 10_000usize;
     let mut seed = 17u64;
     let mut json = false;
+    let mut no_packed = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -431,10 +432,17 @@ fn parse_args() -> (usize, u64, bool) {
                     .unwrap_or_else(|| usage("--seed expects an integer"));
             }
             "--json" => json = true,
+            // Pre-PR hot-path emulation (naive GEMM + per-candidate ANN
+            // localization) — for generating a "before" report that
+            // `compare` can gate a kernel change against.
+            "--no-packed-kernels" => no_packed = true,
             "--help" | "-h" => usage(""),
             other => usage(&format!("unknown argument {other}")),
         }
         i += 1;
+    }
+    if no_packed {
+        flexer_nn::kernels::set_packed_kernels(false);
     }
     (n_records, seed, json)
 }
@@ -443,6 +451,6 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: serve [--records N] [--seed N] [--json]");
+    eprintln!("usage: serve [--records N] [--seed N] [--json] [--no-packed-kernels]");
     std::process::exit(2)
 }

@@ -1,0 +1,757 @@
+//! Diffing two `BENCH_*.json` result sets with statistical regression
+//! gating.
+//!
+//! The harness bins emit flat-ish JSON (numbers, nested `"stages"`
+//! objects, the shard sweep array). This module parses those files with
+//! a dependency-free recursive-descent parser, flattens every numeric
+//! leaf to a dotted path, classifies each metric's *direction* (is
+//! bigger better?) from its name, and compares baseline vs candidate:
+//!
+//! * **n ≥ 2 samples per side** (interleaved re-runs of the same bench):
+//!   Welch's unequal-variance t-test at α = 0.05 two-sided, with the
+//!   Welch–Satterthwaite degrees of freedom floored and the critical
+//!   value looked up conservatively (the lower tabulated df wins). A
+//!   metric regresses only when the move is in the *worse* direction
+//!   **and** statistically significant.
+//! * **n = 1 per side** (the common CI case — one checked-in baseline
+//!   file vs one fresh run): a relative-change threshold gate instead;
+//!   noisy wall-clock metrics need a generous default (25%).
+//!
+//! When a regression fires, the per-stage `"stages"` spans localize it:
+//! the stage whose total time grew the most is named, so "serve got
+//! slower" becomes "`resolve.forward` got slower".
+
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// JSON value + parser
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value (the subset the bench files use — which is all
+/// of JSON, minus any pretense of perfect number round-tripping).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A number (always held as `f64`).
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order.
+    Obj(Vec<(String, JsonValue)>),
+    /// `null`.
+    Null,
+}
+
+/// Parses a JSON document. Returns a readable error with a byte offset
+/// on malformed input.
+pub fn parse_json(src: &str) -> Result<JsonValue, String> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, ch: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&ch) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", ch as char, pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => Ok(JsonValue::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", JsonValue::Null),
+        Some(_) => parse_number(b, pos),
+        None => Err("unexpected end of input".into()),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    let start = *pos;
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .map(JsonValue::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                let esc = *b.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hex = b
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "bad \\u escape".to_string())?;
+                        *pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape '\\{}'", other as char)),
+                }
+            }
+            Some(&c) => {
+                // Multibyte UTF-8 passes through byte by byte; the source
+                // is a &str so the bytes are valid.
+                let start = *pos;
+                let len = utf8_len(c);
+                *pos += len;
+                out.push_str(std::str::from_utf8(&b[start..*pos]).unwrap_or("\u{fffd}"));
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(JsonValue::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+        }
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    expect(b, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(JsonValue::Obj(fields));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        expect(b, pos, b':')?;
+        fields.push((key, parse_value(b, pos)?));
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flattening + metric direction
+// ---------------------------------------------------------------------------
+
+/// Flattens every numeric leaf to `(dotted.path, value)`, arrays as
+/// `path[i]`. Strings, bools and nulls are dropped — they are metadata,
+/// not metrics.
+pub fn flatten(value: &JsonValue) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    walk(value, String::new(), &mut out);
+    out
+}
+
+fn walk(value: &JsonValue, path: String, out: &mut Vec<(String, f64)>) {
+    match value {
+        JsonValue::Num(n) => out.push((path, *n)),
+        JsonValue::Obj(fields) => {
+            for (k, v) in fields {
+                let p = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                walk(v, p, out);
+            }
+        }
+        JsonValue::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                walk(v, format!("{path}[{i}]"), out);
+            }
+        }
+        JsonValue::Bool(_) | JsonValue::Str(_) | JsonValue::Null => {}
+    }
+}
+
+/// Which way a metric should move to count as an improvement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Throughput-like: a drop is a regression.
+    HigherBetter,
+    /// Latency/cost-like: a rise is a regression.
+    LowerBetter,
+    /// Descriptive (seeds, counts, cardinalities): never gated.
+    Informational,
+}
+
+/// Classifies a flattened metric path by name. Per-stage span totals
+/// (`…stages.…`) are time and therefore lower-is-better.
+pub fn classify(path: &str) -> Direction {
+    const HIGHER: &[&str] = &[
+        "qps",
+        "per_sec",
+        "speedup",
+        "recall",
+        "hit_rate",
+        "gflops",
+        "coverage",
+        "retention",
+        "partition_factor",
+    ];
+    const LOWER: &[&str] = &[
+        "latency",
+        "_us",
+        "_ns",
+        "secs",
+        "allocs",
+        "imbalance",
+        "rejections",
+        "bytes",
+        "stages.",
+        "ns_per_row",
+    ];
+    if HIGHER.iter().any(|m| path.contains(m)) {
+        Direction::HigherBetter
+    } else if LOWER.iter().any(|m| path.contains(m)) {
+        Direction::LowerBetter
+    } else {
+        Direction::Informational
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Welch's t-test
+// ---------------------------------------------------------------------------
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn variance(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Welch's unequal-variance t statistic and Welch–Satterthwaite degrees
+/// of freedom. `None` when either side has fewer than two samples or
+/// both sides have zero variance with equal means.
+pub fn welch_t(xs: &[f64], ys: &[f64]) -> Option<(f64, f64)> {
+    if xs.len() < 2 || ys.len() < 2 {
+        return None;
+    }
+    let (n1, n2) = (xs.len() as f64, ys.len() as f64);
+    let (v1, v2) = (variance(xs), variance(ys));
+    let se2 = v1 / n1 + v2 / n2;
+    if se2 == 0.0 {
+        // Zero spread: any mean difference is "infinitely" significant.
+        return if mean(xs) == mean(ys) {
+            None
+        } else {
+            Some((f64::INFINITY, (n1 + n2 - 2.0).max(1.0)))
+        };
+    }
+    let t = (mean(xs) - mean(ys)) / se2.sqrt();
+    let df = se2 * se2 / ((v1 / n1) * (v1 / n1) / (n1 - 1.0) + (v2 / n2) * (v2 / n2) / (n2 - 1.0));
+    Some((t, df))
+}
+
+/// Two-sided α = 0.05 Student-t critical value for `df` degrees of
+/// freedom. The df is floored and looked up conservatively: between
+/// tabulated rows the *lower* df's (larger) critical value applies, so
+/// borderline results never over-claim significance.
+pub fn t_critical(df: f64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    let d = df.floor();
+    if d < 1.0 {
+        f64::INFINITY
+    } else if d <= 30.0 {
+        TABLE[d as usize - 1]
+    } else if d < 40.0 {
+        TABLE[29]
+    } else if d < 60.0 {
+        2.021
+    } else if d < 120.0 {
+        2.000
+    } else {
+        1.980
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+/// One metric's baseline-vs-candidate verdict.
+#[derive(Debug, Clone)]
+pub struct MetricDelta {
+    /// Flattened metric path.
+    pub path: String,
+    /// Mean over the baseline samples.
+    pub base_mean: f64,
+    /// Mean over the candidate samples.
+    pub cand_mean: f64,
+    /// Relative change `(cand - base) / |base|`.
+    pub rel_change: f64,
+    /// Name-derived direction.
+    pub direction: Direction,
+    /// Welch verdict: `Some(true)` significant, `Some(false)` not,
+    /// `None` when either side had a single sample (threshold mode).
+    pub significant: Option<bool>,
+    /// Whether this metric counts as a regression under the gate.
+    pub regression: bool,
+}
+
+/// A regression localized to the pipeline stage that slowed down most.
+#[derive(Debug, Clone)]
+pub struct StageBlame {
+    /// Path prefix owning the `"stages"` object (empty at top level).
+    pub scope: String,
+    /// The slowest-growing stage's full path.
+    pub stage: String,
+    /// Absolute time increase (ns) of that stage.
+    pub increase_ns: f64,
+    /// Relative increase of that stage.
+    pub rel_change: f64,
+}
+
+/// The full comparison result.
+#[derive(Debug, Clone)]
+pub struct CompareReport {
+    /// Per-metric verdicts, in baseline key order.
+    pub deltas: Vec<MetricDelta>,
+    /// Metric paths present on only one side (path, in_baseline).
+    pub unmatched: Vec<(String, bool)>,
+    /// Stage localization for scopes containing a regression.
+    pub blames: Vec<StageBlame>,
+}
+
+impl CompareReport {
+    /// Whether any gated metric regressed.
+    pub fn has_regressions(&self) -> bool {
+        self.deltas.iter().any(|d| d.regression)
+    }
+
+    /// Regressed metrics only.
+    pub fn regressions(&self) -> impl Iterator<Item = &MetricDelta> {
+        self.deltas.iter().filter(|d| d.regression)
+    }
+
+    /// Renders the human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let n_reg = self.regressions().count();
+        let gated = self.deltas.iter().filter(|d| d.direction != Direction::Informational).count();
+        let _ = writeln!(out, "compared {} gated metrics: {} regression(s)", gated, n_reg);
+        for d in &self.deltas {
+            if d.direction == Direction::Informational {
+                continue;
+            }
+            let verdict = if d.regression {
+                "REGRESSION"
+            } else if d.significant == Some(true) {
+                "changed"
+            } else {
+                "ok"
+            };
+            // Only surface interesting rows: regressions always, the rest
+            // when they moved more than 1%.
+            if d.regression || d.rel_change.abs() > 0.01 {
+                let _ = writeln!(
+                    out,
+                    "  {:>10}  {}  {:.4} -> {:.4}  ({:+.1}%)",
+                    verdict,
+                    d.path,
+                    d.base_mean,
+                    d.cand_mean,
+                    d.rel_change * 100.0
+                );
+            }
+        }
+        for b in &self.blames {
+            let scope = if b.scope.is_empty() { "<top>" } else { &b.scope };
+            let _ = writeln!(
+                out,
+                "  localized: {} slowdown dominated by {} (+{:.2}ms, {:+.1}%)",
+                scope,
+                b.stage,
+                b.increase_ns / 1e6,
+                b.rel_change * 100.0
+            );
+        }
+        for (path, in_base) in &self.unmatched {
+            let side = if *in_base { "baseline-only" } else { "candidate-only" };
+            let _ = writeln!(out, "  {side}: {path}");
+        }
+        out
+    }
+}
+
+/// Collects each path's samples across a file set, preserving first-seen
+/// order.
+fn samples(set: &[JsonValue]) -> Vec<(String, Vec<f64>)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut by_path: std::collections::HashMap<String, Vec<f64>> = std::collections::HashMap::new();
+    for v in set {
+        for (path, x) in flatten(v) {
+            if !by_path.contains_key(&path) {
+                order.push(path.clone());
+            }
+            by_path.entry(path).or_default().push(x);
+        }
+    }
+    order
+        .into_iter()
+        .map(|p| {
+            let xs = by_path.remove(&p).unwrap_or_default();
+            (p, xs)
+        })
+        .collect()
+}
+
+/// Compares a baseline file set against a candidate file set.
+///
+/// `threshold` is the relative-change gate used when a side has only one
+/// sample (no variance to test against); with ≥ 2 samples per side the
+/// Welch test replaces it.
+pub fn compare_sets(base: &[JsonValue], cand: &[JsonValue], threshold: f64) -> CompareReport {
+    let base_samples = samples(base);
+    let cand_samples: std::collections::HashMap<String, Vec<f64>> =
+        samples(cand).into_iter().collect();
+    let mut matched: std::collections::HashSet<String> = std::collections::HashSet::new();
+    let mut deltas = Vec::new();
+    let mut unmatched = Vec::new();
+
+    for (path, xs) in &base_samples {
+        let Some(ys) = cand_samples.get(path) else {
+            unmatched.push((path.clone(), true));
+            continue;
+        };
+        matched.insert(path.clone());
+        let direction = classify(path);
+        let (bm, cm) = (mean(xs), mean(ys));
+        let rel = if bm == 0.0 {
+            if cm == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY * cm.signum()
+            }
+        } else {
+            (cm - bm) / bm.abs()
+        };
+        let worse = match direction {
+            Direction::HigherBetter => rel < 0.0,
+            Direction::LowerBetter => rel > 0.0,
+            Direction::Informational => false,
+        };
+        let (significant, regression) = match welch_t(xs, ys) {
+            Some((t, df)) => {
+                let sig = t.abs() > t_critical(df);
+                // With real samples on both sides, significance gates; a
+                // small floor keeps bit-level noise from ever firing.
+                (Some(sig), worse && sig && rel.abs() > 0.005)
+            }
+            None => (None, worse && rel.abs() > threshold),
+        };
+        deltas.push(MetricDelta {
+            path: path.clone(),
+            base_mean: bm,
+            cand_mean: cm,
+            rel_change: rel,
+            direction,
+            significant,
+            regression,
+        });
+    }
+    for (path, _) in samples(cand) {
+        if !matched.contains(&path) {
+            unmatched.push((path, false));
+        }
+    }
+
+    let blames = localize(&deltas);
+    CompareReport { deltas, unmatched, blames }
+}
+
+/// For every scope (path prefix before `stages.`) containing at least
+/// one regressed metric, names the stage whose time grew the most.
+fn localize(deltas: &[MetricDelta]) -> Vec<StageBlame> {
+    let scope_of = |path: &str| -> Option<String> {
+        path.find("stages.").map(|i| path[..i].trim_end_matches('.').to_string())
+    };
+    // Scopes that regressed anywhere (stage or headline metric under the
+    // same prefix).
+    let mut hot_scopes: Vec<String> = Vec::new();
+    for d in deltas.iter().filter(|d| d.regression) {
+        let scope = scope_of(&d.path).unwrap_or_else(|| {
+            // Headline metric: its scope is everything up to the last '.'
+            // or top level for flat files.
+            match d.path.rfind('.') {
+                Some(i) => d.path[..i].to_string(),
+                None => String::new(),
+            }
+        });
+        if !hot_scopes.contains(&scope) {
+            hot_scopes.push(scope);
+        }
+    }
+    let mut blames = Vec::new();
+    for scope in hot_scopes {
+        let mut best: Option<StageBlame> = None;
+        for d in deltas {
+            let Some(s) = scope_of(&d.path) else { continue };
+            if s != scope {
+                continue;
+            }
+            let inc = d.cand_mean - d.base_mean;
+            if inc <= 0.0 {
+                continue;
+            }
+            if best.as_ref().map_or(true, |b| inc > b.increase_ns) {
+                best = Some(StageBlame {
+                    scope: scope.clone(),
+                    stage: d.path.clone(),
+                    increase_ns: inc,
+                    rel_change: d.rel_change,
+                });
+            }
+        }
+        if let Some(b) = best {
+            blames.push(b);
+        }
+    }
+    blames
+}
+
+/// Scales every gated metric of `value` in the *worse* direction by
+/// `frac` (e.g. `0.5` halves throughputs and multiplies latencies by
+/// 1.5). Used by CI to prove the gate actually fires.
+pub fn inject_regression(value: &mut JsonValue, frac: f64) {
+    fn walk_mut(value: &mut JsonValue, path: String, frac: f64) {
+        match value {
+            JsonValue::Num(n) => match classify(&path) {
+                Direction::HigherBetter => *n /= 1.0 + frac,
+                Direction::LowerBetter => *n *= 1.0 + frac,
+                Direction::Informational => {}
+            },
+            JsonValue::Obj(fields) => {
+                for (k, v) in fields {
+                    let p = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                    walk_mut(v, p, frac);
+                }
+            }
+            JsonValue::Arr(items) => {
+                for (i, v) in items.iter_mut().enumerate() {
+                    walk_mut(v, format!("{path}[{i}]"), frac);
+                }
+            }
+            _ => {}
+        }
+    }
+    walk_mut(value, String::new(), frac);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SERVE_SNIPPET: &str = r#"{"bench":"serve","seed":17,"record_qps":27.6,
+        "record_p99_us":40427.1,"obs_enabled":true,"label":"x",
+        "stages":{"resolve.block":16878,"resolve.forward":559120577}}"#;
+
+    #[test]
+    fn parser_handles_bench_shapes() {
+        let v = parse_json(SERVE_SNIPPET).unwrap();
+        let flat = flatten(&v);
+        let get = |p: &str| flat.iter().find(|(q, _)| q == p).map(|(_, x)| *x);
+        assert_eq!(get("seed"), Some(17.0));
+        assert_eq!(get("record_qps"), Some(27.6));
+        assert_eq!(get("stages.resolve.forward"), Some(559120577.0));
+        // Strings/bools are metadata, not metrics.
+        assert_eq!(get("bench"), None);
+        assert_eq!(get("obs_enabled"), None);
+        // Arrays flatten with indices.
+        let v = parse_json(r#"{"sweep":[{"qps":1.5},{"qps":2.5}]}"#).unwrap();
+        let flat = flatten(&v);
+        assert_eq!(flat, vec![("sweep[0].qps".into(), 1.5), ("sweep[1].qps".into(), 2.5)]);
+        // Escapes and negative/exponent numbers round-trip.
+        let v = parse_json(r#"{"a\n\"b":[-1.5e-3, 2E2, null]}"#).unwrap();
+        assert_eq!(flatten(&v), vec![("a\n\"b[0]".into(), -0.0015), ("a\n\"b[1]".into(), 200.0)]);
+        assert!(parse_json("{\"x\":").is_err());
+        assert!(parse_json("[1,2] junk").is_err());
+    }
+
+    #[test]
+    fn direction_classification_matches_bench_vocabulary() {
+        assert_eq!(classify("record_qps"), Direction::HigherBetter);
+        assert_eq!(classify("ingest_per_sec"), Direction::HigherBetter);
+        assert_eq!(classify("golden_recall"), Direction::HigherBetter);
+        assert_eq!(classify("cache_hit_rate"), Direction::HigherBetter);
+        assert_eq!(classify("record_p99_us"), Direction::LowerBetter);
+        assert_eq!(classify("train_secs"), Direction::LowerBetter);
+        assert_eq!(classify("allocs_per_query"), Direction::LowerBetter);
+        assert_eq!(classify("stages.resolve.forward"), Direction::LowerBetter);
+        assert_eq!(classify("sweep[0].stages.resolve.embed"), Direction::LowerBetter);
+        assert_eq!(classify("seed"), Direction::Informational);
+        assert_eq!(classify("n_records"), Direction::Informational);
+    }
+
+    #[test]
+    fn welch_matches_known_values() {
+        // Equal variances, small gap: t = -1.0954, df = 6 → not significant.
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 3.0, 4.0, 5.0];
+        let (t, df) = welch_t(&xs, &ys).unwrap();
+        assert!((t - (-1.0954)).abs() < 1e-3, "t = {t}");
+        assert!((df - 6.0).abs() < 1e-9, "df = {df}");
+        assert!(t.abs() < t_critical(df));
+        // Massive gap, tiny spread: decisively significant.
+        let xs = [10.0, 10.1, 9.9];
+        let ys = [20.0, 20.1, 19.9];
+        let (t, df) = welch_t(&xs, &ys).unwrap();
+        assert!(t.abs() > t_critical(df));
+        // Degenerate inputs.
+        assert!(welch_t(&[1.0], &[2.0, 3.0]).is_none());
+        assert!(welch_t(&[1.0, 1.0], &[1.0, 1.0]).is_none());
+        let (t, _) = welch_t(&[1.0, 1.0], &[2.0, 2.0]).unwrap();
+        assert!(t.is_infinite());
+        // Conservative table lookup.
+        assert!(t_critical(0.5).is_infinite());
+        assert_eq!(t_critical(6.9), 2.447);
+        assert_eq!(t_critical(35.0), 2.042);
+        assert_eq!(t_critical(200.0), 1.980);
+    }
+
+    #[test]
+    fn identical_sets_never_regress() {
+        let v = parse_json(SERVE_SNIPPET).unwrap();
+        let report = compare_sets(std::slice::from_ref(&v), std::slice::from_ref(&v), 0.25);
+        assert!(!report.has_regressions(), "{}", report.render());
+        assert!(report.unmatched.is_empty());
+    }
+
+    #[test]
+    fn injected_regression_is_flagged_and_localized() {
+        let base = parse_json(SERVE_SNIPPET).unwrap();
+        let mut bad = base.clone();
+        inject_regression(&mut bad, 0.5);
+        let report = compare_sets(&[base], &[bad], 0.25);
+        assert!(report.has_regressions());
+        let paths: Vec<&str> = report.regressions().map(|d| d.path.as_str()).collect();
+        assert!(paths.contains(&"record_qps"), "{paths:?}");
+        assert!(paths.contains(&"stages.resolve.forward"), "{paths:?}");
+        // The dominant stage (resolve.forward, +280ms) takes the blame.
+        assert_eq!(report.blames.len(), 1, "{:?}", report.blames);
+        assert_eq!(report.blames[0].stage, "stages.resolve.forward");
+        // Informational metrics stay untouched and ungated.
+        assert!(!paths.contains(&"seed"));
+    }
+
+    #[test]
+    fn single_sample_threshold_gates_and_welch_overrides_it() {
+        // 10% qps drop: under the 25% threshold → no regression in n=1 mode.
+        let base = parse_json(r#"{"record_qps":100.0}"#).unwrap();
+        let cand = parse_json(r#"{"record_qps":90.0}"#).unwrap();
+        assert!(!compare_sets(std::slice::from_ref(&base), std::slice::from_ref(&cand), 0.25)
+            .has_regressions());
+        assert!(compare_sets(&[base], &[cand], 0.05).has_regressions());
+        // Same 10% drop with 3 consistent interleaved samples per side:
+        // Welch's test resolves it as a real regression.
+        let parse = |q: f64| parse_json(&format!("{{\"record_qps\":{q}}}")).unwrap();
+        let base: Vec<_> = [100.0, 100.5, 99.5].map(parse).to_vec();
+        let cand: Vec<_> = [90.0, 90.5, 89.5].map(parse).to_vec();
+        let report = compare_sets(&base, &cand, 0.25);
+        assert!(report.has_regressions(), "{}", report.render());
+        assert_eq!(report.deltas[0].significant, Some(true));
+        // An *improvement* of any size is never a regression.
+        let base: Vec<_> = [90.0, 90.5, 89.5].map(parse).to_vec();
+        let cand: Vec<_> = [100.0, 100.5, 99.5].map(parse).to_vec();
+        assert!(!compare_sets(&base, &cand, 0.25).has_regressions());
+    }
+
+    #[test]
+    fn unmatched_metrics_are_reported_not_gated() {
+        let base = parse_json(r#"{"record_qps":100.0,"old_metric_us":5.0}"#).unwrap();
+        let cand = parse_json(r#"{"record_qps":100.0,"new_metric_us":5.0}"#).unwrap();
+        let report = compare_sets(&[base], &[cand], 0.25);
+        assert!(!report.has_regressions());
+        assert_eq!(
+            report.unmatched,
+            vec![("old_metric_us".to_string(), true), ("new_metric_us".to_string(), false)]
+        );
+    }
+}

@@ -188,7 +188,13 @@ pub(crate) fn batch_concat_states(
         Aggregation::RelationTyped => 3,
         Aggregation::Pooled => 2,
     };
-    out.reset(b * p, factor * d);
+    // Every element of every row is stored below (the copy, the fills, and
+    // the accumulations cover the full `factor * d` width), so the reshape
+    // skips the full-matrix zeroing memset — at serving batch sizes that
+    // pass re-touches megabytes per forward for no reason. Accumulation
+    // starts from an explicit `fill(0.0)` in the same element order as the
+    // zeroed-matrix path, so results are bit-identical.
+    out.reset_overwrite(b * p, factor * d);
     let aggregation = layer.aggregation();
     let kernel = |r: usize, row: &mut [f32]| {
         let c = r / p;
@@ -199,6 +205,7 @@ pub(crate) fn batch_concat_states(
         match aggregation {
             Aggregation::RelationTyped => {
                 let (intra, inter) = row[d..].split_at_mut(d);
+                intra.fill(0.0);
                 if !ids.is_empty() {
                     let inv = 1.0 / ids.len() as f32;
                     for &id in ids {
@@ -207,6 +214,7 @@ pub(crate) fn batch_concat_states(
                         }
                     }
                 }
+                inter.fill(0.0);
                 if p > 1 {
                     let inv = 1.0 / (p - 1) as f32;
                     for q2 in 0..p {
@@ -221,6 +229,7 @@ pub(crate) fn batch_concat_states(
             }
             Aggregation::Pooled => {
                 let union = &mut row[d..];
+                union.fill(0.0);
                 let deg = ids.len() + (p - 1);
                 if deg > 0 {
                     let inv = 1.0 / deg as f32;

@@ -16,15 +16,19 @@ use crate::csr::CsrGraph;
 use crate::multiplex::MultiplexGraph;
 use crate::sage::{Aggregation, SageCache, SageLayer};
 use flexer_nn::activation::{relu_backward_inplace, relu_inplace, softmax_rows};
-use flexer_nn::{Linear, Matrix, Optimizer};
+use flexer_nn::kernels::dense_forward_into;
+use flexer_nn::{Linear, Matrix, Optimizer, PackedB};
 use rand::Rng;
 
 /// A q-layer multiplex GraphSAGE network plus the fully connected
-/// prediction head of Eq. 5.
+/// prediction head of Eq. 5. The head weights are kept packed
+/// ([`PackedB`]) for the blocked forward kernels, refreshed on every
+/// [`GnnModel::apply`].
 #[derive(Debug, Clone)]
 pub struct GnnModel {
     layers: Vec<SageLayer>,
     head: Linear,
+    head_pack: PackedB,
 }
 
 /// Forward cache of the whole network.
@@ -89,7 +93,8 @@ impl GnnModel {
             in_dim = out_dim;
         }
         let head = Linear::new(rng, in_dim, 2);
-        Self { layers, head }
+        let head_pack = PackedB::pack(&head.w);
+        Self { layers, head, head_pack }
     }
 
     /// Reassembles a model from its layers and head (the snapshot-import
@@ -105,7 +110,15 @@ impl GnnModel {
             head.in_dim(),
             "head input width must match the final layer"
         );
-        Self { layers, head }
+        let head_pack = PackedB::pack(&head.w);
+        Self { layers, head, head_pack }
+    }
+
+    /// Head forward through the packed kernels (`out = h · W_head + b`).
+    fn head_forward(&self, h: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        dense_forward_into(h, &self.head, &self.head_pack, false, &mut out);
+        out
     }
 
     /// The GraphSAGE layers in forward order (snapshot export).
@@ -144,7 +157,7 @@ impl GnnModel {
     pub fn intent_logits(&self, graph: &MultiplexGraph, trace: &GnnTrace, layer: usize) -> Matrix {
         let rows: Vec<usize> = graph.layer_nodes(layer).collect();
         let h = trace.final_hidden().select_rows(&rows);
-        self.head.forward(&h)
+        self.head_forward(&h)
     }
 
     /// Match likelihoods (`softmax` second entry) per pair for one intent.
@@ -223,7 +236,7 @@ impl GnnModel {
             }
             hidden.push(h.clone());
         }
-        let logits = self.head.forward(&h);
+        let logits = self.head_forward(&h);
         InductiveTrace { hidden, logits }
     }
 
@@ -263,13 +276,13 @@ impl GnnModel {
             let input = if t == 0 { new_features } else { &hidden[t - 1] };
             crate::batch::batch_concat_states(layer, input, neighbors, &sources[t], &mut concat);
             let mut out = Matrix::zeros(0, 0);
-            layer.linear().forward_into(&concat, &mut out);
-            if t + 1 < self.layers.len() {
-                relu_inplace(&mut out);
-            }
+            // Bias + inter-layer ReLU fused into the packed matmul's
+            // epilogue: one pass over the B·P × d_t output instead of
+            // three.
+            layer.forward_concat_into(&concat, t + 1 < self.layers.len(), &mut out);
             hidden.push(out);
         }
-        let logits = self.head.forward(hidden.last().expect("at least one layer"));
+        let logits = self.head_forward(hidden.last().expect("at least one layer"));
         BatchInductiveTrace { p_layers, hidden, logits }
     }
 
@@ -330,13 +343,15 @@ impl GnnModel {
         }
     }
 
-    /// Applies an optimizer to all parameters.
+    /// Applies an optimizer to all parameters and refreshes the weight
+    /// packs.
     pub fn apply(&mut self, opt: &mut impl Optimizer) {
         let mut slot = 0;
         for layer in &mut self.layers {
             slot += layer.apply(opt, slot);
         }
         self.head.apply(opt, slot);
+        self.head_pack.repack(&self.head.w);
     }
 }
 

@@ -14,7 +14,8 @@
 
 use crate::csr::CsrGraph;
 use crate::multiplex::MultiplexGraph;
-use flexer_nn::{Linear, Matrix, Optimizer};
+use flexer_nn::kernels::dense_forward_into;
+use flexer_nn::{Linear, Matrix, Optimizer, PackedB};
 use rand::Rng;
 
 /// Whether relations are aggregated separately (the FlexER adjustment) or
@@ -27,10 +28,13 @@ pub enum Aggregation {
     Pooled,
 }
 
-/// One GNN layer.
+/// One GNN layer. The weight matrix is kept packed ([`PackedB`]) for
+/// the blocked forward kernels; the pack is refreshed whenever
+/// [`SageLayer::apply`] updates the weights.
 #[derive(Debug, Clone)]
 pub struct SageLayer {
     linear: Linear,
+    pack: PackedB,
     aggregation: Aggregation,
     in_dim: usize,
 }
@@ -56,7 +60,9 @@ impl SageLayer {
             Aggregation::RelationTyped => 3 * in_dim,
             Aggregation::Pooled => 2 * in_dim,
         };
-        Self { linear: Linear::new(rng, concat_dim, out_dim), aggregation, in_dim }
+        let linear = Linear::new(rng, concat_dim, out_dim);
+        let pack = PackedB::pack(&linear.w);
+        Self { linear, pack, aggregation, in_dim }
     }
 
     /// Reassembles a layer from its weights (the snapshot-import path).
@@ -73,7 +79,8 @@ impl SageLayer {
             "linear input width must be a multiple of the concat factor"
         );
         let in_dim = linear.in_dim() / factor;
-        Self { linear, aggregation, in_dim }
+        let pack = PackedB::pack(&linear.w);
+        Self { linear, pack, aggregation, in_dim }
     }
 
     /// The learned linear map (snapshot export).
@@ -100,7 +107,8 @@ impl SageLayer {
     /// ReLU between layers, none on the last, per §5.2.1).
     pub fn forward(&self, graph: &MultiplexGraph, h: &Matrix) -> SageCache {
         let concat = self.concat_states(&graph.intra, &graph.inter, h);
-        let output = self.linear.forward(&concat);
+        let mut output = Matrix::zeros(0, 0);
+        self.forward_concat_into(&concat, false, &mut output);
         SageCache { input: h.clone(), concat, output }
     }
 
@@ -108,7 +116,18 @@ impl SageLayer {
     /// behind both the transductive pass and the serving tier's inductive
     /// pass over a local subgraph (same math, any node set).
     pub fn forward_states(&self, intra: &CsrGraph, inter: &CsrGraph, h: &Matrix) -> Matrix {
-        self.linear.forward(&self.concat_states(intra, inter, h))
+        let mut out = Matrix::zeros(0, 0);
+        self.forward_concat_into(&self.concat_states(intra, inter, h), false, &mut out);
+        out
+    }
+
+    /// Forward of pre-built `[self ; …]` concat rows into a caller-owned
+    /// output buffer, through the packed kernels, with the inter-layer
+    /// ReLU optionally fused into the matmul epilogue. This is the entry
+    /// the batched inductive path uses: no allocation when `out` already
+    /// has capacity, and one pass over the output instead of three.
+    pub fn forward_concat_into(&self, concat: &Matrix, relu: bool, out: &mut Matrix) {
+        dense_forward_into(concat, &self.linear, &self.pack, relu, out);
     }
 
     /// `[self ; …]` concatenation per aggregation mode.
@@ -164,9 +183,12 @@ impl SageLayer {
         self.linear.zero_grad();
     }
 
-    /// Applies an optimizer; returns slots used.
+    /// Applies an optimizer and refreshes the weight pack; returns slots
+    /// used.
     pub fn apply(&mut self, opt: &mut impl Optimizer, slot_base: usize) -> usize {
-        self.linear.apply(opt, slot_base)
+        let used = self.linear.apply(opt, slot_base);
+        self.pack.repack(&self.linear.w);
+        used
     }
 }
 

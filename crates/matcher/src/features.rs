@@ -38,6 +38,18 @@ impl Default for PairFeaturizer {
     }
 }
 
+/// One side of a pair with its derived hashing inputs (summarized tokens
+/// and character n-grams) precomputed. In a resolve query the incoming
+/// record pairs against every candidate, so rebuilding its n-gram bag
+/// per probe is the dominant featurization allocation;
+/// [`PairFeaturizer::prepare_side`] hoists it to once per candidate set.
+#[derive(Debug, Clone)]
+pub struct PreparedSide {
+    /// Summarized tokens of the side.
+    pub tokens: Vec<Token>,
+    grams: Vec<String>,
+}
+
 impl PairFeaturizer {
     /// Featurizer with a given hashed dimensionality.
     pub fn new(hash_dim: usize) -> Self {
@@ -65,15 +77,40 @@ impl PairFeaturizer {
     /// buffer (cleared first) so batch embedding loops can reuse one
     /// allocation across many pairs.
     pub fn features_into(&self, a: &[Token], b: &[Token], out: &mut Vec<(u32, f32)>) {
+        let grams_b = char_ngrams(b, self.char_ngram);
+        self.features_core(a, b, &grams_b, out);
+    }
+
+    /// Precomputes the per-side state of one title (summarized tokens +
+    /// character n-grams) so a batch loop pairing one record against many
+    /// candidates hashes the shared side once, not once per probe.
+    pub fn prepare_side(&self, title: &str, df: &DfTable) -> PreparedSide {
+        let tokens = self.prepare(title, df);
+        let grams = char_ngrams(&tokens, self.char_ngram);
+        PreparedSide { tokens, grams }
+    }
+
+    /// [`features_into`](Self::features_into) against a pre-hashed right
+    /// side — bit-identical output, minus the per-pair n-gram rebuild.
+    pub fn features_into_prepared(&self, a: &[Token], b: &PreparedSide, out: &mut Vec<(u32, f32)>) {
+        self.features_core(a, &b.tokens, &b.grams, out);
+    }
+
+    fn features_core(
+        &self,
+        a: &[Token],
+        b: &[Token],
+        grams_b: &[String],
+        out: &mut Vec<(u32, f32)>,
+    ) {
         out.clear();
 
         // --- Dense similarity slots ---
         let words_a: Vec<&str> = a.iter().map(|t| t.text.as_str()).collect();
         let words_b: Vec<&str> = b.iter().map(|t| t.text.as_str()).collect();
         let grams_a = char_ngrams(a, self.char_ngram);
-        let grams_b = char_ngrams(b, self.char_ngram);
         let word_j = jaccard_str(&words_a, &words_b);
-        let gram_j = jaccard_string(&grams_a, &grams_b);
+        let gram_j = jaccard_string(&grams_a, grams_b);
         let nums_a: Vec<&str> =
             a.iter().filter(|t| t.kind != TokenKind::Word).map(|t| t.text.as_str()).collect();
         let nums_b: Vec<&str> =
@@ -138,7 +175,7 @@ impl PairFeaturizer {
                 let ns = if grams_b.contains(g) { "S:c" } else { "D:c" };
                 emit(ns, g, &mut hashed);
             }
-            for g in &grams_b {
+            for g in grams_b {
                 if !grams_a.contains(g) {
                     emit("D:c", g, &mut hashed);
                 }
@@ -153,7 +190,7 @@ impl PairFeaturizer {
             for g in &grams_a {
                 emit("A:c", g, &mut hashed);
             }
-            for g in &grams_b {
+            for g in grams_b {
                 emit("B:c", g, &mut hashed);
             }
         }

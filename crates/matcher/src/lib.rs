@@ -34,6 +34,6 @@ pub mod tokenize;
 pub mod train;
 
 pub use config::MatcherConfig;
-pub use features::PairFeaturizer;
+pub use features::{PairFeaturizer, PreparedSide};
 pub use matcher::{BinaryMatcher, MatcherOutput};
 pub use multilabel::MultiTaskMatcher;

@@ -153,8 +153,10 @@ impl BinaryMatcher {
     /// batched row-parallel forward pass (bit-identical to the serial
     /// trace at any thread count).
     pub fn infer(&self, features: &SparseMatrix) -> MatcherOutput {
-        let mut h = self.input.forward_sparse(features);
-        relu_inplace(&mut h);
+        // Sparse input layer: the matmul has no dense B to pack, but the
+        // bias + ReLU passes fuse into one sweep over the hidden states.
+        let mut h = features.matmul_dense(&self.input.w);
+        flexer_nn::kernels::bias_relu_inplace(&mut h, &self.input.b, true);
         let (embeddings, logits) = self.head.forward_batch(&h);
         let probs = softmax_rows(&logits);
         let scores: Vec<f32> = (0..probs.rows()).map(|i| probs.get(i, 1)).collect();

@@ -18,6 +18,7 @@
 
 pub mod activation;
 pub mod init;
+pub mod kernels;
 pub mod linear;
 pub mod loss;
 pub mod matrix;
@@ -25,6 +26,7 @@ pub mod mlp;
 pub mod optim;
 pub mod sparse;
 
+pub use kernels::{Epilogue, PackedB};
 pub use linear::Linear;
 pub use matrix::Matrix;
 pub use mlp::{Mlp, MlpConfig};

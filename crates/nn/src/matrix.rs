@@ -101,6 +101,22 @@ impl Matrix {
         self.data.resize(rows * cols, 0.0);
     }
 
+    /// [`reset`](Matrix::reset) for callers that overwrite every element:
+    /// reshapes without zeroing the reused prefix, so a warm steady-state
+    /// call skips the full-matrix memset. Stale values from the previous
+    /// use stay visible until written — only use when the follow-up kernel
+    /// provably stores to every element.
+    pub fn reset_overwrite(&mut self, rows: usize, cols: usize) {
+        let n = rows * cols;
+        self.rows = rows;
+        self.cols = cols;
+        if self.data.len() > n {
+            self.data.truncate(n);
+        } else {
+            self.data.resize(n, 0.0);
+        }
+    }
+
     /// Consumes the matrix, returning its flat row-major buffer so callers
     /// can keep the allocation alive across reshapes.
     pub fn into_vec(self) -> Vec<f32> {

@@ -2,7 +2,8 @@
 //! backprop, and access to the penultimate activation (the pair-embedding
 //! analogue of DITTO's `[cls]` vector).
 
-use crate::activation::{relu_backward_inplace, relu_inplace};
+use crate::activation::relu_backward_inplace;
+use crate::kernels::{dense_forward_into, PackedB};
 use crate::linear::Linear;
 use crate::matrix::Matrix;
 use crate::optim::Optimizer;
@@ -20,10 +21,13 @@ pub struct MlpConfig {
     pub output_dim: usize,
 }
 
-/// The MLP itself.
+/// The MLP itself. Each layer's weight matrix is kept packed
+/// ([`PackedB`]) for the blocked forward kernels; packs are rebuilt
+/// whenever [`Mlp::apply`] updates the weights.
 #[derive(Debug, Clone)]
 pub struct Mlp {
     layers: Vec<Linear>,
+    packs: Vec<PackedB>,
 }
 
 /// All per-layer activations of one forward pass; `post[0]` is the input,
@@ -60,8 +64,9 @@ impl Mlp {
         let mut dims = vec![config.input_dim];
         dims.extend_from_slice(&config.hidden);
         dims.push(config.output_dim);
-        let layers = dims.windows(2).map(|w| Linear::new(rng, w[0], w[1])).collect();
-        Self { layers }
+        let layers: Vec<Linear> = dims.windows(2).map(|w| Linear::new(rng, w[0], w[1])).collect();
+        let packs = layers.iter().map(|l| PackedB::pack(&l.w)).collect();
+        Self { layers, packs }
     }
 
     /// Reassembles an MLP from its layers (the snapshot-import path).
@@ -71,7 +76,8 @@ impl Mlp {
         for w in layers.windows(2) {
             assert_eq!(w[0].out_dim(), w[1].in_dim(), "layer dimensions must chain");
         }
-        Self { layers }
+        let packs = layers.iter().map(|l| PackedB::pack(&l.w)).collect();
+        Self { layers, packs }
     }
 
     /// Number of layers.
@@ -93,11 +99,10 @@ impl Mlp {
     pub fn forward_trace(&self, x: &Matrix) -> MlpTrace {
         let mut post = Vec::with_capacity(self.layers.len() + 1);
         post.push(x.clone());
-        for (i, layer) in self.layers.iter().enumerate() {
-            let mut y = layer.forward(post.last().expect("non-empty"));
-            if i + 1 < self.layers.len() {
-                relu_inplace(&mut y);
-            }
+        for (i, (layer, pack)) in self.layers.iter().zip(&self.packs).enumerate() {
+            let mut y = Matrix::zeros(0, 0);
+            let relu = i + 1 < self.layers.len();
+            dense_forward_into(post.last().expect("non-empty"), layer, pack, relu, &mut y);
             post.push(y);
         }
         MlpTrace { post }
@@ -163,11 +168,13 @@ impl Mlp {
         }
     }
 
-    /// Applies an optimizer to every layer; returns slots consumed.
+    /// Applies an optimizer to every layer and refreshes the weight
+    /// packs; returns slots consumed.
     pub fn apply(&mut self, opt: &mut impl Optimizer, slot_base: usize) -> usize {
         let mut used = 0;
-        for l in &mut self.layers {
+        for (l, pack) in self.layers.iter_mut().zip(&mut self.packs) {
             used += l.apply(opt, slot_base + used);
+            pack.repack(&l.w);
         }
         used
     }

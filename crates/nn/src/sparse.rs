@@ -42,6 +42,15 @@ impl SparseMatrix {
         Self { rows: 0, cols, indptr: vec![0], indices: Vec::new(), values: Vec::new() }
     }
 
+    /// Reserves capacity for `rows` additional rows holding about `nnz`
+    /// more non-zeros, so a batch of `push_row_unsorted` calls sized from
+    /// a known candidate count performs no incremental growth.
+    pub fn reserve(&mut self, rows: usize, nnz: usize) {
+        self.indptr.reserve(rows);
+        self.indices.reserve(nnz);
+        self.values.reserve(nnz);
+    }
+
     /// Appends one row from an unsorted `(column, value)` list. The caller's
     /// buffer is sorted in place (so it can be reused across rows without
     /// reallocating) and duplicate columns are summed, exactly as in

@@ -1,7 +1,8 @@
 //! Property-based tests for the neural substrate: matrix algebra laws,
 //! loss-function invariants and optimizer behaviour under random inputs.
 
-use flexer_nn::activation::softmax_rows;
+use flexer_nn::activation::{relu_inplace, softmax_rows};
+use flexer_nn::kernels::{bias_relu_inplace, matmul_packed_into, Epilogue, PackedB};
 use flexer_nn::loss::{multilabel_bce_with_logits, softmax_cross_entropy};
 use flexer_nn::{Adam, AdamConfig, Matrix, Optimizer, SparseMatrix};
 use proptest::prelude::*;
@@ -145,6 +146,65 @@ proptest! {
             opt.update(0, &mut x, &g);
         }
         prop_assert!((x[0] - target).abs() < (start - target).abs());
+    }
+
+    /// The packed 4×4-blocked matmul is bit-identical to the naive
+    /// triple loop for random ragged shapes (including dims far from
+    /// multiples of 4) and for every epilogue — zeros are injected so
+    /// the naive kernel's `a[i][k] == 0.0` skip is exercised.
+    #[test]
+    fn packed_matmul_bit_identical_on_random_ragged_shapes(
+        m in 1usize..11,
+        k in 1usize..19,
+        n in 1usize..15,
+        raw in prop::collection::vec(-2.0f32..2.0, 11 * 19 + 19 * 15 + 15),
+    ) {
+        let zeroed = |v: f32| if v.abs() < 0.4 { 0.0 } else { v };
+        let a = Matrix::from_vec(m, k, raw[..m * k].iter().map(|&v| zeroed(v)).collect());
+        let b = Matrix::from_vec(k, n, raw[m * k..m * k + k * n].to_vec());
+        let bias: Vec<f32> = raw[m * k + k * n..m * k + k * n + n].to_vec();
+        let pack = PackedB::pack(&b);
+        for which in 0..3 {
+            let epilogue = match which {
+                0 => Epilogue::None,
+                1 => Epilogue::Bias(&bias),
+                _ => Epilogue::BiasRelu(&bias),
+            };
+            let mut got = Matrix::zeros(0, 0);
+            matmul_packed_into(&a, &pack, epilogue, &mut got);
+            // Reference: naive matmul + separate (unfused) passes.
+            let mut want = Matrix::zeros(0, 0);
+            a.matmul_into(&b, &mut want);
+            if which >= 1 {
+                want.add_row_broadcast(&bias);
+            }
+            if which == 2 {
+                relu_inplace(&mut want);
+            }
+            for (g, w) in got.data().iter().zip(want.data()) {
+                prop_assert_eq!(g.to_bits(), w.to_bits(),
+                    "{}x{}x{} epilogue {}: {} vs {}", m, k, n, which, g, w);
+            }
+        }
+    }
+
+    /// The fused bias+ReLU sweep equals the two separate passes, bit for
+    /// bit, on random matrices.
+    #[test]
+    fn fused_bias_relu_matches_unfused(
+        rows in 1usize..9,
+        cols in 1usize..13,
+        raw in prop::collection::vec(-3.0f32..3.0, 9 * 13 + 13),
+    ) {
+        let mut fused = Matrix::from_vec(rows, cols, raw[..rows * cols].to_vec());
+        let bias: Vec<f32> = raw[rows * cols..rows * cols + cols].to_vec();
+        let mut separate = fused.clone();
+        bias_relu_inplace(&mut fused, &bias, true);
+        separate.add_row_broadcast(&bias);
+        relu_inplace(&mut separate);
+        for (g, w) in fused.data().iter().zip(separate.data()) {
+            prop_assert_eq!(g.to_bits(), w.to_bits());
+        }
     }
 
     /// Sparse × dense always equals densified × dense.

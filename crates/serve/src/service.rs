@@ -891,21 +891,24 @@ impl ResolutionService {
             let featurizer = &self.snapshot.featurizer;
             let df = &self.snapshot.df;
             let mut features = SparseMatrix::with_cols(featurizer.total_dim());
+            // Pre-size from the candidate count: a feature row lands well
+            // under 128 non-zeros, so one reservation covers the batch.
+            features.reserve(misses.len(), misses.len() * 128);
             let mut row: Vec<(u32, f32)> = Vec::with_capacity(128);
             // The right-hand title is the same across a record query's (or
-            // an ingest's) whole candidate batch — prepare it once.
-            // `prepare` is a pure function of the title, so memoizing by
-            // string equality cannot change any feature.
-            let mut prepared_b: Option<&str> = None;
-            let mut tb = Vec::new();
+            // an ingest's) whole candidate batch — prepare and hash its
+            // side once per candidate set, not once per probe.
+            // `prepare_side` is a pure function of the title, so memoizing
+            // by string equality cannot change any feature.
+            let mut prepared_b: Option<(&str, flexer_matcher::PreparedSide)> = None;
             for &i in &misses {
                 let (a, b) = titles[i];
                 let ta = featurizer.prepare(a, df);
-                if prepared_b != Some(b) {
-                    tb = featurizer.prepare(b, df);
-                    prepared_b = Some(b);
+                if prepared_b.as_ref().map(|(t, _)| *t) != Some(b) {
+                    prepared_b = Some((b, featurizer.prepare_side(b, df)));
                 }
-                featurizer.features_into(&ta, &tb, &mut row);
+                let (_, side) = prepared_b.as_ref().expect("just filled");
+                featurizer.features_into_prepared(&ta, side, &mut row);
                 features.push_row_unsorted(&mut row);
             }
             let per_intent: Vec<Matrix> =
@@ -955,13 +958,16 @@ impl ResolutionService {
 
     /// Scores a batch of new pairs under every requested intent with one
     /// GNN forward per intent — the data-oriented hot path. Per-candidate
-    /// ANN searches are unchanged (each runs the exact single-query
-    /// kernel), their results are flattened into one neighbour-id arena,
-    /// the candidates' embeddings are stacked into one `(B·P) × dim`
-    /// feature matrix, and stored states are *sliced* from the pinned
-    /// arenas and index buffers — no per-candidate gather matrices, no
-    /// per-candidate graph builds. Bit-identical to the reference kernel
-    /// for every candidate (`flexer-graph`'s batch contract).
+    /// ANN localization runs as one query-blocked pass over each layer's
+    /// index (groups of candidates share every cache-hot index block; each
+    /// per-query result is bitwise equal to the single-query kernel — the
+    /// flat batch-search contract), the neighbour ids are flattened into
+    /// one arena, the candidates' embeddings are stacked into one
+    /// `(B·P) × dim` feature matrix, and stored states are *sliced* from
+    /// the pinned arenas and index buffers — no per-candidate gather
+    /// matrices, no per-candidate graph builds. Bit-identical to the
+    /// reference kernel for every candidate (`flexer-graph`'s batch
+    /// contract).
     fn score_pairs_batched(
         &self,
         embeddings: &[Arc<PairEmbedding>],
@@ -971,15 +977,51 @@ impl ResolutionService {
         let dim = self.snapshot.graph.dim;
         let b = embeddings.len();
         self.ctr_forward_rows.add((b * p_total) as u64);
-        // Independent per candidate: fan out the localization, same search
-        // calls as the reference path in the same order.
-        let neighbors: Vec<Vec<Vec<usize>>> =
-            flexer_par::parallel_map(b, |j| self.neighbors_of(&embeddings[j]));
+        // Localize the whole batch one layer at a time: each layer's index
+        // is streamed once per group of candidates instead of once per
+        // candidate, and every per-query result stays bitwise equal to the
+        // reference path's single-query `search`. The kernel toggle gates
+        // this too, so toggling it off reproduces the full reference hot
+        // path (per-candidate scans + naive matmul) for benchmarking.
+        let k = self.snapshot.k;
+        // Explicit flat paths (not nested spans): a dotted child of
+        // `resolve.forward` would be double-counted by the prefix-summing
+        // `span_sum_ns` the stage-coverage checks rely on.
+        let t_localize = std::time::Instant::now();
+        let neighbors: Vec<Vec<Vec<usize>>> = if flexer_nn::kernels::packed_kernels_enabled() {
+            let mut by_layer: Vec<std::vec::IntoIter<Vec<usize>>> = self
+                .indexes
+                .iter()
+                .enumerate()
+                .map(|(q, index)| {
+                    let queries: Vec<&[f32]> = embeddings.iter().map(|e| e.row(q)).collect();
+                    index
+                        .search_batch(&queries, k)
+                        .into_iter()
+                        .map(|hits| hits.into_iter().map(|h| h.id).collect::<Vec<usize>>())
+                        .collect::<Vec<_>>()
+                        .into_iter()
+                })
+                .collect();
+            (0..b)
+                .map(|_| {
+                    by_layer.iter_mut().map(|it| it.next().expect("b lists per layer")).collect()
+                })
+                .collect()
+        } else {
+            flexer_par::parallel_map(b, |j| self.neighbors_of(&embeddings[j]))
+        };
+        self.recorder.record_span_ns("forward.localize", t_localize.elapsed().as_nanos() as u64);
         SCRATCH.with(|scratch| {
             let mut scratch = scratch.borrow_mut();
             let BatchScratch { ids, offsets, features } = &mut *scratch;
+            // Pre-size every gather buffer from the candidate count so a
+            // batch bigger than any seen before grows each vector at most
+            // once instead of amortizing doublings mid-loop.
             ids.clear();
+            ids.reserve(b * p_total * self.snapshot.k);
             offsets.clear();
+            offsets.reserve(b * p_total + 1);
             offsets.push(0);
             for per_layer in &neighbors {
                 for list in per_layer {
@@ -988,11 +1030,13 @@ impl ResolutionService {
                 }
             }
             features.clear();
+            features.reserve(b * p_total * dim);
             for emb in embeddings {
                 features.extend_from_slice(emb.data());
             }
             let stacked = Matrix::from_vec(b * p_total, dim, std::mem::take(features));
             let arena = NeighborArena::new(ids, offsets, p_total);
+            let t_gnn = std::time::Instant::now();
             let traces = intents
                 .iter()
                 .map(|&p| {
@@ -1013,6 +1057,7 @@ impl ResolutionService {
                     model.forward_inductive_batch(&stacked, &arena, &sources)
                 })
                 .collect();
+            self.recorder.record_span_ns("forward.gnn", t_gnn.elapsed().as_nanos() as u64);
             *features = stacked.into_vec();
             traces
         })

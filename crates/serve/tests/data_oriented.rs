@@ -152,6 +152,35 @@ fn sharded_service_matches_reference_for_every_shard_count() {
     }
 }
 
+/// End-to-end kernel differential: resolving with the packed/fused
+/// matmul kernels disabled (the exact pre-packing naive sequence) must
+/// produce bit-identical responses for every query shape and shard
+/// count. This is the serving-tier gate for `flexer_nn::kernels`; it is
+/// safe under concurrent tests because both paths are bit-identical.
+#[test]
+fn packed_kernels_toggle_is_invisible_across_shard_counts() {
+    let snapshot = trained_snapshot(IndexKind::Flat);
+    let svc = ResolutionService::new(snapshot.clone(), ServeConfig::default()).unwrap();
+    let packed = drive(&svc);
+    flexer_nn::kernels::set_packed_kernels(false);
+    let naive = drive(&svc);
+    flexer_nn::kernels::set_packed_kernels(true);
+    assert_eq!(packed, naive, "packed kernels change a resolve response bit");
+    for n_shards in [1usize, 2, 5] {
+        let sharded = ShardedResolutionService::new(
+            snapshot.clone(),
+            ServeConfig::default(),
+            ShardConfig::of(n_shards),
+        )
+        .unwrap();
+        let with_packed = drive_sharded(&sharded);
+        flexer_nn::kernels::set_packed_kernels(false);
+        let without = drive_sharded(&sharded);
+        flexer_nn::kernels::set_packed_kernels(true);
+        assert_eq!(with_packed, without, "{n_shards}-shard packed/naive divergence");
+    }
+}
+
 #[test]
 fn snapshot_round_trip_survives_batched_ingest() {
     // `to_snapshot` truncates the grown indexes back to the training
