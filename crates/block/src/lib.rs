@@ -36,7 +36,7 @@ pub mod shard;
 
 pub use ann::{AnnBlocker, AnnRecordIndex};
 pub use ngram::{NGramBlocker, NGramIndex};
-pub use shard::ShardedBlocker;
+pub use shard::{local_answer, merge_candidates, plan_query, ShardedBlocker};
 
 use flexer_types::{
     BlockingReport, CandidateGenConfig, CandidateSet, Dataset, EntityMap, PairRef, RecordId,

@@ -31,8 +31,90 @@
 
 use crate::ngram::gram_vec;
 use crate::{AnnRecordIndex, BlockerState, NGramIndex};
-use flexer_types::{CandidateGenConfig, RecordId, ShardConfig, ShardRouter};
+use flexer_types::{
+    CandidateGenConfig, RecordId, ShardConfig, ShardRouter, WireCandidates, WireQuery,
+};
 use std::collections::HashMap;
+
+/// Plans the shard-local half of a candidate query from the *global*
+/// blocker state: the stop-gram-filtered gram list (q-gram) or the
+/// embedded query vector (ANN). `None` means no fan-out is needed — the
+/// exhaustive backend pairs against every record without consulting
+/// shards. This is the piece a networked router executes locally before
+/// fanning [`local_answer`] out to shard servers; the in-process
+/// [`ShardedBlocker::candidates`] runs the exact same function, so both
+/// deployments answer bit-identically by construction.
+pub fn plan_query(
+    gen: &CandidateGenConfig,
+    gram_counts: &HashMap<u64, u32>,
+    title: &str,
+) -> Option<WireQuery> {
+    match gen {
+        CandidateGenConfig::Exhaustive => None,
+        CandidateGenConfig::NGram(c) => {
+            let kept: Vec<u64> = gram_vec(title, c.q)
+                .into_iter()
+                .filter(|g| gram_counts.get(g).map_or(true, |&n| n as usize <= c.max_bucket))
+                .collect();
+            Some(WireQuery::Grams(kept))
+        }
+        CandidateGenConfig::Ann(c) => Some(WireQuery::Embedding(crate::ann::embed_title(title, c))),
+    }
+}
+
+/// One shard's answer to a planned query, over its own blocker state and
+/// global-id member list: q-gram shared-count survivors as global ids, or
+/// the shard-local ANN top-k as `(distance, global id)`. Runs identically
+/// inside [`ShardedBlocker`] and inside a shard-server process. `None`
+/// when the query does not match the shard's backend (a protocol error on
+/// the networked path, unreachable in process).
+pub fn local_answer(
+    query: &WireQuery,
+    state: &BlockerState,
+    members: &[u32],
+) -> Option<WireCandidates> {
+    match (query, state) {
+        (WireQuery::Grams(kept), BlockerState::NGram(ix)) => Some(WireCandidates::Ids(
+            ix.candidates_for_grams(kept).into_iter().map(|l| members[l]).collect(),
+        )),
+        (WireQuery::Embedding(q), BlockerState::Ann(ix)) => Some(WireCandidates::Hits(
+            ix.nearest(q).into_iter().map(|n| (n.dist, members[n.id])).collect(),
+        )),
+        _ => None,
+    }
+}
+
+/// Merges per-shard answers back into the global candidate set, exactly
+/// as the monolithic blocker would have produced it: q-gram survivor sets
+/// are disjoint across shards, so their union sorted ascending is the
+/// global set; ANN hits merge by `(distance, global id)` — the monolithic
+/// insertion-id ordering — and truncate to the backend's `k`. Non-finite
+/// distances (impossible locally, conceivable from a corrupt peer) are
+/// dropped rather than trusted into the sort.
+pub fn merge_candidates(
+    gen: &CandidateGenConfig,
+    answers: impl IntoIterator<Item = WireCandidates>,
+) -> Vec<RecordId> {
+    let mut ids: Vec<u32> = Vec::new();
+    let mut hits: Vec<(f32, u32)> = Vec::new();
+    for answer in answers {
+        match answer {
+            WireCandidates::Ids(v) => ids.extend(v),
+            WireCandidates::Hits(v) => hits.extend(v),
+        }
+    }
+    if let CandidateGenConfig::Ann(c) = gen {
+        hits.retain(|(d, _)| d.is_finite());
+        hits.sort_unstable_by(|a, b| {
+            a.0.partial_cmp(&b.0).expect("finite after retain").then_with(|| a.1.cmp(&b.1))
+        });
+        hits.truncate(c.k);
+        ids.extend(hits.into_iter().map(|(_, g)| g));
+    }
+    let mut out: Vec<RecordId> = ids.into_iter().map(|g| g as RecordId).collect();
+    out.sort_unstable();
+    out
+}
 
 /// Whole nanoseconds since `t0` (saturating into `u64`).
 fn elapsed_ns(t0: std::time::Instant) -> u64 {
@@ -156,37 +238,26 @@ impl ShardedBlocker {
     /// any shard count.
     pub fn candidates(&self, title: &str) -> Option<Vec<RecordId>> {
         let rec = flexer_obs::global();
-        match &self.gen {
-            CandidateGenConfig::Exhaustive => None,
-            CandidateGenConfig::NGram(_) => {
-                let t0 = rec.is_enabled().then(std::time::Instant::now);
-                let per_shard = self.ngram_shard_candidates(title);
-                let t1 = rec.is_enabled().then(std::time::Instant::now);
-                let mut out: Vec<RecordId> = Vec::new();
-                for (s, locals) in per_shard.iter().enumerate() {
-                    out.extend(locals.iter().map(|&l| self.members[s][l] as RecordId));
-                }
-                out.sort_unstable();
-                if let (Some(t0), Some(t1)) = (t0, t1) {
-                    rec.record_span_ns("shard.fanout", (t1 - t0).as_nanos() as u64);
-                    rec.record_span_ns("shard.merge", elapsed_ns(t1));
-                }
-                Some(out)
-            }
-            CandidateGenConfig::Ann(_) => {
-                let t0 = rec.is_enabled().then(std::time::Instant::now);
-                let merged = self.ann_merged_top_k(title);
-                let t1 = rec.is_enabled().then(std::time::Instant::now);
-                let mut out: Vec<RecordId> =
-                    merged.into_iter().map(|(g, _)| g as RecordId).collect();
-                out.sort_unstable();
-                if let (Some(t0), Some(t1)) = (t0, t1) {
-                    rec.record_span_ns("shard.fanout", (t1 - t0).as_nanos() as u64);
-                    rec.record_span_ns("shard.merge", elapsed_ns(t1));
-                }
-                Some(out)
-            }
+        let query = plan_query(&self.gen, &self.gram_counts, title)?;
+        let t0 = rec.is_enabled().then(std::time::Instant::now);
+        let answers = self.fan_out(&query);
+        let t1 = rec.is_enabled().then(std::time::Instant::now);
+        let out = merge_candidates(&self.gen, answers);
+        if let (Some(t0), Some(t1)) = (t0, t1) {
+            rec.record_span_ns("shard.fanout", (t1 - t0).as_nanos() as u64);
+            rec.record_span_ns("shard.merge", elapsed_ns(t1));
         }
+        Some(out)
+    }
+
+    /// The per-shard halves of a planned query, fanned out via
+    /// `flexer-par` — the in-process equivalent of the router's
+    /// one-request-per-shard-server fan-out.
+    fn fan_out(&self, query: &WireQuery) -> Vec<WireCandidates> {
+        flexer_par::parallel_map(self.shards.len(), |s| {
+            local_answer(query, &self.shards[s], &self.members[s])
+                .expect("shard backend matches the planned query")
+        })
     }
 
     /// Shard-local candidate work for a title, without the merge: the
@@ -196,59 +267,37 @@ impl ShardedBlocker {
     /// top-k attributed back to the owning shards. `None` for the
     /// exhaustive backend (shards hold no state).
     pub fn local_candidate_counts(&self, title: &str) -> Option<Vec<usize>> {
+        let query = plan_query(&self.gen, &self.gram_counts, title)?;
+        let answers = self.fan_out(&query);
         match &self.gen {
             CandidateGenConfig::Exhaustive => None,
-            CandidateGenConfig::NGram(_) => {
-                Some(self.ngram_shard_candidates(title).iter().map(Vec::len).collect())
-            }
+            CandidateGenConfig::NGram(_) => Some(
+                answers
+                    .iter()
+                    .map(|a| match a {
+                        WireCandidates::Ids(v) => v.len(),
+                        WireCandidates::Hits(v) => v.len(),
+                    })
+                    .collect(),
+            ),
             CandidateGenConfig::Ann(_) => {
-                let mut counts = vec![0usize; self.shards.len()];
-                for (_, s) in self.ann_merged_top_k(title) {
-                    counts[s] += 1;
-                }
-                Some(counts)
+                // Attribute each record of the merged top-k back to its
+                // owning shard (every global id lives on exactly one).
+                let merged = merge_candidates(&self.gen, answers.iter().cloned());
+                Some(
+                    answers
+                        .iter()
+                        .map(|a| match a {
+                            WireCandidates::Hits(v) => v
+                                .iter()
+                                .filter(|(_, g)| merged.binary_search(&(*g as RecordId)).is_ok())
+                                .count(),
+                            WireCandidates::Ids(v) => v.len(),
+                        })
+                        .collect(),
+                )
             }
         }
-    }
-
-    /// Per-shard q-gram queries (shard-local record ids): the global
-    /// stop-gram decision, then shared-count queries over the kept grams
-    /// only, fanned out via `flexer-par`.
-    fn ngram_shard_candidates(&self, title: &str) -> Vec<Vec<RecordId>> {
-        let CandidateGenConfig::NGram(c) = &self.gen else {
-            unreachable!("q-gram query on a non-q-gram blocker")
-        };
-        let kept: Vec<u64> = gram_vec(title, c.q)
-            .into_iter()
-            .filter(|g| self.gram_counts.get(g).map_or(true, |&n| n as usize <= c.max_bucket))
-            .collect();
-        flexer_par::parallel_map(self.shards.len(), |s| match &self.shards[s] {
-            BlockerState::NGram(ix) => ix.candidates_for_grams(&kept),
-            _ => unreachable!("q-gram config implies q-gram shards"),
-        })
-    }
-
-    /// The fan-out / merge of the per-shard ANN queries: global top-k as
-    /// `(global id, owning shard)`, merged by `(distance, global id)` —
-    /// the monolithic ordering — and truncated to `k`.
-    fn ann_merged_top_k(&self, title: &str) -> Vec<(u32, usize)> {
-        let CandidateGenConfig::Ann(c) = &self.gen else {
-            unreachable!("ANN query on a non-ANN blocker")
-        };
-        let query = crate::ann::embed_title(title, c);
-        let per_shard = flexer_par::parallel_map(self.shards.len(), |s| match &self.shards[s] {
-            BlockerState::Ann(ix) => ix.nearest(&query),
-            _ => unreachable!("ANN config implies ANN shards"),
-        });
-        let mut hits: Vec<(f32, u32, usize)> = Vec::new();
-        for (s, neighbors) in per_shard.iter().enumerate() {
-            hits.extend(neighbors.iter().map(|n| (n.dist, self.members[s][n.id], s)));
-        }
-        hits.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0).expect("index distances are finite").then_with(|| a.1.cmp(&b.1))
-        });
-        hits.truncate(c.k);
-        hits.into_iter().map(|(_, g, s)| (g, s)).collect()
     }
 
     /// A copy truncated back to the first `n_records` global records — the

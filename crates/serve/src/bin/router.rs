@@ -1,0 +1,54 @@
+//! `router` — the networked front-end of the sharded resolution tier.
+//!
+//! ```text
+//! router --snapshot model.flexer --shards 127.0.0.1:7001,127.0.0.1:7002 \
+//!        [--addr 127.0.0.1:0]
+//! ```
+//!
+//! Loads the shared scoring tier from the snapshot, handshakes every
+//! shard server (`--shards` is comma-separated, shard order), prints the
+//! bound address as `LISTEN <addr>` on stdout, and serves resolve /
+//! ingest traffic until a `Shutdown` request arrives (which also shuts
+//! the shard servers down).
+
+use flexer_serve::{Router, ServeConfig};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: router --snapshot <model.flexer> --shards <addr,addr,...> [--addr <host:port>]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut snapshot = None;
+    let mut shards: Vec<String> = Vec::new();
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else { return usage() };
+        match flag.as_str() {
+            "--snapshot" => snapshot = Some(value),
+            "--shards" => {
+                shards = value.split(',').map(str::trim).map(String::from).collect();
+            }
+            "--addr" => addr = value,
+            _ => return usage(),
+        }
+    }
+    let Some(snapshot) = snapshot else { return usage() };
+    if shards.is_empty() {
+        return usage();
+    }
+    let router = match Router::load(&snapshot, ServeConfig::default(), shards, addr.as_str()) {
+        Ok(router) => router,
+        Err(e) => {
+            eprintln!("router: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("LISTEN {}", router.local_addr());
+    router.run();
+    ExitCode::SUCCESS
+}

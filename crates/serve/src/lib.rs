@@ -33,6 +33,8 @@ pub mod arena;
 pub mod cache;
 pub mod error;
 pub mod metrics;
+pub mod router;
+pub mod server;
 pub mod service;
 pub mod shard;
 
@@ -40,5 +42,7 @@ pub use arena::PinnedArena;
 pub use cache::LruCache;
 pub use error::ServeError;
 pub use metrics::ServeMetrics;
+pub use router::{Router, RouterClient};
+pub use server::ShardServer;
 pub use service::{IngestReport, ResolutionService, ServeConfig};
 pub use shard::ShardedResolutionService;

@@ -1,0 +1,617 @@
+//! [`Router`] — the networked front-end of the sharded resolution tier.
+//!
+//! # Topology
+//!
+//! The router owns everything *global*: the shared scoring tier (the same
+//! [`ResolutionService`] the in-process [`crate::ShardedResolutionService`]
+//! wraps, with its blocker slot holding the `Exhaustive` sentinel), the
+//! global stop-gram counts, and the cross-shard candidate merge. N shard
+//! servers each own one shard's blocking state. A candidate query is
+//! planned once against global state ([`flexer_block::plan_query`]),
+//! fanned out concurrently — one thread per shard, one framed request per
+//! hop — and merged back ([`flexer_block::merge_candidates`]). Those are
+//! the exact functions the in-process service runs, so router answers are
+//! **bit-identical** to `ShardedResolutionService` over the same snapshot
+//! and call sequence (asserted in `tests/cluster.rs`).
+//!
+//! # Writes: the single-writer lane
+//!
+//! Ingest mutates the shared scoring tier, the shards and the stop-gram
+//! counts together, and its determinism depends on global insertion
+//! order. All ingest therefore funnels through one writer thread fed by a
+//! **bounded** channel: concurrent client batches queue in arrival order,
+//! a full lane blocks further ingest connections (backpressure) without
+//! slowing reads, and each batch is applied exactly like one in-process
+//! `ingest_batch` call — pre-batched shard queries (one `QueryBatch`
+//! round trip per shard), one `ingest_batch_core`, then per-shard
+//! `Insert` appends.
+//!
+//! # Failure semantics
+//!
+//! Shard connections reconnect lazily with capped exponential backoff. A
+//! dead shard degrades **its own** candidates only: the fan-out
+//! substitutes an empty answer for that shard and the query proceeds over
+//! the surviving shards (the `router.shard.degraded` counter records
+//! every substitution). Inserts a dead shard misses are queued and
+//! replayed in order when it comes back, so a recovered shard converges
+//! to the state it would have had.
+
+use crate::error::ServeError;
+use crate::service::{IngestReport, ResolutionService, ServeConfig};
+use flexer_block::{merge_candidates, plan_query, BlockerState};
+use flexer_store::{read_message, write_message, ModelSnapshot, WireError};
+use flexer_types::{
+    CandidateGenConfig, IntentId, ResolveQuery, ResolveResponse, RouterRequest, RouterResponse,
+    ShardConfig, ShardRequest, ShardResponse, ShardRouter, WireCandidates, WireIngestReport,
+    WireQuery,
+};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Short backend name of a candidate-generation config (matches
+/// `BlockerState::kind_name`, which shard servers report in their
+/// handshake).
+fn gen_kind(gen: &CandidateGenConfig) -> &'static str {
+    match gen {
+        CandidateGenConfig::Exhaustive => "exhaustive",
+        CandidateGenConfig::NGram(_) => "ngram",
+        CandidateGenConfig::Ann(_) => "ann",
+    }
+}
+
+/// Ingest batches that may queue in the single-writer lane before further
+/// ingest connections block (the backpressure bound).
+const INGEST_LANE_DEPTH: usize = 4;
+
+/// First reconnect delay after a shard connection failure.
+const BACKOFF_BASE: Duration = Duration::from_millis(50);
+
+/// Reconnect delay ceiling.
+const BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// One shard server's connection: lazily (re)established, with capped
+/// exponential backoff between attempts and an ordered replay queue of
+/// inserts the shard missed while unreachable.
+struct ShardConn {
+    addr: String,
+    stream: Option<TcpStream>,
+    fails: u32,
+    next_retry: Instant,
+    pending: Vec<(u64, String)>,
+}
+
+impl ShardConn {
+    fn new(addr: String) -> Self {
+        Self { addr, stream: None, fails: 0, next_retry: Instant::now(), pending: Vec::new() }
+    }
+
+    /// One request/response round trip, reconnecting (and replaying any
+    /// pending inserts) first if needed. While the backoff window is
+    /// open, fails fast without touching the network.
+    fn call(&mut self, request: &ShardRequest) -> Result<ShardResponse, WireError> {
+        let result = self.try_call(request);
+        match result {
+            Ok(response) => {
+                self.fails = 0;
+                Ok(response)
+            }
+            Err(e) => {
+                self.stream = None;
+                self.fails = self.fails.saturating_add(1);
+                let backoff = BACKOFF_BASE
+                    .saturating_mul(1u32 << self.fails.min(5).saturating_sub(1))
+                    .min(BACKOFF_CAP);
+                self.next_retry = Instant::now() + backoff;
+                Err(e)
+            }
+        }
+    }
+
+    fn try_call(&mut self, request: &ShardRequest) -> Result<ShardResponse, WireError> {
+        if self.stream.is_none() {
+            if Instant::now() < self.next_retry {
+                return Err(WireError::Io(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    format!("shard {} in backoff", self.addr),
+                )));
+            }
+            let mut stream = TcpStream::connect(&self.addr)?;
+            // Request-response framing: never sit on a partial segment
+            // waiting for an ACK that the peer is holding back.
+            let _ = stream.set_nodelay(true);
+            if !self.pending.is_empty() {
+                // Replay missed inserts in order before anything else, so
+                // the recovered shard answers over complete state.
+                let replay = ShardRequest::Insert(self.pending.clone());
+                write_message(&mut stream, &replay)?;
+                read_message::<ShardResponse>(&mut stream)?;
+                self.pending.clear();
+            }
+            self.stream = Some(stream);
+        }
+        let stream = self.stream.as_mut().expect("connected above");
+        write_message(stream, request)?;
+        read_message(stream)
+    }
+}
+
+/// The global (router-side) serving state: the shared scoring tier plus
+/// the global blocking decisions the shards cannot make alone.
+struct Core {
+    service: ResolutionService,
+    gen: CandidateGenConfig,
+    gram_counts: HashMap<u64, u32>,
+    title_router: ShardRouter,
+}
+
+struct Inner {
+    core: RwLock<Core>,
+    conns: Vec<Mutex<ShardConn>>,
+    stop: AtomicBool,
+}
+
+struct IngestJob {
+    titles: Vec<String>,
+    reply: SyncSender<Vec<IngestReport>>,
+}
+
+/// The bound router front-end (see module docs).
+pub struct Router {
+    inner: Arc<Inner>,
+    listener: TcpListener,
+    addr: SocketAddr,
+    ingest_tx: SyncSender<IngestJob>,
+    writer: Option<thread::JoinHandle<()>>,
+}
+
+impl Router {
+    /// Loads a snapshot file and connects to the shard servers at
+    /// `shard_addrs` (one per shard, shard order). Every shard must
+    /// answer the boot handshake — degradation is a runtime property;
+    /// booting against a half-dead cluster is refused.
+    pub fn load(
+        path: impl AsRef<std::path::Path>,
+        config: ServeConfig,
+        shard_addrs: Vec<String>,
+        addr: impl ToSocketAddrs,
+    ) -> Result<Self, ServeError> {
+        Self::from_snapshot(ModelSnapshot::load(path)?, config, shard_addrs, addr)
+    }
+
+    /// [`Self::load`] from an already-loaded snapshot.
+    pub fn from_snapshot(
+        mut snapshot: ModelSnapshot,
+        config: ServeConfig,
+        shard_addrs: Vec<String>,
+        addr: impl ToSocketAddrs,
+    ) -> Result<Self, ServeError> {
+        let shard_config = ShardConfig::of(shard_addrs.len());
+        shard_config.validate().map_err(ServeError::InconsistentSnapshot)?;
+        // The router needs only the backend *configuration* locally — the
+        // blocking state itself lives in the shard servers.
+        let gen = match snapshot.sharding.take() {
+            Some(frames) if frames.n_shards() == shard_addrs.len() => {
+                frames.decode_shard(0)?.1.gen_config()
+            }
+            Some(_) => {
+                return Err(ServeError::InconsistentSnapshot(
+                    "snapshot shard count != shard server count".into(),
+                ))
+            }
+            None => std::mem::replace(&mut snapshot.blocker, BlockerState::Exhaustive).gen_config(),
+        };
+        snapshot.blocker = BlockerState::Exhaustive;
+        let n_records = snapshot.records.len();
+        let service = ResolutionService::build(snapshot, config, false)?;
+        let mut conns = Vec::with_capacity(shard_addrs.len());
+        let mut gram_counts: HashMap<u64, u32> = HashMap::new();
+        let mut shard_records = 0u64;
+        for (s, shard_addr) in shard_addrs.iter().enumerate() {
+            let mut conn = ShardConn::new(shard_addr.clone());
+            let hello = conn
+                .call(&ShardRequest::Hello)
+                .map_err(|e| ServeError::InconsistentSnapshot(format!("shard {s}: {e}")))?;
+            let ShardResponse::Hello { shard, n_shards, n_records, backend, gram_counts: gc } =
+                hello
+            else {
+                return Err(ServeError::InconsistentSnapshot(format!(
+                    "shard {s}: unexpected handshake reply"
+                )));
+            };
+            if shard != s as u64 || n_shards != shard_addrs.len() as u64 {
+                return Err(ServeError::InconsistentSnapshot(format!(
+                    "shard {s}: server identifies as shard {shard} of {n_shards}"
+                )));
+            }
+            if backend != gen_kind(&gen) {
+                return Err(ServeError::InconsistentSnapshot(format!(
+                    "shard {s}: backend {backend} != router's {}",
+                    gen_kind(&gen)
+                )));
+            }
+            shard_records += n_records;
+            // Summed across shards, the per-shard bucket sizes are
+            // exactly the global stop-gram counts (buckets partition the
+            // corpus by record).
+            for (g, n) in gc {
+                *gram_counts.entry(g).or_insert(0) += n;
+            }
+            conns.push(Mutex::new(conn));
+        }
+        if !matches!(gen, CandidateGenConfig::Exhaustive) && shard_records != n_records as u64 {
+            return Err(ServeError::InconsistentSnapshot(format!(
+                "shards hold {shard_records} records, snapshot lists {n_records}"
+            )));
+        }
+        let listener = TcpListener::bind(addr).map_err(flexer_store::StoreError::Io)?;
+        let addr = listener.local_addr().map_err(flexer_store::StoreError::Io)?;
+        let inner = Arc::new(Inner {
+            core: RwLock::new(Core {
+                service,
+                gen,
+                gram_counts,
+                title_router: ShardRouter::new(shard_config),
+            }),
+            conns,
+            stop: AtomicBool::new(false),
+        });
+        let (ingest_tx, ingest_rx) = sync_channel::<IngestJob>(INGEST_LANE_DEPTH);
+        let writer = {
+            let inner = Arc::clone(&inner);
+            thread::spawn(move || writer_lane(&inner, &ingest_rx))
+        };
+        Ok(Self { inner, listener, addr, ingest_tx, writer: Some(writer) })
+    }
+
+    /// The address the router is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves client connections until a [`RouterRequest::Shutdown`]
+    /// arrives (thread per connection; blocks the calling thread). On
+    /// shutdown the shard servers are shut down too and the writer lane
+    /// is drained.
+    pub fn run(mut self) {
+        for stream in self.listener.incoming() {
+            if self.inner.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let _ = stream.set_nodelay(true);
+            let inner = Arc::clone(&self.inner);
+            let ingest_tx = self.ingest_tx.clone();
+            let addr = self.addr;
+            thread::spawn(move || serve_connection(&inner, &ingest_tx, stream, addr));
+        }
+        // Close the lane and wait for queued ingests to finish applying.
+        drop(self.ingest_tx);
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+    }
+
+    /// Spawns [`Self::run`] on a background thread (for in-process tests).
+    pub fn spawn(self) -> thread::JoinHandle<()> {
+        thread::spawn(move || self.run())
+    }
+}
+
+/// The single-writer ingest lane: applies queued batches strictly in
+/// arrival order, one at a time, each exactly like one in-process
+/// `ingest_batch` call.
+fn writer_lane(inner: &Inner, jobs: &Receiver<IngestJob>) {
+    while let Ok(job) = jobs.recv() {
+        let reports = apply_ingest(inner, &job.titles);
+        let _ = job.reply.send(reports);
+    }
+}
+
+fn apply_ingest(inner: &Inner, titles: &[String]) -> Vec<IngestReport> {
+    let mut core = inner.core.write().expect("router core lock");
+    let title_refs: Vec<&str> = titles.iter().map(String::as_str).collect();
+    // Pre-batch candidate generation, exactly like the in-process batched
+    // ingest: every title's query is planned against the *pre-batch*
+    // global state, shipped as one QueryBatch round trip per shard, and
+    // merged per title.
+    let candidates: Vec<Vec<usize>> = {
+        let _span = core.service.recorder().span("ingest.block");
+        let plan =
+            if core.service.config().exhaustive { None } else { plan_all(&core, &title_refs) };
+        match plan {
+            None => {
+                let n = core.service.n_records();
+                title_refs.iter().map(|_| (0..n).collect()).collect()
+            }
+            Some(queries) => {
+                let per_shard = fan_out_batches(inner, &queries);
+                (0..titles.len())
+                    .map(|i| {
+                        merge_candidates(
+                            &core.gen,
+                            per_shard.iter().map(|answers| answers[i].clone()),
+                        )
+                    })
+                    .collect()
+            }
+        }
+    };
+    let reports = core.service.ingest_batch_core(&title_refs, candidates, false);
+    // Grow the global blocking state: stop-gram counts locally, the
+    // records themselves in their owning shards (global ids are the ones
+    // the scoring tier just assigned).
+    let mut rows_by_shard: Vec<Vec<(u64, String)>> = vec![Vec::new(); inner.conns.len()];
+    for (title, report) in titles.iter().zip(&reports) {
+        if let CandidateGenConfig::NGram(c) = &core.gen {
+            for g in flexer_block::ngram::gram_vec(title, c.q) {
+                *core.gram_counts.entry(g).or_insert(0) += 1;
+            }
+        }
+        rows_by_shard[core.title_router.route(title)].push((report.record as u64, title.clone()));
+    }
+    for (s, rows) in rows_by_shard.into_iter().enumerate() {
+        if rows.is_empty() {
+            continue;
+        }
+        let mut conn = inner.conns[s].lock().expect("shard conn lock");
+        if !matches!(
+            conn.call(&ShardRequest::Insert(rows.clone())),
+            Ok(ShardResponse::Inserted { .. })
+        ) {
+            // The shard missed this append; replay it (in order) when the
+            // connection comes back.
+            flexer_obs::global().add("router.shard.insert_deferred", 1);
+            conn.pending.extend(rows);
+        }
+    }
+    reports
+}
+
+/// Plans every title's shard query against the current global state.
+/// `None` means the backend is exhaustive and no fan-out happens at all.
+fn plan_all(core: &Core, titles: &[&str]) -> Option<Vec<WireQuery>> {
+    titles.iter().map(|t| plan_query(&core.gen, &core.gram_counts, t)).collect()
+}
+
+/// Fans one `QueryBatch` out to every shard concurrently (one thread and
+/// one round trip per shard). A shard that cannot answer — dead,
+/// desynced, in backoff — contributes empty answers for the whole batch:
+/// its records drop out of the candidate set, the query survives.
+fn fan_out_batches(inner: &Inner, queries: &[WireQuery]) -> Vec<Vec<WireCandidates>> {
+    let empty = || vec![WireCandidates::Ids(Vec::new()); queries.len()];
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..inner.conns.len())
+            .map(|s| {
+                scope.spawn(move || {
+                    let mut conn = inner.conns[s].lock().expect("shard conn lock");
+                    match conn.call(&ShardRequest::QueryBatch(queries.to_vec())) {
+                        Ok(ShardResponse::CandidatesBatch(answers))
+                            if answers.len() == queries.len() =>
+                        {
+                            answers
+                        }
+                        _ => {
+                            flexer_obs::global().add("router.shard.degraded", 1);
+                            empty()
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap_or_else(|_| empty())).collect()
+    })
+}
+
+/// The record ids a title is paired against: the networked fan-out/merge,
+/// or every record under exhaustive blocking.
+fn candidate_records(inner: &Inner, core: &Core, title: &str) -> Vec<usize> {
+    if core.service.config().exhaustive {
+        return (0..core.service.n_records()).collect();
+    }
+    match plan_query(&core.gen, &core.gram_counts, title) {
+        None => (0..core.service.n_records()).collect(),
+        Some(query) => {
+            let answers = fan_out_batches(inner, std::slice::from_ref(&query))
+                .into_iter()
+                .map(|mut batch| batch.pop().expect("one answer per query"));
+            merge_candidates(&core.gen, answers)
+        }
+    }
+}
+
+fn resolve_one(
+    inner: &Inner,
+    query: &ResolveQuery,
+    intent: IntentId,
+    top_k: usize,
+) -> Result<ResolveResponse, ServeError> {
+    let t0 = Instant::now();
+    let core = inner.core.read().expect("router core lock");
+    let record_candidates = match query {
+        ResolveQuery::Record(title) => {
+            let _span = core.service.recorder().span("resolve.block");
+            Some(candidate_records(inner, &core, title))
+        }
+        _ => None,
+    };
+    let out = core.service.resolve_intents_with(query, &[intent], top_k, record_candidates);
+    core.service.note_resolve(t0);
+    Ok(out?.pop().expect("one response per requested intent"))
+}
+
+fn serve_connection(
+    inner: &Inner,
+    ingest_tx: &SyncSender<IngestJob>,
+    mut stream: TcpStream,
+    addr: SocketAddr,
+) {
+    loop {
+        let request = match read_message::<RouterRequest>(&mut stream) {
+            Ok(request) => request,
+            Err(WireError::Io(_)) => return,
+            Err(e) => {
+                let _ = write_message(&mut stream, &RouterResponse::Error(e.to_string()));
+                return;
+            }
+        };
+        let response = match request {
+            RouterRequest::Hello => {
+                let core = inner.core.read().expect("router core lock");
+                RouterResponse::Hello {
+                    n_shards: inner.conns.len() as u64,
+                    n_records: core.service.n_records() as u64,
+                    n_intents: core.service.n_intents() as u64,
+                }
+            }
+            RouterRequest::Resolve { query, intent, top_k } => RouterResponse::Resolve(
+                resolve_one(inner, &query, intent as IntentId, top_k as usize)
+                    .map_err(|e| e.to_string()),
+            ),
+            RouterRequest::ResolveBatch { queries, intent, top_k } => RouterResponse::ResolveBatch(
+                queries
+                    .iter()
+                    .map(|q| {
+                        resolve_one(inner, q, intent as IntentId, top_k as usize)
+                            .map_err(|e| e.to_string())
+                    })
+                    .collect(),
+            ),
+            RouterRequest::IngestBatch(titles) => {
+                // Blocking send = backpressure: when the lane is full this
+                // connection (and only ingest traffic) waits its turn.
+                let (reply_tx, reply_rx) = sync_channel(1);
+                match ingest_tx.send(IngestJob { titles, reply: reply_tx }) {
+                    Ok(()) => match reply_rx.recv() {
+                        Ok(reports) => RouterResponse::IngestBatch(
+                            reports
+                                .iter()
+                                .map(|r| WireIngestReport {
+                                    record: r.record as u64,
+                                    first_pair: r.first_pair as u64,
+                                    n_pairs: r.n_pairs as u64,
+                                    n_suppressed: r.n_suppressed as u64,
+                                })
+                                .collect(),
+                        ),
+                        Err(_) => RouterResponse::Error("ingest lane closed".into()),
+                    },
+                    Err(_) => RouterResponse::Error("ingest lane closed".into()),
+                }
+            }
+            RouterRequest::Shutdown => {
+                for conn in &inner.conns {
+                    let mut conn = conn.lock().expect("shard conn lock");
+                    let _ = conn.call(&ShardRequest::Shutdown);
+                }
+                let _ = write_message(&mut stream, &RouterResponse::Shutdown);
+                inner.stop.store(true, Ordering::SeqCst);
+                let _ = TcpStream::connect(addr);
+                return;
+            }
+        };
+        if write_message(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// A blocking client for one router connection — the typed counterpart of
+/// the wire protocol, used by the cluster bench and the smoke tests.
+pub struct RouterClient {
+    stream: TcpStream,
+}
+
+impl RouterClient {
+    /// Connects to a router.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    fn call(&mut self, request: &RouterRequest) -> Result<RouterResponse, WireError> {
+        write_message(&mut self.stream, request)?;
+        read_message(&mut self.stream)
+    }
+
+    /// Deployment shape: `(n_shards, n_records, n_intents)`.
+    pub fn hello(&mut self) -> Result<(u64, u64, u64), WireError> {
+        match self.call(&RouterRequest::Hello)? {
+            RouterResponse::Hello { n_shards, n_records, n_intents } => {
+                Ok((n_shards, n_records, n_intents))
+            }
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Resolves one query under one intent.
+    pub fn resolve(
+        &mut self,
+        query: ResolveQuery,
+        intent: IntentId,
+        top_k: usize,
+    ) -> Result<Result<ResolveResponse, String>, WireError> {
+        let request = RouterRequest::Resolve { query, intent: intent as u64, top_k: top_k as u64 };
+        match self.call(&request)? {
+            RouterResponse::Resolve(outcome) => Ok(outcome),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Resolves a batch of queries under one intent, in order.
+    pub fn resolve_batch(
+        &mut self,
+        queries: Vec<ResolveQuery>,
+        intent: IntentId,
+        top_k: usize,
+    ) -> Result<Vec<Result<ResolveResponse, String>>, WireError> {
+        let request =
+            RouterRequest::ResolveBatch { queries, intent: intent as u64, top_k: top_k as u64 };
+        match self.call(&request)? {
+            RouterResponse::ResolveBatch(outcomes) => Ok(outcomes),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Ingests a batch of titles through the single-writer lane.
+    pub fn ingest_batch(
+        &mut self,
+        titles: Vec<String>,
+    ) -> Result<Vec<WireIngestReport>, WireError> {
+        match self.call(&RouterRequest::IngestBatch(titles))? {
+            RouterResponse::IngestBatch(reports) => Ok(reports),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// Shuts the router (and its shard servers) down.
+    pub fn shutdown(&mut self) -> Result<(), WireError> {
+        match self.call(&RouterRequest::Shutdown)? {
+            RouterResponse::Shutdown => Ok(()),
+            other => Err(unexpected(&other)),
+        }
+    }
+}
+
+fn unexpected(response: &RouterResponse) -> WireError {
+    let label = match response {
+        RouterResponse::Hello { .. } => "Hello",
+        RouterResponse::Resolve(_) => "Resolve",
+        RouterResponse::ResolveBatch(_) => "ResolveBatch",
+        RouterResponse::IngestBatch(_) => "IngestBatch",
+        RouterResponse::Shutdown => "Shutdown",
+        RouterResponse::Error(msg) => {
+            return WireError::Store(flexer_store::StoreError::Malformed(format!(
+                "router error: {msg}"
+            )))
+        }
+    };
+    WireError::Store(flexer_store::StoreError::Malformed(format!(
+        "unexpected router response {label}"
+    )))
+}

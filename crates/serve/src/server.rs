@@ -1,0 +1,206 @@
+//! [`ShardServer`] — one shard of the blocking tier as a TCP process.
+//!
+//! A shard server boots **one** shard's state from a shard-aware (v3)
+//! snapshot via `ShardFrames::decode_shard` — its global-id member list
+//! and its [`BlockerState`] — without materializing any other shard, and
+//! answers the shard-local half of candidate queries over the framed wire
+//! protocol (`flexer_store::wire`). It holds no scoring state: matchers,
+//! GNNs and pair indexes live in the router, which also owns every
+//! *global* blocking decision (stop-gram filtering, cross-shard merges).
+//! The shard runs exactly [`flexer_block::local_answer`] — the same
+//! function the in-process [`crate::ShardedResolutionService`] fans out
+//! to — so a networked deployment answers bit-identically by
+//! construction.
+//!
+//! Every inbound byte is untrusted: frames are length-capped and
+//! checksummed before decoding, and a connection that sends garbage gets
+//! a [`ShardResponse::Error`] and a closed socket — never a panic, never
+//! a poisoned server (see the corrupt-input proptests in `flexer-store`).
+
+use crate::error::ServeError;
+use flexer_block::{local_answer, BlockerState};
+use flexer_store::{read_message, write_message, ModelSnapshot, WireError};
+use flexer_types::{ShardRequest, ShardResponse, WireCandidates, WireQuery};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread;
+
+/// One shard's mutable serving state: the member list mapping local to
+/// global record ids, and the shard-local blocker index.
+struct ShardState {
+    members: Vec<u32>,
+    state: BlockerState,
+}
+
+struct Inner {
+    shard: usize,
+    n_shards: usize,
+    state: RwLock<ShardState>,
+    stop: AtomicBool,
+}
+
+/// A bound, ready-to-serve shard server (see module docs).
+pub struct ShardServer {
+    inner: Arc<Inner>,
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl ShardServer {
+    /// Boots shard `shard` of a shard-aware snapshot file and binds
+    /// `addr` (use port 0 for an ephemeral port; the bound address is
+    /// [`Self::local_addr`]).
+    pub fn load(
+        path: impl AsRef<Path>,
+        shard: usize,
+        addr: impl ToSocketAddrs,
+    ) -> Result<Self, ServeError> {
+        let snapshot = ModelSnapshot::load(path)?;
+        Self::from_snapshot(snapshot, shard, addr)
+    }
+
+    /// Boots shard `shard` from an already-loaded snapshot.
+    pub fn from_snapshot(
+        mut snapshot: ModelSnapshot,
+        shard: usize,
+        addr: impl ToSocketAddrs,
+    ) -> Result<Self, ServeError> {
+        let frames = snapshot
+            .sharding
+            .take()
+            .ok_or_else(|| ServeError::InconsistentSnapshot("snapshot is not sharded".into()))?;
+        let n_shards = frames.n_shards();
+        let (members, state) = frames.decode_shard(shard)?;
+        // `local_answer` maps local ids through `members` by index, so the
+        // two sides of the frame must agree before anything is served.
+        if !matches!(state, BlockerState::Exhaustive) && members.len() != state.len() {
+            return Err(ServeError::InconsistentSnapshot(format!(
+                "shard {shard}: {} members for {} indexed records",
+                members.len(),
+                state.len()
+            )));
+        }
+        let listener = TcpListener::bind(addr).map_err(flexer_store::StoreError::Io)?;
+        let addr = listener.local_addr().map_err(flexer_store::StoreError::Io)?;
+        Ok(Self {
+            inner: Arc::new(Inner {
+                shard,
+                n_shards,
+                state: RwLock::new(ShardState { members, state }),
+                stop: AtomicBool::new(false),
+            }),
+            listener,
+            addr,
+        })
+    }
+
+    /// The address the server is bound to.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves connections until a [`ShardRequest::Shutdown`] arrives
+    /// (thread per connection; blocks the calling thread).
+    pub fn run(self) {
+        for stream in self.listener.incoming() {
+            if self.inner.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let _ = stream.set_nodelay(true);
+            let inner = Arc::clone(&self.inner);
+            let addr = self.addr;
+            thread::spawn(move || serve_connection(&inner, stream, addr));
+        }
+    }
+
+    /// Spawns [`Self::run`] on a background thread (for in-process tests).
+    pub fn spawn(self) -> thread::JoinHandle<()> {
+        thread::spawn(move || self.run())
+    }
+}
+
+fn serve_connection(inner: &Inner, mut stream: TcpStream, addr: SocketAddr) {
+    loop {
+        let request = match read_message::<ShardRequest>(&mut stream) {
+            Ok(request) => request,
+            Err(WireError::Io(_)) => return, // peer hung up (or died mid-frame)
+            Err(e) => {
+                // Corrupt frame: the stream may be desynchronized, so
+                // answer with the error and drop the connection rather
+                // than guess where the next frame starts.
+                let _ = write_message(&mut stream, &ShardResponse::Error(e.to_string()));
+                return;
+            }
+        };
+        let response = match request {
+            ShardRequest::Hello => hello(inner),
+            ShardRequest::Query(q) => {
+                let state = inner.state.read().expect("shard state lock");
+                answer(&q, &state)
+            }
+            ShardRequest::QueryBatch(qs) => {
+                let state = inner.state.read().expect("shard state lock");
+                let answers: Vec<WireCandidates> = qs
+                    .iter()
+                    .map(|q| match answer(q, &state) {
+                        ShardResponse::Candidates(c) => c,
+                        // Backend mismatch: an empty answer keeps the
+                        // batch aligned; the router treats it as a
+                        // degraded shard.
+                        _ => WireCandidates::Ids(Vec::new()),
+                    })
+                    .collect();
+                ShardResponse::CandidatesBatch(answers)
+            }
+            ShardRequest::Insert(rows) => {
+                let mut state = inner.state.write().expect("shard state lock");
+                for (gid, title) in &rows {
+                    state.state.insert(title);
+                    state.members.push(*gid as u32);
+                }
+                ShardResponse::Inserted { n_records: state.members.len() as u64 }
+            }
+            ShardRequest::Shutdown => {
+                let _ = write_message(&mut stream, &ShardResponse::Shutdown);
+                inner.stop.store(true, Ordering::SeqCst);
+                // The accept loop is parked in `accept`; poke it awake so
+                // it observes the stop flag and exits.
+                let _ = TcpStream::connect(addr);
+                return;
+            }
+        };
+        if write_message(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+fn hello(inner: &Inner) -> ShardResponse {
+    let state = inner.state.read().expect("shard state lock");
+    let gram_counts = match &state.state {
+        BlockerState::NGram(ix) => {
+            ix.sorted_buckets().into_iter().map(|(g, ids)| (g, ids.len() as u32)).collect()
+        }
+        _ => Vec::new(),
+    };
+    ShardResponse::Hello {
+        shard: inner.shard as u64,
+        n_shards: inner.n_shards as u64,
+        n_records: state.members.len() as u64,
+        backend: state.state.kind_name().to_string(),
+        gram_counts,
+    }
+}
+
+fn answer(query: &WireQuery, state: &ShardState) -> ShardResponse {
+    match local_answer(query, &state.state, &state.members) {
+        Some(c) => ShardResponse::Candidates(c),
+        None => ShardResponse::Error(format!(
+            "query does not match the {} backend",
+            state.state.kind_name()
+        )),
+    }
+}

@@ -1,0 +1,170 @@
+//! Networked cluster smoke tests: a router plus shard servers over real
+//! TCP sockets (in-process, ephemeral ports) answer **bit-identically**
+//! to the in-process [`ShardedResolutionService`] under the same snapshot
+//! and call sequence, degrade per shard instead of failing whole queries,
+//! and survive corrupt bytes from clients.
+
+use flexer_core::{FlexErConfig, FlexErModel, InParallelModel, PipelineContext};
+use flexer_datasets::AmazonMiConfig;
+use flexer_serve::{Router, RouterClient, ServeConfig, ShardServer, ShardedResolutionService};
+use flexer_store::{IndexKind, ModelSnapshot};
+use flexer_types::{
+    ResolveQuery, Scale, ShardConfig, ShardRequest, ShardResponse, WireIngestReport,
+};
+
+/// One shared training run for the whole test binary, pre-sharded into
+/// two frames (the deployment shape every test below boots).
+fn sharded_snapshot() -> &'static ModelSnapshot {
+    static SHARED: std::sync::OnceLock<ModelSnapshot> = std::sync::OnceLock::new();
+    SHARED.get_or_init(|| {
+        let bench = AmazonMiConfig::at_scale(Scale::Tiny).with_seed(41).generate();
+        let config = FlexErConfig::fast();
+        let ctx = PipelineContext::new(bench, &config.matcher).unwrap();
+        let base = InParallelModel::fit(&ctx, &config.matcher).unwrap();
+        let model = FlexErModel::fit_from_embeddings(&ctx, &base.embeddings(), &config).unwrap();
+        let snapshot = model.to_snapshot(&ctx, &base, &config, IndexKind::Flat).unwrap();
+        ShardedResolutionService::new(snapshot, ServeConfig::default(), ShardConfig::of(2))
+            .unwrap()
+            .to_snapshot()
+    })
+}
+
+/// Boots 2 shard servers + a router over the shared snapshot; returns a
+/// connected client, the router's address and the shard addresses.
+fn boot_cluster() -> (RouterClient, std::net::SocketAddr, Vec<String>) {
+    let snapshot = sharded_snapshot();
+    let mut addrs = Vec::new();
+    for shard in 0..2 {
+        let server = ShardServer::from_snapshot(snapshot.clone(), shard, "127.0.0.1:0").unwrap();
+        addrs.push(server.local_addr().to_string());
+        server.spawn();
+    }
+    let router = Router::from_snapshot(
+        snapshot.clone(),
+        ServeConfig::default(),
+        addrs.clone(),
+        "127.0.0.1:0",
+    )
+    .unwrap();
+    let addr = router.local_addr();
+    router.spawn();
+    (RouterClient::connect(addr).unwrap(), addr, addrs)
+}
+
+fn as_wire(reports: &[flexer_serve::IngestReport]) -> Vec<WireIngestReport> {
+    reports
+        .iter()
+        .map(|r| WireIngestReport {
+            record: r.record as u64,
+            first_pair: r.first_pair as u64,
+            n_pairs: r.n_pairs as u64,
+            n_suppressed: r.n_suppressed as u64,
+        })
+        .collect()
+}
+
+#[test]
+fn networked_router_is_bit_identical_to_in_process_sharded_service() {
+    let snapshot = sharded_snapshot();
+    let mut reference =
+        ShardedResolutionService::new(snapshot.clone(), ServeConfig::default(), ShardConfig::of(2))
+            .unwrap();
+    let (mut client, _, _) = boot_cluster();
+
+    let (n_shards, n_records, n_intents) = client.hello().unwrap();
+    assert_eq!(n_shards, 2);
+    assert_eq!(n_records as usize, reference.n_records());
+    assert_eq!(n_intents as usize, reference.n_intents());
+
+    let corpus_title = reference.record_title(1).to_string();
+    let queries = vec![
+        ResolveQuery::CorpusPair(0),
+        ResolveQuery::pair(reference.record_title(0), reference.record_title(2)),
+        ResolveQuery::record(corpus_title.clone()),
+        ResolveQuery::record("completely unrelated zzzz qqqq"),
+    ];
+    let top_all = reference.n_records();
+
+    // Cold resolves, every query × every intent.
+    for query in &queries {
+        for intent in 0..reference.n_intents() {
+            let over_wire = client.resolve(query.clone(), intent, top_all).unwrap().unwrap();
+            let in_process = reference.resolve(query, intent, top_all).unwrap();
+            assert_eq!(over_wire, in_process, "pre-ingest {query:?} intent {intent}");
+        }
+    }
+
+    // The same ingest sequence through the single-writer lane: identical
+    // reports (records, pair ids, candidate/suppression counts).
+    let titles: Vec<String> = (0..4)
+        .map(|i| format!("{} listing {i}", reference.record_title(i * 3)))
+        .chain(["completely unrelated zzzz qqqq".to_string(), String::new()])
+        .collect();
+    let title_refs: Vec<&str> = titles.iter().map(String::as_str).collect();
+    let over_wire = client.ingest_batch(titles.clone()).unwrap();
+    let in_process = reference.ingest_batch(&title_refs);
+    assert_eq!(over_wire, as_wire(&in_process), "ingest reports");
+
+    // Warm resolves over the grown corpus, single and batched.
+    let top_all = reference.n_records();
+    for intent in 0..reference.n_intents() {
+        let over_wire = client.resolve_batch(queries.clone(), intent, top_all).unwrap();
+        let in_process: Vec<Result<_, String>> = reference
+            .resolve_batch(&queries, intent, top_all)
+            .into_iter()
+            .map(|r| r.map_err(|e| e.to_string()))
+            .collect();
+        assert_eq!(over_wire, in_process, "post-ingest batch, intent {intent}");
+    }
+
+    // Serving errors travel as errors, not hangs or panics.
+    let bad = client.resolve(ResolveQuery::CorpusPair(usize::MAX), 0, 3).unwrap();
+    assert!(bad.is_err());
+    let bad = client.resolve(ResolveQuery::record("x"), reference.n_intents(), 3).unwrap();
+    assert!(bad.is_err());
+
+    // Clean shutdown tears the shard servers down too.
+    client.shutdown().unwrap();
+}
+
+#[test]
+fn dead_shard_degrades_its_candidates_only() {
+    let (mut client, _, shard_addrs) = boot_cluster();
+    let corpus_title = {
+        let snapshot = sharded_snapshot();
+        snapshot.records[1].clone()
+    };
+
+    // Kill shard 1 directly, behind the router's back.
+    let mut stream = std::net::TcpStream::connect(&shard_addrs[1]).unwrap();
+    flexer_store::write_message(&mut stream, &ShardRequest::Shutdown).unwrap();
+    let reply: ShardResponse = flexer_store::read_message(&mut stream).unwrap();
+    assert_eq!(reply, ShardResponse::Shutdown);
+
+    // Record queries still answer — the dead shard's records drop out of
+    // the candidate set, the query itself survives.
+    let response = client.resolve(ResolveQuery::record(corpus_title), 0, 5).unwrap().unwrap();
+    assert_eq!(response.intent, 0);
+    // Pair queries never touch the shards at all.
+    let response = client.resolve(ResolveQuery::CorpusPair(0), 0, 5).unwrap();
+    assert!(response.is_ok());
+
+    client.shutdown().unwrap();
+}
+
+#[test]
+fn corrupt_client_bytes_do_not_poison_the_router() {
+    use std::io::{Read, Write};
+    let (mut client, router_addr, _) = boot_cluster();
+    // A raw connection that speaks garbage: the router answers with an
+    // Error frame (or just closes) instead of dying.
+    let mut raw = std::net::TcpStream::connect(router_addr).unwrap();
+    raw.write_all(b"NOT A FRAME AT ALL, JUST NOISE ------------------").unwrap();
+    let mut sink = Vec::new();
+    let _ = raw.read_to_end(&mut sink);
+    drop(raw);
+    // The well-behaved client is still served.
+    let (n_shards, _, _) = client.hello().unwrap();
+    assert_eq!(n_shards, 2);
+    client.shutdown().unwrap();
+}

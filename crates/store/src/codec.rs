@@ -90,11 +90,11 @@ impl Codec for Mlp {
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
-        let n = r.get_usize()?;
+        let n = r.get_count(32)?;
         if n == 0 {
             return malformed("an MLP needs at least one layer");
         }
-        let mut layers = Vec::with_capacity(n.min(1024));
+        let mut layers = Vec::with_capacity(n);
         for _ in 0..n {
             layers.push(Linear::decode(r)?);
         }
@@ -154,11 +154,11 @@ impl Codec for GnnModel {
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
-        let n = r.get_usize()?;
+        let n = r.get_count(33)?;
         if n == 0 {
             return malformed("a GNN needs at least one layer");
         }
-        let mut layers = Vec::with_capacity(n.min(64));
+        let mut layers = Vec::with_capacity(n);
         for _ in 0..n {
             layers.push(SageLayer::decode(r)?);
         }
@@ -309,8 +309,8 @@ impl Codec for IvfIndex {
     fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
         let dim = r.get_usize()?;
         let quantizer = KMeans::decode(r)?;
-        let n_lists = r.get_usize()?;
-        let mut lists = Vec::with_capacity(n_lists.min(1 << 20));
+        let n_lists = r.get_count(8)?;
+        let mut lists = Vec::with_capacity(n_lists);
         for _ in 0..n_lists {
             lists.push(r.get_usize_slice()?);
         }
@@ -418,8 +418,8 @@ impl Codec for NGramIndex {
     fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
         let config = NGramBlockerConfig::decode(r)?;
         let n_records = r.get_usize()?;
-        let n_buckets = r.get_usize()?;
-        let mut buckets = Vec::with_capacity(n_buckets.min(1 << 20));
+        let n_buckets = r.get_count(16)?;
+        let mut buckets = Vec::with_capacity(n_buckets);
         let mut prev: Option<u64> = None;
         for _ in 0..n_buckets {
             let gram = r.get_u64()?;
@@ -495,8 +495,8 @@ impl Codec for IntentSet {
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
-        let n = r.get_usize()?;
-        let mut intents = Vec::with_capacity(n.min(1024));
+        let n = r.get_count(17)?;
+        let mut intents = Vec::with_capacity(n);
         for _ in 0..n {
             intents.push(Intent::decode(r)?);
         }
@@ -520,8 +520,12 @@ impl Codec for LabelMatrix {
     fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
         let n_pairs = r.get_usize()?;
         let n_intents = r.get_usize()?;
-        if n_pairs.checked_mul(n_intents).is_none() {
-            return malformed("label matrix shape overflows");
+        let n_labels = match n_pairs.checked_mul(n_intents) {
+            Some(n) => n,
+            None => return malformed("label matrix shape overflows"),
+        };
+        if n_labels > r.remaining() {
+            return Err(StoreError::Truncated { needed: n_labels, available: r.remaining() });
         }
         let mut m = LabelMatrix::zeros(n_pairs, n_intents);
         for i in 0..n_pairs {
@@ -571,8 +575,8 @@ impl Codec for DfTable {
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
-        let n = r.get_usize()?;
-        let mut entries = Vec::with_capacity(n.min(1 << 22));
+        let n = r.get_count(12)?;
+        let mut entries = Vec::with_capacity(n);
         for _ in 0..n {
             let token = r.get_str()?;
             let count = r.get_u32()?;
@@ -611,7 +615,7 @@ impl<T: Codec> Codec for Vec<T> {
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
-        let n = r.get_usize()?;
+        let n = r.get_count(1)?;
         let mut out = Vec::with_capacity(n.min(1 << 16));
         for _ in 0..n {
             out.push(T::decode(r)?);

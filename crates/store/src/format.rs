@@ -129,11 +129,19 @@ pub fn unseal(bytes: &[u8]) -> Result<&[u8], StoreError> {
     if version != VERSION {
         return Err(StoreError::UnsupportedVersion(version));
     }
-    let len = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes")) as usize;
-    let total = header + len + 8;
-    if bytes.len() < total {
-        return Err(StoreError::Truncated { needed: total, available: bytes.len() });
+    let len64 = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    // The length field is untrusted: `header + len + 8` must not wrap (a
+    // corrupt length near `u64::MAX` would otherwise slice out of bounds
+    // in release builds and overflow-panic in debug builds). A valid
+    // payload can never exceed the buffer, so bound it there first.
+    if len64 > (bytes.len() - header - 8) as u64 {
+        return Err(StoreError::Truncated {
+            needed: len64.saturating_add((header + 8) as u64).min(usize::MAX as u64) as usize,
+            available: bytes.len(),
+        });
     }
+    let len = len64 as usize;
+    let total = header + len + 8;
     if bytes.len() > total {
         return Err(StoreError::TrailingBytes(bytes.len() - total));
     }
@@ -325,6 +333,25 @@ impl<'a> Reader<'a> {
         Ok(n)
     }
 
+    /// A length prefix for a sequence whose elements each occupy **at
+    /// least** `min_elem_bytes` of encoded payload, bounds-checked against
+    /// the remaining buffer. This is the pre-allocation guard for
+    /// variable-size elements (codec sequences): a count that could not
+    /// possibly fit in the remaining bytes is rejected *before* any
+    /// `Vec::with_capacity`, so a corrupt count field can never trigger a
+    /// huge allocation or OOM abort. Callers pass a conservative lower
+    /// bound on the encoded element size (1 is always sound).
+    pub fn get_count(&mut self, min_elem_bytes: usize) -> Result<usize, StoreError> {
+        let n = self.get_usize()?;
+        let needed = n.checked_mul(min_elem_bytes.max(1)).ok_or_else(|| {
+            StoreError::Malformed(format!("count {n} × {min_elem_bytes} bytes overflows"))
+        })?;
+        if needed > self.remaining() {
+            return Err(StoreError::Truncated { needed, available: self.remaining() });
+        }
+        Ok(n)
+    }
+
     /// IEEE-754 f32.
     pub fn get_f32(&mut self) -> Result<f32, StoreError> {
         Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
@@ -474,6 +501,45 @@ mod tests {
         let mut bad = sealed;
         bad.push(0);
         assert!(matches!(unseal(&bad), Err(StoreError::TrailingBytes(1))));
+    }
+
+    #[test]
+    fn corrupt_length_field_cannot_overflow() {
+        // A sealed frame whose length field is forged to huge values must
+        // report truncation, never wrap `header + len + 8` into an
+        // out-of-bounds slice (release) or arithmetic overflow (debug).
+        let sealed = seal(b"payload bytes");
+        for forged in [u64::MAX, u64::MAX - 7, u64::MAX / 2, sealed.len() as u64, 1 << 60] {
+            let mut bad = sealed.clone();
+            bad[12..20].copy_from_slice(&forged.to_le_bytes());
+            assert!(
+                matches!(unseal(&bad), Err(StoreError::Truncated { .. })),
+                "forged length {forged} must fail as truncated"
+            );
+        }
+    }
+
+    #[test]
+    fn count_prefix_is_bounded_by_remaining_bytes() {
+        let mut w = Writer::new();
+        w.put_usize(3);
+        w.put_u32(7); // only 4 bytes of element payload follow
+        let bytes = w.into_bytes();
+        // 3 elements of >= 4 bytes each cannot fit in 4 remaining bytes.
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(r.get_count(4), Err(StoreError::Truncated { .. })));
+        // …but 3 elements of >= 1 byte could.
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.get_count(1).unwrap(), 3);
+        // Overflowing count × size is malformed, not a panic.
+        let mut w = Writer::new();
+        w.put_u64(u64::MAX / 2);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            r.get_count(16),
+            Err(StoreError::Malformed(_)) | Err(StoreError::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -36,8 +36,13 @@ pub mod codec;
 pub mod format;
 pub mod shard;
 pub mod snapshot;
+pub mod wire;
 
 pub use codec::Codec;
 pub use format::{fnv1a64, seal, unseal, Reader, StoreError, Writer, MAGIC, VERSION};
 pub use shard::ShardFrames;
 pub use snapshot::{IndexKind, ModelSnapshot};
+pub use wire::{
+    decode_frame, frame_message, read_message, seal_frame, unseal_frame, write_message, WireError,
+    MAX_WIRE_FRAME, WIRE_MAGIC, WIRE_VERSION,
+};

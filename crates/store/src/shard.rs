@@ -107,9 +107,12 @@ impl Codec for ShardFrames {
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
         let n_records = r.get_usize()?;
-        let n_shards = r.get_usize()?;
+        // Each frame is at least its own 8-byte length prefix, so the
+        // count is bounded by the remaining payload before the config
+        // validation (which caps it at 65536 shards anyway).
+        let n_shards = r.get_count(8)?;
         ShardConfig::of(n_shards).validate().map_err(StoreError::Malformed)?;
-        let mut frames = Vec::with_capacity(n_shards.min(1 << 16));
+        let mut frames = Vec::with_capacity(n_shards);
         for _ in 0..n_shards {
             frames.push(r.get_bytes()?);
         }

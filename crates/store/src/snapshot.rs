@@ -238,13 +238,16 @@ impl Codec for ModelSnapshot {
     fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
         let intents = IntentSet::decode(r)?;
         let k = r.get_usize()?;
-        let n_records = r.get_usize()?;
-        let mut records = Vec::with_capacity(n_records.min(1 << 20));
+        // Counts are bounded against the remaining payload (records are at
+        // least their 8-byte length prefix, pairs exactly 8 bytes), so a
+        // corrupt count cannot pre-allocate more than the input's own size.
+        let n_records = r.get_count(8)?;
+        let mut records = Vec::with_capacity(n_records);
         for _ in 0..n_records {
             records.push(r.get_str()?);
         }
-        let n_pairs = r.get_usize()?;
-        let mut pairs = Vec::with_capacity(n_pairs.min(1 << 20));
+        let n_pairs = r.get_count(8)?;
+        let mut pairs = Vec::with_capacity(n_pairs);
         for _ in 0..n_pairs {
             let a = r.get_u32()?;
             let b = r.get_u32()?;

@@ -1,0 +1,755 @@
+//! The TCP wire protocol of the networked shard deployment.
+//!
+//! Messages travel as self-delimiting frames with the same shape as the
+//! `.flexer` container — magic, version, length, payload, FNV-1a
+//! checksum — but under their own magic so a stray snapshot file can
+//! never be mistaken for a protocol stream:
+//!
+//! ```text
+//! ┌────────────┬─────────────┬─────────────────┬──────────┬──────────────┐
+//! │ "FLEXWIRE" │ version u32 │ payload_len u64 │ payload  │ checksum u64 │
+//! └────────────┴─────────────┴─────────────────┴──────────┴──────────────┘
+//! ```
+//!
+//! Every byte here is **untrusted**: it arrives from a socket, not from a
+//! file we wrote ourselves. The framing therefore bounds the declared
+//! length twice — against [`MAX_WIRE_FRAME`] before any allocation, and
+//! (in the slice-level [`unseal_frame`]) against the buffer with checked
+//! arithmetic — and the payload codecs below inherit the store's hardened
+//! [`Reader`] bounds ([`Reader::get_count`] caps every decoded count by
+//! the bytes actually present). Corrupt input yields `Err`, never a panic
+//! and never an attacker-sized allocation.
+//!
+//! The message vocabulary itself ([`ShardRequest`]/[`ShardResponse`],
+//! [`RouterRequest`]/[`RouterResponse`]) lives in `flexer-types::wire`;
+//! this module gives those types their [`Codec`] impls plus blocking
+//! [`write_message`]/[`read_message`] over any `io::Write`/`io::Read`.
+
+use crate::codec::Codec;
+use crate::format::{fnv1a64, Reader, StoreError, Writer};
+use flexer_types::{
+    MatchTarget, RankedMatch, ResolveQuery, ResolveResponse, RouterRequest, RouterResponse,
+    ShardRequest, ShardResponse, WireCandidates, WireIngestReport, WireQuery,
+};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Leading magic bytes of every wire frame.
+pub const WIRE_MAGIC: [u8; 8] = *b"FLEXWIRE";
+
+/// Wire protocol version; both ends reject anything else.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Hard ceiling on a frame's declared payload length (64 MiB). A peer
+/// announcing more is broken or hostile; the reader errors out before
+/// allocating a single payload byte.
+pub const MAX_WIRE_FRAME: u64 = 64 << 20;
+
+const HEADER: usize = 8 + 4 + 8; // magic + version + payload_len
+
+/// Everything that can go wrong on a wire hop.
+#[derive(Debug)]
+pub enum WireError {
+    /// The socket failed (including EOF mid-frame).
+    Io(io::Error),
+    /// The frame or its payload failed to decode.
+    Store(StoreError),
+    /// The peer declared a payload larger than [`MAX_WIRE_FRAME`].
+    FrameTooLarge(u64),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire I/O error: {e}"),
+            WireError::Store(e) => write!(f, "wire decode error: {e}"),
+            WireError::FrameTooLarge(n) => {
+                write!(f, "wire frame declares {n} payload bytes (cap {MAX_WIRE_FRAME})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            WireError::Store(e) => Some(e),
+            WireError::FrameTooLarge(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<StoreError> for WireError {
+    fn from(e: StoreError) -> Self {
+        WireError::Store(e)
+    }
+}
+
+/// Frames a payload into a complete wire frame.
+pub fn seal_frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(HEADER + payload.len() + 8);
+    out.extend_from_slice(&WIRE_MAGIC);
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    out
+}
+
+/// Validates framing + checksum of an in-memory frame and returns the
+/// payload slice. Same hardening as [`crate::unseal`]: the declared
+/// length is bounded (cap first, then the buffer itself, with no
+/// overflowable arithmetic) before anything is sliced.
+pub fn unseal_frame(bytes: &[u8]) -> Result<&[u8], StoreError> {
+    if bytes.len() < HEADER + 8 {
+        return Err(StoreError::Truncated { needed: HEADER + 8, available: bytes.len() });
+    }
+    if bytes[..8] != WIRE_MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != WIRE_VERSION {
+        return Err(StoreError::UnsupportedVersion(version));
+    }
+    let len64 = u64::from_le_bytes(bytes[12..20].try_into().expect("8 bytes"));
+    if len64 > MAX_WIRE_FRAME || len64 > (bytes.len() - HEADER - 8) as u64 {
+        return Err(StoreError::Truncated {
+            needed: len64.saturating_add((HEADER + 8) as u64).min(usize::MAX as u64) as usize,
+            available: bytes.len(),
+        });
+    }
+    let len = len64 as usize;
+    let total = HEADER + len + 8;
+    if bytes.len() > total {
+        return Err(StoreError::TrailingBytes(bytes.len() - total));
+    }
+    let payload = &bytes[HEADER..HEADER + len];
+    let stored = u64::from_le_bytes(bytes[total - 8..total].try_into().expect("8 bytes"));
+    let computed = fnv1a64(payload);
+    if stored != computed {
+        return Err(StoreError::ChecksumMismatch { stored, computed });
+    }
+    Ok(payload)
+}
+
+/// Encodes one message as a complete frame (for tests and fuzzing; the
+/// socket path is [`write_message`]).
+pub fn frame_message<T: Codec>(msg: &T) -> Vec<u8> {
+    let mut w = Writer::new();
+    msg.encode(&mut w);
+    seal_frame(&w.into_bytes())
+}
+
+/// Decodes one message from a complete in-memory frame, requiring the
+/// payload to be consumed exactly.
+pub fn decode_frame<T: Codec>(bytes: &[u8]) -> Result<T, StoreError> {
+    let payload = unseal_frame(bytes)?;
+    let mut r = Reader::new(payload);
+    let msg = T::decode(&mut r)?;
+    r.finish()?;
+    Ok(msg)
+}
+
+/// Writes one framed message to a blocking stream.
+pub fn write_message<T: Codec>(stream: &mut impl Write, msg: &T) -> Result<(), WireError> {
+    stream.write_all(&frame_message(msg))?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Reads one framed message from a blocking stream. The header is read
+/// and validated (magic, version, length cap) *before* the payload is
+/// allocated, so a hostile peer cannot provoke an attacker-sized buffer.
+pub fn read_message<T: Codec>(stream: &mut impl Read) -> Result<T, WireError> {
+    let mut header = [0u8; HEADER];
+    stream.read_exact(&mut header)?;
+    if header[..8] != WIRE_MAGIC {
+        return Err(StoreError::BadMagic.into());
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    if version != WIRE_VERSION {
+        return Err(StoreError::UnsupportedVersion(version).into());
+    }
+    let len64 = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+    if len64 > MAX_WIRE_FRAME {
+        return Err(WireError::FrameTooLarge(len64));
+    }
+    let mut body = vec![0u8; len64 as usize + 8];
+    stream.read_exact(&mut body)?;
+    let payload = &body[..len64 as usize];
+    let stored = u64::from_le_bytes(body[len64 as usize..].try_into().expect("8 bytes"));
+    let computed = fnv1a64(payload);
+    if stored != computed {
+        return Err(StoreError::ChecksumMismatch { stored, computed }.into());
+    }
+    let mut r = Reader::new(payload);
+    let msg = T::decode(&mut r)?;
+    r.finish()?;
+    Ok(msg)
+}
+
+fn bad_tag<T>(what: &str, tag: u8) -> Result<T, StoreError> {
+    Err(StoreError::Malformed(format!("unknown {what} tag {tag}")))
+}
+
+// ---------------------------------------------------------------------------
+// Resolve vocabulary (flexer-types::query)
+// ---------------------------------------------------------------------------
+
+impl Codec for ResolveQuery {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ResolveQuery::CorpusPair(p) => {
+                w.put_u8(0);
+                w.put_usize(*p);
+            }
+            ResolveQuery::TitlePair(a, b) => {
+                w.put_u8(1);
+                w.put_str(a);
+                w.put_str(b);
+            }
+            ResolveQuery::Record(t) => {
+                w.put_u8(2);
+                w.put_str(t);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        match r.get_u8()? {
+            0 => Ok(ResolveQuery::CorpusPair(r.get_usize()?)),
+            1 => Ok(ResolveQuery::TitlePair(r.get_str()?, r.get_str()?)),
+            2 => Ok(ResolveQuery::Record(r.get_str()?)),
+            t => bad_tag("ResolveQuery", t),
+        }
+    }
+}
+
+impl Codec for MatchTarget {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            MatchTarget::Record(i) => {
+                w.put_u8(0);
+                w.put_usize(*i);
+            }
+            MatchTarget::Pair(i) => {
+                w.put_u8(1);
+                w.put_usize(*i);
+            }
+            MatchTarget::AdHoc => w.put_u8(2),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        match r.get_u8()? {
+            0 => Ok(MatchTarget::Record(r.get_usize()?)),
+            1 => Ok(MatchTarget::Pair(r.get_usize()?)),
+            2 => Ok(MatchTarget::AdHoc),
+            t => bad_tag("MatchTarget", t),
+        }
+    }
+}
+
+impl Codec for RankedMatch {
+    fn encode(&self, w: &mut Writer) {
+        self.target.encode(w);
+        w.put_f32(self.score); // raw bits — scores survive the hop bit-exactly
+        w.put_bool(self.matched);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        Ok(Self { target: MatchTarget::decode(r)?, score: r.get_f32()?, matched: r.get_bool()? })
+    }
+}
+
+impl Codec for ResolveResponse {
+    fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.intent);
+        self.matches.encode(w);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        Ok(Self { intent: r.get_usize()?, matches: Vec::<RankedMatch>::decode(r)? })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Router ↔ shard-server hop
+// ---------------------------------------------------------------------------
+
+impl Codec for WireQuery {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            WireQuery::Grams(gs) => {
+                w.put_u8(0);
+                w.put_usize(gs.len());
+                for &g in gs {
+                    w.put_u64(g);
+                }
+            }
+            WireQuery::Embedding(v) => {
+                w.put_u8(1);
+                w.put_f32_slice(v);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        match r.get_u8()? {
+            0 => {
+                let n = r.get_count(8)?;
+                let mut gs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    gs.push(r.get_u64()?);
+                }
+                Ok(WireQuery::Grams(gs))
+            }
+            1 => Ok(WireQuery::Embedding(r.get_f32_slice()?)),
+            t => bad_tag("WireQuery", t),
+        }
+    }
+}
+
+impl Codec for WireCandidates {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            WireCandidates::Ids(ids) => {
+                w.put_u8(0);
+                w.put_u32_slice(ids);
+            }
+            WireCandidates::Hits(hits) => {
+                w.put_u8(1);
+                w.put_usize(hits.len());
+                for &(d, g) in hits {
+                    w.put_f32(d);
+                    w.put_u32(g);
+                }
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        match r.get_u8()? {
+            0 => Ok(WireCandidates::Ids(r.get_u32_slice()?)),
+            1 => {
+                let n = r.get_count(8)?;
+                let mut hits = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let d = r.get_f32()?;
+                    let g = r.get_u32()?;
+                    hits.push((d, g));
+                }
+                Ok(WireCandidates::Hits(hits))
+            }
+            t => bad_tag("WireCandidates", t),
+        }
+    }
+}
+
+impl Codec for ShardRequest {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ShardRequest::Hello => w.put_u8(0),
+            ShardRequest::Query(q) => {
+                w.put_u8(1);
+                q.encode(w);
+            }
+            ShardRequest::QueryBatch(qs) => {
+                w.put_u8(2);
+                qs.encode(w);
+            }
+            ShardRequest::Insert(rows) => {
+                w.put_u8(3);
+                w.put_usize(rows.len());
+                for (id, title) in rows {
+                    w.put_u64(*id);
+                    w.put_str(title);
+                }
+            }
+            ShardRequest::Shutdown => w.put_u8(4),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        match r.get_u8()? {
+            0 => Ok(ShardRequest::Hello),
+            1 => Ok(ShardRequest::Query(WireQuery::decode(r)?)),
+            2 => Ok(ShardRequest::QueryBatch(Vec::<WireQuery>::decode(r)?)),
+            3 => {
+                // Each row is at least a u64 id + an 8-byte title length.
+                let n = r.get_count(16)?;
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let id = r.get_u64()?;
+                    let title = r.get_str()?;
+                    rows.push((id, title));
+                }
+                Ok(ShardRequest::Insert(rows))
+            }
+            4 => Ok(ShardRequest::Shutdown),
+            t => bad_tag("ShardRequest", t),
+        }
+    }
+}
+
+impl Codec for ShardResponse {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            ShardResponse::Hello { shard, n_shards, n_records, backend, gram_counts } => {
+                w.put_u8(0);
+                w.put_u64(*shard);
+                w.put_u64(*n_shards);
+                w.put_u64(*n_records);
+                w.put_str(backend);
+                w.put_usize(gram_counts.len());
+                for &(g, n) in gram_counts {
+                    w.put_u64(g);
+                    w.put_u32(n);
+                }
+            }
+            ShardResponse::Candidates(c) => {
+                w.put_u8(1);
+                c.encode(w);
+            }
+            ShardResponse::CandidatesBatch(cs) => {
+                w.put_u8(2);
+                cs.encode(w);
+            }
+            ShardResponse::Inserted { n_records } => {
+                w.put_u8(3);
+                w.put_u64(*n_records);
+            }
+            ShardResponse::Shutdown => w.put_u8(4),
+            ShardResponse::Error(msg) => {
+                w.put_u8(5);
+                w.put_str(msg);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        match r.get_u8()? {
+            0 => {
+                let shard = r.get_u64()?;
+                let n_shards = r.get_u64()?;
+                let n_records = r.get_u64()?;
+                let backend = r.get_str()?;
+                let n = r.get_count(12)?;
+                let mut gram_counts = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let g = r.get_u64()?;
+                    let c = r.get_u32()?;
+                    gram_counts.push((g, c));
+                }
+                Ok(ShardResponse::Hello { shard, n_shards, n_records, backend, gram_counts })
+            }
+            1 => Ok(ShardResponse::Candidates(WireCandidates::decode(r)?)),
+            2 => Ok(ShardResponse::CandidatesBatch(Vec::<WireCandidates>::decode(r)?)),
+            3 => Ok(ShardResponse::Inserted { n_records: r.get_u64()? }),
+            4 => Ok(ShardResponse::Shutdown),
+            5 => Ok(ShardResponse::Error(r.get_str()?)),
+            t => bad_tag("ShardResponse", t),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Client ↔ router hop
+// ---------------------------------------------------------------------------
+
+impl Codec for RouterRequest {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            RouterRequest::Hello => w.put_u8(0),
+            RouterRequest::Resolve { query, intent, top_k } => {
+                w.put_u8(1);
+                query.encode(w);
+                w.put_u64(*intent);
+                w.put_u64(*top_k);
+            }
+            RouterRequest::ResolveBatch { queries, intent, top_k } => {
+                w.put_u8(2);
+                queries.encode(w);
+                w.put_u64(*intent);
+                w.put_u64(*top_k);
+            }
+            RouterRequest::IngestBatch(titles) => {
+                w.put_u8(3);
+                w.put_usize(titles.len());
+                for t in titles {
+                    w.put_str(t);
+                }
+            }
+            RouterRequest::Shutdown => w.put_u8(4),
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        match r.get_u8()? {
+            0 => Ok(RouterRequest::Hello),
+            1 => Ok(RouterRequest::Resolve {
+                query: ResolveQuery::decode(r)?,
+                intent: r.get_u64()?,
+                top_k: r.get_u64()?,
+            }),
+            2 => Ok(RouterRequest::ResolveBatch {
+                queries: Vec::<ResolveQuery>::decode(r)?,
+                intent: r.get_u64()?,
+                top_k: r.get_u64()?,
+            }),
+            3 => {
+                // Each title carries at least its 8-byte length prefix.
+                let n = r.get_count(8)?;
+                let mut titles = Vec::with_capacity(n);
+                for _ in 0..n {
+                    titles.push(r.get_str()?);
+                }
+                Ok(RouterRequest::IngestBatch(titles))
+            }
+            4 => Ok(RouterRequest::Shutdown),
+            t => bad_tag("RouterRequest", t),
+        }
+    }
+}
+
+impl Codec for WireIngestReport {
+    fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.record);
+        w.put_u64(self.first_pair);
+        w.put_u64(self.n_pairs);
+        w.put_u64(self.n_suppressed);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        Ok(Self {
+            record: r.get_u64()?,
+            first_pair: r.get_u64()?,
+            n_pairs: r.get_u64()?,
+            n_suppressed: r.get_u64()?,
+        })
+    }
+}
+
+fn put_outcome(w: &mut Writer, outcome: &Result<ResolveResponse, String>) {
+    match outcome {
+        Ok(resp) => {
+            w.put_bool(true);
+            resp.encode(w);
+        }
+        Err(msg) => {
+            w.put_bool(false);
+            w.put_str(msg);
+        }
+    }
+}
+
+fn get_outcome(r: &mut Reader<'_>) -> Result<Result<ResolveResponse, String>, StoreError> {
+    if r.get_bool()? {
+        Ok(Ok(ResolveResponse::decode(r)?))
+    } else {
+        Ok(Err(r.get_str()?))
+    }
+}
+
+impl Codec for RouterResponse {
+    fn encode(&self, w: &mut Writer) {
+        match self {
+            RouterResponse::Hello { n_shards, n_records, n_intents } => {
+                w.put_u8(0);
+                w.put_u64(*n_shards);
+                w.put_u64(*n_records);
+                w.put_u64(*n_intents);
+            }
+            RouterResponse::Resolve(outcome) => {
+                w.put_u8(1);
+                put_outcome(w, outcome);
+            }
+            RouterResponse::ResolveBatch(outcomes) => {
+                w.put_u8(2);
+                w.put_usize(outcomes.len());
+                for outcome in outcomes {
+                    put_outcome(w, outcome);
+                }
+            }
+            RouterResponse::IngestBatch(reports) => {
+                w.put_u8(3);
+                reports.encode(w);
+            }
+            RouterResponse::Shutdown => w.put_u8(4),
+            RouterResponse::Error(msg) => {
+                w.put_u8(5);
+                w.put_str(msg);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, StoreError> {
+        match r.get_u8()? {
+            0 => Ok(RouterResponse::Hello {
+                n_shards: r.get_u64()?,
+                n_records: r.get_u64()?,
+                n_intents: r.get_u64()?,
+            }),
+            1 => Ok(RouterResponse::Resolve(get_outcome(r)?)),
+            2 => {
+                // Each outcome is at least its 1-byte ok flag.
+                let n = r.get_count(1)?;
+                let mut outcomes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    outcomes.push(get_outcome(r)?);
+                }
+                Ok(RouterResponse::ResolveBatch(outcomes))
+            }
+            3 => Ok(RouterResponse::IngestBatch(Vec::<WireIngestReport>::decode(r)?)),
+            4 => Ok(RouterResponse::Shutdown),
+            5 => Ok(RouterResponse::Error(r.get_str()?)),
+            t => bad_tag("RouterResponse", t),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexer_types::IntentId;
+
+    fn sample_messages(
+    ) -> (Vec<ShardRequest>, Vec<ShardResponse>, Vec<RouterRequest>, Vec<RouterResponse>) {
+        let resp = ResolveResponse {
+            intent: 2 as IntentId,
+            matches: vec![
+                RankedMatch { target: MatchTarget::Record(7), score: 0.875, matched: true },
+                RankedMatch { target: MatchTarget::Pair(3), score: 0.25, matched: false },
+                RankedMatch { target: MatchTarget::AdHoc, score: -0.0, matched: false },
+            ],
+        };
+        let shard_reqs = vec![
+            ShardRequest::Hello,
+            ShardRequest::Query(WireQuery::Grams(vec![1, u64::MAX, 42])),
+            ShardRequest::QueryBatch(vec![
+                WireQuery::Embedding(vec![0.5, -1.25, f32::MIN_POSITIVE]),
+                WireQuery::Grams(vec![]),
+            ]),
+            ShardRequest::Insert(vec![(9, "acme widget".into()), (10, String::new())]),
+            ShardRequest::Shutdown,
+        ];
+        let shard_resps = vec![
+            ShardResponse::Hello {
+                shard: 1,
+                n_shards: 4,
+                n_records: 1000,
+                backend: "ngram".into(),
+                gram_counts: vec![(3, 2), (u64::MAX, 1)],
+            },
+            ShardResponse::Candidates(WireCandidates::Ids(vec![1, 2, 3])),
+            ShardResponse::CandidatesBatch(vec![
+                WireCandidates::Hits(vec![(0.125, 4), (2.5, 9)]),
+                WireCandidates::Ids(vec![]),
+            ]),
+            ShardResponse::Inserted { n_records: 1001 },
+            ShardResponse::Shutdown,
+            ShardResponse::Error("nope".into()),
+        ];
+        let router_reqs = vec![
+            RouterRequest::Hello,
+            RouterRequest::Resolve {
+                query: ResolveQuery::Record("nike shoe".into()),
+                intent: 0,
+                top_k: 5,
+            },
+            RouterRequest::ResolveBatch {
+                queries: vec![ResolveQuery::CorpusPair(3), ResolveQuery::pair("a", "b")],
+                intent: 1,
+                top_k: 10,
+            },
+            RouterRequest::IngestBatch(vec!["x".into(), "y z".into()]),
+            RouterRequest::Shutdown,
+        ];
+        let router_resps = vec![
+            RouterResponse::Hello { n_shards: 2, n_records: 30, n_intents: 3 },
+            RouterResponse::Resolve(Ok(resp.clone())),
+            RouterResponse::ResolveBatch(vec![Ok(resp), Err("shard down".into())]),
+            RouterResponse::IngestBatch(vec![WireIngestReport {
+                record: 30,
+                first_pair: 100,
+                n_pairs: 4,
+                n_suppressed: 26,
+            }]),
+            RouterResponse::Shutdown,
+            RouterResponse::Error("bad frame".into()),
+        ];
+        (shard_reqs, shard_resps, router_reqs, router_resps)
+    }
+
+    fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(msg: &T) {
+        let frame = frame_message(msg);
+        assert_eq!(&decode_frame::<T>(&frame).unwrap(), msg);
+        // Stream path: two copies back to back must frame cleanly.
+        let mut stream = Vec::new();
+        write_message(&mut stream, msg).unwrap();
+        write_message(&mut stream, msg).unwrap();
+        let mut cursor = stream.as_slice();
+        assert_eq!(&read_message::<T>(&mut cursor).unwrap(), msg);
+        assert_eq!(&read_message::<T>(&mut cursor).unwrap(), msg);
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn every_message_roundtrips_bit_exactly() {
+        let (sreq, sresp, rreq, rresp) = sample_messages();
+        sreq.iter().for_each(roundtrip);
+        sresp.iter().for_each(roundtrip);
+        rreq.iter().for_each(roundtrip);
+        rresp.iter().for_each(roundtrip);
+    }
+
+    #[test]
+    fn corrupt_frames_fail_without_panicking() {
+        let frame = frame_message(&ShardRequest::Query(WireQuery::Grams(vec![7, 8])));
+        // Truncation at every prefix length.
+        for cut in 0..frame.len() {
+            assert!(decode_frame::<ShardRequest>(&frame[..cut]).is_err());
+        }
+        // Forged lengths, including the overflow-bait values.
+        for forged in [u64::MAX, u64::MAX - 7, MAX_WIRE_FRAME + 1, frame.len() as u64, 1 << 60] {
+            let mut bad = frame.clone();
+            bad[12..20].copy_from_slice(&forged.to_le_bytes());
+            assert!(decode_frame::<ShardRequest>(&bad).is_err());
+        }
+        // Wrong magic / version.
+        let mut bad = frame.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode_frame::<ShardRequest>(&bad), Err(StoreError::BadMagic)));
+        let mut bad = frame.clone();
+        bad[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            decode_frame::<ShardRequest>(&bad),
+            Err(StoreError::UnsupportedVersion(99))
+        ));
+        // A flipped payload bit trips the checksum.
+        let mut bad = frame.clone();
+        bad[HEADER] ^= 0x01;
+        assert!(matches!(
+            decode_frame::<ShardRequest>(&bad),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn stream_reader_rejects_oversized_frames_before_allocating() {
+        let mut frame = frame_message(&RouterRequest::Hello);
+        frame[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut cursor = frame.as_slice();
+        assert!(matches!(
+            read_message::<RouterRequest>(&mut cursor),
+            Err(WireError::FrameTooLarge(u64::MAX))
+        ));
+    }
+}

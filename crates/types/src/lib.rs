@@ -27,6 +27,7 @@ pub mod resolution;
 pub mod scale;
 pub mod shard;
 pub mod splits;
+pub mod wire;
 
 pub use benchmark::MierBenchmark;
 pub use blockcfg::{AnnBlockerConfig, BlockingReport, CandidateGenConfig, NGramBlockerConfig};
@@ -42,3 +43,7 @@ pub use resolution::Resolution;
 pub use scale::Scale;
 pub use shard::{ShardConfig, ShardRouter};
 pub use splits::{Split, SplitAssignment, SplitRatios};
+pub use wire::{
+    RouterRequest, RouterResponse, ShardRequest, ShardResponse, WireCandidates, WireIngestReport,
+    WireQuery,
+};
