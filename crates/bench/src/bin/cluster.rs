@@ -60,6 +60,9 @@ const BATCH: usize = 12;
 /// [`WARM_ROUNDS`] times.
 const WARM_QUERIES: usize = 32;
 const WARM_ROUNDS: usize = 3;
+/// Rounds in the connection-pool comparison (same concurrent shape as
+/// the warm pass, run against a pooled and a pool-of-1 router).
+const POOL_ROUNDS: usize = 2;
 const TOP_K: usize = 10;
 
 fn main() {
@@ -179,6 +182,69 @@ fn main() {
         "cold                : {cold_qps:>8.2} resolves/s over {checked} queries, bit-identical"
     );
 
+    // --- Pool phase: the identical concurrent load through this router
+    // (which keeps `NetConfig::pool` idle connections per replica) and
+    // through a second router booted with `--pool 1`, isolating what
+    // shard-connection reuse is worth under concurrency. Runs *before*
+    // ingest because a router boot-validates shard record counts against
+    // the snapshot and refuses grown shards; `pool1_router` then stays up
+    // (idle) until teardown, since shutting a router down cascades to the
+    // shard servers both routers share.
+    let mut pool1_router = spawn_listening(
+        &sibling_bin("router"),
+        &[
+            "--snapshot",
+            &snapshot_arg,
+            "--shards",
+            &shard_addrs.join(","),
+            "--addr",
+            "127.0.0.1:0",
+            "--pool",
+            "1",
+        ],
+    );
+    let pool_queries: Vec<ResolveQuery> = (0..WARM_QUERIES)
+        .map(|i| ResolveQuery::record(reference.record_title((i * 7) % args.n_records)))
+        .collect();
+    let pool_expected: Vec<Result<_, String>> = reference
+        .resolve_batch(&pool_queries, 0, TOP_K)
+        .into_iter()
+        .map(|r| r.map_err(|e| e.to_string()))
+        .collect();
+    let run_concurrent = |addr: &str| -> f64 {
+        let t0 = Instant::now();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..args.clients)
+                .map(|_| {
+                    let queries = &pool_queries;
+                    let expected = &pool_expected;
+                    scope.spawn(move || {
+                        let mut client = RouterClient::connect(addr).expect("pool client connect");
+                        for _ in 0..POOL_ROUNDS {
+                            for (query, want) in queries.iter().zip(expected) {
+                                let got =
+                                    client.resolve(query.clone(), 0, TOP_K).expect("pool resolve");
+                                assert_eq!(&got, want, "pool divergence on {query:?}");
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for handle in handles {
+                handle.join().expect("pool client thread");
+            }
+        });
+        (args.clients * POOL_ROUNDS * pool_queries.len()) as f64 / t0.elapsed().as_secs_f64()
+    };
+    let pool_warm_qps = run_concurrent(&router.addr);
+    let pool1_warm_qps = run_concurrent(&pool1_router.addr);
+    println!(
+        "pool ({} clients)    : {pool_warm_qps:>8.2} resolves/s pooled, \
+         {pool1_warm_qps:>8.2} resolves/s with pool=1 (reuse ratio {:.2})",
+        args.clients,
+        pool_warm_qps / pool1_warm_qps
+    );
+
     // --- Ingest through the single-writer lane: identical reports.
     let titles: Vec<String> = (0..INGEST_BATCHES * BATCH)
         .map(|i| {
@@ -287,8 +353,15 @@ fn main() {
         let status = proc_.child.wait().expect("shard wait");
         assert!(status.success(), "shard {s} exited {status:?}");
     }
+    // The pool-comparison router goes last: its cascaded shard shutdowns
+    // are best-effort no-ops now that the shards are already gone.
+    let mut pool1_client =
+        RouterClient::connect(&*pool1_router.addr).expect("pool-1 shutdown connect");
+    pool1_client.shutdown().expect("pool-1 clean shutdown");
+    let status = pool1_router.child.wait().expect("pool-1 router wait");
+    assert!(status.success(), "pool-1 router exited {status:?}");
     let _ = std::fs::remove_file(&snapshot_path);
-    println!("shutdown            : router + {} shards exited cleanly", args.n_shards);
+    println!("shutdown            : routers + {} shards exited cleanly", args.n_shards);
 
     if args.json {
         let doc = JsonObject::new()
@@ -299,6 +372,9 @@ fn main() {
             .int("clients", args.clients as u64)
             .int("warm_resolves", warm_resolves as u64)
             .num("cold_qps", cold_qps)
+            .num("pool_warm_qps", pool_warm_qps)
+            .num("pool1_warm_qps", pool1_warm_qps)
+            .num("pool_reuse_ratio", pool_warm_qps / pool1_warm_qps)
             .num("ingest_per_sec", ingest_per_sec)
             .num("warm_qps", warm_qps)
             .num("warm_latency_p50_us", p50_us)

@@ -1,0 +1,370 @@
+//! [`FaultProxy`] — a fault-injecting TCP interposer for chaos testing
+//! the networked tier.
+//!
+//! The proxy sits between the router and one shard-server replica (or
+//! between a client and the router) and forwards bytes faithfully until
+//! told otherwise. Its fault repertoire covers the failure classes the
+//! deadline/failover machinery claims to survive:
+//!
+//! * [`FaultMode::Refuse`] — new connections are accepted and closed
+//!   immediately (connection refused as the router perceives it).
+//! * [`FaultMode::DropAfter`] — forward N bytes per direction, then
+//!   sever (a replica dying mid-response).
+//! * [`FaultMode::StallAfter`] — forward N bytes, then hold the
+//!   connection open forwarding nothing (a hung replica / mid-frame
+//!   stall; what the bounded reader's `io_timeout` exists for).
+//! * [`FaultMode::SlowWrite`] — dribble bytes in tiny delayed chunks
+//!   (slow-loris; the absolute frame deadline exists for this).
+//! * [`FaultMode::CorruptFrame`] — flip one deterministic bit in the
+//!   upstream's reply stream (the FNV checksum must catch it; the router
+//!   must fail over, never decode garbage).
+//! * [`FaultProxy::sever`] — kill every live proxied connection at once;
+//!   combined with `Refuse` this is a network partition
+//!   ([`FaultProxy::partition`]), and [`FaultProxy::heal`] lifts it.
+//!
+//! Fault placement is **deterministic**: a seeded SplitMix64 stream
+//! keyed by `(seed, connection index, direction)` picks corrupt-bit
+//! offsets, so a chaos scenario replays identically for a given seed. No
+//! wall-clock randomness, no rand dependency.
+//!
+//! The proxy never panics on I/O and all its stalls are interruptible
+//! (every pump wakes a few times per second to check for [`sever`] /
+//! [`shutdown`]), so a chaos harness can always tear it down — the
+//! harness asserting "no hangs" must not itself hang.
+//!
+//! [`sever`]: FaultProxy::sever
+//! [`shutdown`]: FaultProxy::shutdown
+
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// How a [`FaultProxy`] treats connections accepted while the mode is
+/// active (a connection keeps the mode it was accepted under).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Forward bytes unmodified in both directions.
+    Faithful,
+    /// Accept and immediately close every new connection.
+    Refuse,
+    /// Forward this many bytes in each direction, then sever the
+    /// connection.
+    DropAfter(u64),
+    /// Forward this many bytes in each direction, then forward nothing —
+    /// the connection stays open, the peer's reads time out (or hang, if
+    /// unbounded: exactly what the deadline machinery must prevent).
+    StallAfter(u64),
+    /// Forward in `chunk`-byte writes with `delay_ms` between them
+    /// (slow-loris).
+    SlowWrite {
+        /// Bytes per write.
+        chunk: usize,
+        /// Milliseconds between writes.
+        delay_ms: u64,
+    },
+    /// Flip one deterministically-chosen bit in the upstream→client
+    /// direction, once per connection, then forward faithfully.
+    CorruptFrame,
+}
+
+/// How often a stalled/severed pump wakes to check for teardown.
+const PUMP_TICK: Duration = Duration::from_millis(20);
+
+/// Dial timeout for the proxy's own upstream connections.
+const UPSTREAM_CONNECT: Duration = Duration::from_secs(2);
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+struct ProxyInner {
+    upstream: SocketAddr,
+    mode: Mutex<FaultMode>,
+    /// Bumped by [`FaultProxy::sever`]; a pump whose captured epoch falls
+    /// behind closes its connection.
+    epoch: AtomicU64,
+    /// Connection counter feeding the deterministic fault stream.
+    conns: AtomicU64,
+    seed: u64,
+    stop: AtomicBool,
+}
+
+/// A running fault-injecting TCP interposer (see module docs).
+pub struct FaultProxy {
+    inner: Arc<ProxyInner>,
+    addr: SocketAddr,
+}
+
+impl FaultProxy {
+    /// Binds an ephemeral local port forwarding to `upstream`, starting
+    /// in [`FaultMode::Faithful`]. `seed` keys the deterministic fault
+    /// stream.
+    pub fn spawn(upstream: SocketAddr, seed: u64) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(ProxyInner {
+            upstream,
+            mode: Mutex::new(FaultMode::Faithful),
+            epoch: AtomicU64::new(0),
+            conns: AtomicU64::new(0),
+            seed,
+            stop: AtomicBool::new(false),
+        });
+        {
+            let inner = Arc::clone(&inner);
+            thread::spawn(move || accept_loop(&inner, &listener));
+        }
+        Ok(Self { inner, addr })
+    }
+
+    /// The proxy's listening address — what the router should be pointed
+    /// at instead of the real replica.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sets the fault mode for connections accepted from now on
+    /// (existing connections keep the mode they were born under; use
+    /// [`Self::sever`] to kill them too).
+    pub fn set_mode(&self, mode: FaultMode) {
+        *self.inner.mode.lock().expect("fault mode lock") = mode;
+    }
+
+    /// Kills every live proxied connection (both halves).
+    pub fn sever(&self) {
+        self.inner.epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Full network partition: refuse new connections and kill live ones.
+    pub fn partition(&self) {
+        self.set_mode(FaultMode::Refuse);
+        self.sever();
+    }
+
+    /// Lifts a partition (or any fault): back to faithful forwarding.
+    pub fn heal(&self) {
+        self.set_mode(FaultMode::Faithful);
+    }
+
+    /// Stops the proxy: no new connections, live ones killed.
+    pub fn shutdown(&self) {
+        self.inner.stop.store(true, Ordering::SeqCst);
+        self.sever();
+        // Wake the accept loop so it observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(inner: &Arc<ProxyInner>, listener: &TcpListener) {
+    for stream in listener.incoming() {
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(client) = stream else { continue };
+        let mode = *inner.mode.lock().expect("fault mode lock");
+        if mode == FaultMode::Refuse {
+            // Dropping the stream closes it: the router sees an
+            // immediate disconnect, indistinguishable from a dead
+            // replica process.
+            continue;
+        }
+        let Ok(server) = TcpStream::connect_timeout(&inner.upstream, UPSTREAM_CONNECT) else {
+            continue;
+        };
+        let _ = client.set_nodelay(true);
+        let _ = server.set_nodelay(true);
+        let conn = inner.conns.fetch_add(1, Ordering::SeqCst);
+        let epoch = inner.epoch.load(Ordering::SeqCst);
+        let (c2, s2) = match (client.try_clone(), server.try_clone()) {
+            (Ok(c), Ok(s)) => (c, s),
+            _ => continue,
+        };
+        {
+            let inner = Arc::clone(inner);
+            thread::spawn(move || pump(&inner, client, server, mode, epoch, conn, 0));
+        }
+        {
+            let inner = Arc::clone(inner);
+            thread::spawn(move || pump(&inner, s2, c2, mode, epoch, conn, 1));
+        }
+    }
+}
+
+/// Forwards `from` → `to` under `mode` until EOF, error, sever or stop.
+/// `dir` 0 is client→upstream, 1 is upstream→client (the direction
+/// corruption targets — a corrupted *reply* is what the router must
+/// survive).
+fn pump(
+    inner: &ProxyInner,
+    mut from: TcpStream,
+    mut to: TcpStream,
+    mode: FaultMode,
+    epoch: u64,
+    conn: u64,
+    dir: u64,
+) {
+    // Short read timeout: the pump must wake regularly to notice
+    // sever/shutdown even when the wire is silent.
+    let _ = from.set_read_timeout(Some(PUMP_TICK));
+    let _ = to.set_write_timeout(Some(UPSTREAM_CONNECT));
+    // Deterministic per-(connection, direction) fault placement: one bit
+    // within the first KiB of the stream.
+    let r = splitmix64(inner.seed ^ splitmix64(conn << 1 | dir));
+    let corrupt_at = r % 1024;
+    let corrupt_bit = 1u8 << ((r >> 32) % 8) as u8;
+    let mut corrupted = false;
+    let mut forwarded = 0u64;
+    let mut buf = [0u8; 4096];
+    let severed =
+        || inner.stop.load(Ordering::SeqCst) || inner.epoch.load(Ordering::SeqCst) != epoch;
+    loop {
+        if severed() {
+            break;
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        let chunk = &mut buf[..n];
+        if mode == FaultMode::CorruptFrame
+            && dir == 1
+            && !corrupted
+            && forwarded + n as u64 > corrupt_at
+        {
+            chunk[(corrupt_at - forwarded) as usize] ^= corrupt_bit;
+            corrupted = true;
+        }
+        let budget = match mode {
+            FaultMode::DropAfter(limit) | FaultMode::StallAfter(limit) => {
+                (limit.saturating_sub(forwarded) as usize).min(n)
+            }
+            _ => n,
+        };
+        let ok = match mode {
+            FaultMode::SlowWrite { chunk: step, delay_ms } => {
+                let step = step.max(1);
+                let mut sent = 0;
+                loop {
+                    if sent >= budget || severed() {
+                        break sent >= budget;
+                    }
+                    let end = (sent + step).min(budget);
+                    if to.write_all(&chunk[sent..end]).is_err() {
+                        break false;
+                    }
+                    sent = end;
+                    thread::sleep(Duration::from_millis(delay_ms));
+                }
+            }
+            _ => budget == 0 || to.write_all(&chunk[..budget]).is_ok(),
+        };
+        if !ok {
+            break;
+        }
+        forwarded += budget as u64;
+        match mode {
+            FaultMode::DropAfter(limit) if forwarded >= limit => break,
+            FaultMode::StallAfter(limit) if forwarded >= limit => {
+                // Hold the connection open, forward nothing, stay
+                // interruptible.
+                while !severed() {
+                    thread::sleep(PUMP_TICK);
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A one-connection echo upstream for exercising the proxy.
+    fn echo_upstream() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind echo");
+        let addr = listener.local_addr().expect("echo addr");
+        thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                thread::spawn(move || {
+                    let mut stream = stream;
+                    let mut buf = [0u8; 1024];
+                    while let Ok(n) = stream.read(&mut buf) {
+                        if n == 0 || stream.write_all(&buf[..n]).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn faithful_mode_forwards_bytes_unchanged() {
+        let proxy = FaultProxy::spawn(echo_upstream(), 7).expect("spawn proxy");
+        let mut conn = TcpStream::connect(proxy.addr()).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let payload = b"through the interposer and back";
+        conn.write_all(payload).expect("write");
+        let mut got = vec![0u8; payload.len()];
+        conn.read_exact(&mut got).expect("read echo");
+        assert_eq!(&got, payload);
+    }
+
+    #[test]
+    fn corrupt_frame_flips_exactly_one_bit_in_the_reply() {
+        let proxy = FaultProxy::spawn(echo_upstream(), 7).expect("spawn proxy");
+        proxy.set_mode(FaultMode::CorruptFrame);
+        let mut conn = TcpStream::connect(proxy.addr()).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        // 2 KiB guarantees the corrupt offset (< 1 KiB into the reply
+        // stream) is reached.
+        let payload: Vec<u8> = (0..2048u32).map(|i| (i % 251) as u8).collect();
+        conn.write_all(&payload).expect("write");
+        let mut got = vec![0u8; payload.len()];
+        conn.read_exact(&mut got).expect("read echo");
+        let flipped: u32 = payload.iter().zip(&got).map(|(a, b)| (a ^ b).count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit must differ");
+    }
+
+    #[test]
+    fn stall_is_interruptible_by_sever() {
+        let proxy = FaultProxy::spawn(echo_upstream(), 7).expect("spawn proxy");
+        proxy.set_mode(FaultMode::StallAfter(4));
+        let mut conn = TcpStream::connect(proxy.addr()).expect("connect");
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        conn.write_all(b"0123456789").expect("write");
+        let mut got = [0u8; 4];
+        conn.read_exact(&mut got).expect("first 4 bytes pass");
+        // The stall holds the rest; sever must cut the connection (EOF
+        // or reset), not leave the reader hanging.
+        proxy.sever();
+        let mut rest = [0u8; 6];
+        let outcome = conn.read_exact(&mut rest);
+        assert!(outcome.is_err(), "severed stall must not deliver the stalled bytes");
+    }
+}

@@ -31,8 +31,10 @@
 
 pub mod arena;
 pub mod cache;
+pub mod chaos;
 pub mod error;
 pub mod metrics;
+pub mod replica;
 pub mod router;
 pub mod server;
 pub mod service;
@@ -40,9 +42,11 @@ pub mod shard;
 
 pub use arena::PinnedArena;
 pub use cache::LruCache;
+pub use chaos::{FaultMode, FaultProxy};
 pub use error::ServeError;
 pub use metrics::ServeMetrics;
+pub use replica::NetConfig;
 pub use router::{Router, RouterClient};
-pub use server::ShardServer;
+pub use server::{ServerConfig, ShardServer};
 pub use service::{IngestReport, ResolutionService, ServeConfig};
 pub use shard::ShardedResolutionService;

@@ -5,14 +5,30 @@
 //! The router owns everything *global*: the shared scoring tier (the same
 //! [`ResolutionService`] the in-process [`crate::ShardedResolutionService`]
 //! wraps, with its blocker slot holding the `Exhaustive` sentinel), the
-//! global stop-gram counts, and the cross-shard candidate merge. N shard
-//! servers each own one shard's blocking state. A candidate query is
-//! planned once against global state ([`flexer_block::plan_query`]),
-//! fanned out concurrently — one thread per shard, one framed request per
-//! hop — and merged back ([`flexer_block::merge_candidates`]). Those are
-//! the exact functions the in-process service runs, so router answers are
-//! **bit-identical** to `ShardedResolutionService` over the same snapshot
-//! and call sequence (asserted in `tests/cluster.rs`).
+//! global stop-gram counts, and the cross-shard candidate merge. Each of
+//! the N shard slots is served by **R replicas** — shard-server processes
+//! that all booted the same shard of the same snapshot — behind a
+//! [`ReplicaSet`]. A candidate query is planned once against global state
+//! ([`flexer_block::plan_query`]), fanned out concurrently — one thread
+//! per shard, one framed request to the healthiest replica with failover
+//! to its siblings — and merged back ([`flexer_block::merge_candidates`]).
+//! Those are the exact functions the in-process service runs, so router
+//! answers are **bit-identical** to `ShardedResolutionService` over the
+//! same snapshot and call sequence whenever at least one in-sync replica
+//! per shard answers (asserted in `tests/cluster.rs` and the chaos
+//! bench).
+//!
+//! # Deadlines
+//!
+//! Every request carries a time budget ([`NetConfig::request_budget`])
+//! threaded through the whole fan-out: connect, write and read on every
+//! shard-facing socket are individually bounded, a replica that stalls
+//! mid-frame is cut off ([`flexer_store::read_message_bounded`]), and the
+//! budget caps the total failover walk. A request can overshoot its
+//! budget by at most one I/O quantum ([`NetConfig::io_timeout`]) — the
+//! read that was legitimately in flight when the budget ran out. Budget
+//! exhaustion degrades the affected shard (`router.shard.timeout`), it
+//! never hangs the query.
 //!
 //! # Writes: the single-writer lane
 //!
@@ -23,23 +39,28 @@
 //! a full lane blocks further ingest connections (backpressure) without
 //! slowing reads, and each batch is applied exactly like one in-process
 //! `ingest_batch` call — pre-batched shard queries (one `QueryBatch`
-//! round trip per shard), one `ingest_batch_core`, then per-shard
-//! `Insert` appends.
+//! round trip per shard), one `ingest_batch_core`, then sequenced
+//! per-shard `Insert` fan-out to **every** replica.
 //!
 //! # Failure semantics
 //!
-//! Shard connections reconnect lazily with capped exponential backoff. A
-//! dead shard degrades **its own** candidates only: the fan-out
-//! substitutes an empty answer for that shard and the query proceeds over
-//! the surviving shards (the `router.shard.degraded` counter records
-//! every substitution). Inserts a dead shard misses are queued and
-//! replayed in order when it comes back, so a recovered shard converges
-//! to the state it would have had.
+//! A replica that fails a call backs off (capped exponential) and its
+//! siblings absorb the traffic (`router.shard.failover`). A shard whose
+//! every replica is unreachable degrades **its own** candidates only:
+//! the fan-out substitutes an empty answer and the query proceeds over
+//! the surviving shards (`router.shard.degraded`). Inserts an unreachable
+//! replica misses are queued in that replica's replay lane and replayed
+//! in original arrival order when it comes back — sequence numbers make
+//! replay idempotent, so a recovered replica converges to exactly the
+//! state it would have had. A background janitor thread replays pending
+//! lanes and probes failed replicas with `Ping` so recovery does not wait
+//! for query traffic.
 
 use crate::error::ServeError;
+use crate::replica::{FaultStats, NetConfig, ReplicaSet};
 use crate::service::{IngestReport, ResolutionService, ServeConfig};
 use flexer_block::{merge_candidates, plan_query, BlockerState};
-use flexer_store::{read_message, write_message, ModelSnapshot, WireError};
+use flexer_store::{read_message, read_message_bounded, write_message, ModelSnapshot, WireError};
 use flexer_types::{
     CandidateGenConfig, IntentId, ResolveQuery, ResolveResponse, RouterRequest, RouterResponse,
     ShardConfig, ShardRequest, ShardResponse, ShardRouter, WireCandidates, WireIngestReport,
@@ -68,77 +89,16 @@ fn gen_kind(gen: &CandidateGenConfig) -> &'static str {
 /// ingest connections block (the backpressure bound).
 const INGEST_LANE_DEPTH: usize = 4;
 
-/// First reconnect delay after a shard connection failure.
-const BACKOFF_BASE: Duration = Duration::from_millis(50);
+/// How often the janitor replays pending insert lanes and probes failed
+/// replicas.
+const JANITOR_PERIOD: Duration = Duration::from_millis(100);
 
-/// Reconnect delay ceiling.
-const BACKOFF_CAP: Duration = Duration::from_secs(2);
+/// A client connection may sit idle this long before the router reaps it.
+const CLIENT_IDLE: Duration = Duration::from_secs(300);
 
-/// One shard server's connection: lazily (re)established, with capped
-/// exponential backoff between attempts and an ordered replay queue of
-/// inserts the shard missed while unreachable.
-struct ShardConn {
-    addr: String,
-    stream: Option<TcpStream>,
-    fails: u32,
-    next_retry: Instant,
-    pending: Vec<(u64, String)>,
-}
-
-impl ShardConn {
-    fn new(addr: String) -> Self {
-        Self { addr, stream: None, fails: 0, next_retry: Instant::now(), pending: Vec::new() }
-    }
-
-    /// One request/response round trip, reconnecting (and replaying any
-    /// pending inserts) first if needed. While the backoff window is
-    /// open, fails fast without touching the network.
-    fn call(&mut self, request: &ShardRequest) -> Result<ShardResponse, WireError> {
-        let result = self.try_call(request);
-        match result {
-            Ok(response) => {
-                self.fails = 0;
-                Ok(response)
-            }
-            Err(e) => {
-                self.stream = None;
-                self.fails = self.fails.saturating_add(1);
-                let backoff = BACKOFF_BASE
-                    .saturating_mul(1u32 << self.fails.min(5).saturating_sub(1))
-                    .min(BACKOFF_CAP);
-                self.next_retry = Instant::now() + backoff;
-                Err(e)
-            }
-        }
-    }
-
-    fn try_call(&mut self, request: &ShardRequest) -> Result<ShardResponse, WireError> {
-        if self.stream.is_none() {
-            if Instant::now() < self.next_retry {
-                return Err(WireError::Io(std::io::Error::new(
-                    std::io::ErrorKind::WouldBlock,
-                    format!("shard {} in backoff", self.addr),
-                )));
-            }
-            let mut stream = TcpStream::connect(&self.addr)?;
-            // Request-response framing: never sit on a partial segment
-            // waiting for an ACK that the peer is holding back.
-            let _ = stream.set_nodelay(true);
-            if !self.pending.is_empty() {
-                // Replay missed inserts in order before anything else, so
-                // the recovered shard answers over complete state.
-                let replay = ShardRequest::Insert(self.pending.clone());
-                write_message(&mut stream, &replay)?;
-                read_message::<ShardResponse>(&mut stream)?;
-                self.pending.clear();
-            }
-            self.stream = Some(stream);
-        }
-        let stream = self.stream.as_mut().expect("connected above");
-        write_message(stream, request)?;
-        read_message(stream)
-    }
-}
+/// Once a client starts a frame, it must complete within this budget (a
+/// client stalling mid-frame would otherwise pin its thread forever).
+const CLIENT_IO: Duration = Duration::from_secs(30);
 
 /// The global (router-side) serving state: the shared scoring tier plus
 /// the global blocking decisions the shards cannot make alone.
@@ -151,8 +111,13 @@ struct Core {
 
 struct Inner {
     core: RwLock<Core>,
-    conns: Vec<Mutex<ShardConn>>,
+    sets: Vec<ReplicaSet>,
+    net: NetConfig,
+    stats: FaultStats,
     stop: AtomicBool,
+    /// Serializes writer-lane and janitor insert traffic so sequenced
+    /// batches leave in order even while the janitor is replaying.
+    ingest_mutex: Mutex<()>,
 }
 
 struct IngestJob {
@@ -167,35 +132,44 @@ pub struct Router {
     addr: SocketAddr,
     ingest_tx: SyncSender<IngestJob>,
     writer: Option<thread::JoinHandle<()>>,
+    janitor: Option<thread::JoinHandle<()>>,
 }
 
 impl Router {
-    /// Loads a snapshot file and connects to the shard servers at
-    /// `shard_addrs` (one per shard, shard order). Every shard must
-    /// answer the boot handshake — degradation is a runtime property;
-    /// booting against a half-dead cluster is refused.
+    /// Loads a snapshot file and connects to the shard servers in
+    /// `shards` (outer vec: shard slots in shard order; inner vec: that
+    /// shard's replica addresses). Every replica must answer the boot
+    /// handshake — degradation is a runtime property; booting against a
+    /// half-dead cluster is refused.
     pub fn load(
         path: impl AsRef<std::path::Path>,
         config: ServeConfig,
-        shard_addrs: Vec<String>,
+        shards: Vec<Vec<String>>,
         addr: impl ToSocketAddrs,
+        net: NetConfig,
     ) -> Result<Self, ServeError> {
-        Self::from_snapshot(ModelSnapshot::load(path)?, config, shard_addrs, addr)
+        Self::from_snapshot(ModelSnapshot::load(path)?, config, shards, addr, net)
     }
 
     /// [`Self::load`] from an already-loaded snapshot.
     pub fn from_snapshot(
         mut snapshot: ModelSnapshot,
         config: ServeConfig,
-        shard_addrs: Vec<String>,
+        shards: Vec<Vec<String>>,
         addr: impl ToSocketAddrs,
+        net: NetConfig,
     ) -> Result<Self, ServeError> {
-        let shard_config = ShardConfig::of(shard_addrs.len());
+        let shard_config = ShardConfig::of(shards.len());
         shard_config.validate().map_err(ServeError::InconsistentSnapshot)?;
+        if shards.iter().any(Vec::is_empty) {
+            return Err(ServeError::InconsistentSnapshot(
+                "every shard slot needs at least one replica address".into(),
+            ));
+        }
         // The router needs only the backend *configuration* locally — the
         // blocking state itself lives in the shard servers.
         let gen = match snapshot.sharding.take() {
-            Some(frames) if frames.n_shards() == shard_addrs.len() => {
+            Some(frames) if frames.n_shards() == shards.len() => {
                 frames.decode_shard(0)?.1.gen_config()
             }
             Some(_) => {
@@ -208,40 +182,60 @@ impl Router {
         snapshot.blocker = BlockerState::Exhaustive;
         let n_records = snapshot.records.len();
         let service = ResolutionService::build(snapshot, config, false)?;
-        let mut conns = Vec::with_capacity(shard_addrs.len());
+        let n_slots = shards.len();
+        let mut sets = Vec::with_capacity(n_slots);
         let mut gram_counts: HashMap<u64, u32> = HashMap::new();
         let mut shard_records = 0u64;
-        for (s, shard_addr) in shard_addrs.iter().enumerate() {
-            let mut conn = ShardConn::new(shard_addr.clone());
-            let hello = conn
-                .call(&ShardRequest::Hello)
-                .map_err(|e| ServeError::InconsistentSnapshot(format!("shard {s}: {e}")))?;
-            let ShardResponse::Hello { shard, n_shards, n_records, backend, gram_counts: gc } =
-                hello
-            else {
-                return Err(ServeError::InconsistentSnapshot(format!(
-                    "shard {s}: unexpected handshake reply"
-                )));
-            };
-            if shard != s as u64 || n_shards != shard_addrs.len() as u64 {
-                return Err(ServeError::InconsistentSnapshot(format!(
-                    "shard {s}: server identifies as shard {shard} of {n_shards}"
-                )));
+        for (s, replica_addrs) in shards.into_iter().enumerate() {
+            let set = ReplicaSet::new(replica_addrs);
+            let mut agreed_records: Option<u64> = None;
+            for (r, replica) in set.replicas().iter().enumerate() {
+                // Ask this specific replica (not the set) so a dead
+                // sibling cannot mask a dead replica at boot.
+                let Some(ShardResponse::Hello {
+                    shard,
+                    n_shards,
+                    n_records,
+                    backend,
+                    gram_counts: gc,
+                }) = replica_hello(replica.addr(), &net)
+                else {
+                    return Err(ServeError::InconsistentSnapshot(format!(
+                        "shard {s} replica {r} ({}): no handshake reply",
+                        replica.addr()
+                    )));
+                };
+                if shard != s as u64 || n_shards != n_slots as u64 {
+                    return Err(ServeError::InconsistentSnapshot(format!(
+                        "shard {s} replica {r}: server identifies as shard {shard} of {n_shards}"
+                    )));
+                }
+                if backend != gen_kind(&gen) {
+                    return Err(ServeError::InconsistentSnapshot(format!(
+                        "shard {s} replica {r}: backend {backend} != router's {}",
+                        gen_kind(&gen)
+                    )));
+                }
+                match agreed_records {
+                    None => agreed_records = Some(n_records),
+                    Some(expected) if expected != n_records => {
+                        return Err(ServeError::InconsistentSnapshot(format!(
+                            "shard {s}: replicas disagree on record count ({expected} vs {n_records})"
+                        )));
+                    }
+                    Some(_) => {}
+                }
+                if r == 0 {
+                    shard_records += n_records;
+                    // Summed across shards, the per-shard bucket sizes are
+                    // exactly the global stop-gram counts (buckets
+                    // partition the corpus by record).
+                    for (g, n) in gc {
+                        *gram_counts.entry(g).or_insert(0) += n;
+                    }
+                }
             }
-            if backend != gen_kind(&gen) {
-                return Err(ServeError::InconsistentSnapshot(format!(
-                    "shard {s}: backend {backend} != router's {}",
-                    gen_kind(&gen)
-                )));
-            }
-            shard_records += n_records;
-            // Summed across shards, the per-shard bucket sizes are
-            // exactly the global stop-gram counts (buckets partition the
-            // corpus by record).
-            for (g, n) in gc {
-                *gram_counts.entry(g).or_insert(0) += n;
-            }
-            conns.push(Mutex::new(conn));
+            sets.push(set);
         }
         if !matches!(gen, CandidateGenConfig::Exhaustive) && shard_records != n_records as u64 {
             return Err(ServeError::InconsistentSnapshot(format!(
@@ -257,15 +251,22 @@ impl Router {
                 gram_counts,
                 title_router: ShardRouter::new(shard_config),
             }),
-            conns,
+            sets,
+            net,
+            stats: FaultStats::default(),
             stop: AtomicBool::new(false),
+            ingest_mutex: Mutex::new(()),
         });
         let (ingest_tx, ingest_rx) = sync_channel::<IngestJob>(INGEST_LANE_DEPTH);
         let writer = {
             let inner = Arc::clone(&inner);
             thread::spawn(move || writer_lane(&inner, &ingest_rx))
         };
-        Ok(Self { inner, listener, addr, ingest_tx, writer: Some(writer) })
+        let janitor = {
+            let inner = Arc::clone(&inner);
+            thread::spawn(move || janitor_lane(&inner))
+        };
+        Ok(Self { inner, listener, addr, ingest_tx, writer: Some(writer), janitor: Some(janitor) })
     }
 
     /// The address the router is bound to.
@@ -289,10 +290,14 @@ impl Router {
             let addr = self.addr;
             thread::spawn(move || serve_connection(&inner, &ingest_tx, stream, addr));
         }
-        // Close the lane and wait for queued ingests to finish applying.
+        // Close the lane and wait for queued ingests to finish applying,
+        // then for the janitor to observe the stop flag.
         drop(self.ingest_tx);
         if let Some(writer) = self.writer.take() {
             let _ = writer.join();
+        }
+        if let Some(janitor) = self.janitor.take() {
+            let _ = janitor.join();
         }
     }
 
@@ -302,6 +307,17 @@ impl Router {
     }
 }
 
+/// One direct handshake with one replica (boot path: every replica must
+/// answer for itself).
+fn replica_hello(addr: &str, net: &NetConfig) -> Option<ShardResponse> {
+    let sock = addr.to_socket_addrs().ok()?.next()?;
+    let mut stream = TcpStream::connect_timeout(&sock, net.connect_timeout).ok()?;
+    let _ = stream.set_nodelay(true);
+    stream.set_write_timeout(Some(net.io_timeout)).ok()?;
+    write_message(&mut stream, &ShardRequest::Hello).ok()?;
+    read_message_bounded::<ShardResponse>(&mut stream, net.io_timeout, net.io_timeout).ok()?
+}
+
 /// The single-writer ingest lane: applies queued batches strictly in
 /// arrival order, one at a time, each exactly like one in-process
 /// `ingest_batch` call.
@@ -309,6 +325,21 @@ fn writer_lane(inner: &Inner, jobs: &Receiver<IngestJob>) {
     while let Ok(job) = jobs.recv() {
         let reports = apply_ingest(inner, &job.titles);
         let _ = job.reply.send(reports);
+    }
+}
+
+/// Background replay/probe loop: replays pending insert lanes and pings
+/// failed replicas so recovery does not wait for the next client request.
+fn janitor_lane(inner: &Inner) {
+    while !inner.stop.load(Ordering::SeqCst) {
+        thread::sleep(JANITOR_PERIOD);
+        if inner.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let _lane = inner.ingest_mutex.lock().expect("ingest order lock");
+        for set in &inner.sets {
+            set.flush_pending(&inner.net, &inner.stats);
+        }
     }
 }
 
@@ -329,7 +360,8 @@ fn apply_ingest(inner: &Inner, titles: &[String]) -> Vec<IngestReport> {
                 title_refs.iter().map(|_| (0..n).collect()).collect()
             }
             Some(queries) => {
-                let per_shard = fan_out_batches(inner, &queries);
+                let deadline = Instant::now() + inner.net.request_budget;
+                let per_shard = fan_out_batches(inner, &queries, deadline);
                 (0..titles.len())
                     .map(|i| {
                         merge_candidates(
@@ -345,7 +377,7 @@ fn apply_ingest(inner: &Inner, titles: &[String]) -> Vec<IngestReport> {
     // Grow the global blocking state: stop-gram counts locally, the
     // records themselves in their owning shards (global ids are the ones
     // the scoring tier just assigned).
-    let mut rows_by_shard: Vec<Vec<(u64, String)>> = vec![Vec::new(); inner.conns.len()];
+    let mut rows_by_shard: Vec<Vec<(u64, String)>> = vec![Vec::new(); inner.sets.len()];
     for (title, report) in titles.iter().zip(&reports) {
         if let CandidateGenConfig::NGram(c) = &core.gen {
             for g in flexer_block::ngram::gram_vec(title, c.q) {
@@ -354,20 +386,12 @@ fn apply_ingest(inner: &Inner, titles: &[String]) -> Vec<IngestReport> {
         }
         rows_by_shard[core.title_router.route(title)].push((report.record as u64, title.clone()));
     }
+    let _lane = inner.ingest_mutex.lock().expect("ingest order lock");
     for (s, rows) in rows_by_shard.into_iter().enumerate() {
         if rows.is_empty() {
             continue;
         }
-        let mut conn = inner.conns[s].lock().expect("shard conn lock");
-        if !matches!(
-            conn.call(&ShardRequest::Insert(rows.clone())),
-            Ok(ShardResponse::Inserted { .. })
-        ) {
-            // The shard missed this append; replay it (in order) when the
-            // connection comes back.
-            flexer_obs::global().add("router.shard.insert_deferred", 1);
-            conn.pending.extend(rows);
-        }
+        inner.sets[s].insert(rows, &inner.net, &inner.stats);
     }
     reports
 }
@@ -378,25 +402,37 @@ fn plan_all(core: &Core, titles: &[&str]) -> Option<Vec<WireQuery>> {
     titles.iter().map(|t| plan_query(&core.gen, &core.gram_counts, t)).collect()
 }
 
-/// Fans one `QueryBatch` out to every shard concurrently (one thread and
-/// one round trip per shard). A shard that cannot answer — dead,
-/// desynced, in backoff — contributes empty answers for the whole batch:
-/// its records drop out of the candidate set, the query survives.
-fn fan_out_batches(inner: &Inner, queries: &[WireQuery]) -> Vec<Vec<WireCandidates>> {
+/// Fans one `QueryBatch` out to every shard concurrently (one thread per
+/// shard slot, failover across that shard's replicas, everything bounded
+/// by `deadline`). A shard that cannot answer — every replica dead,
+/// desynced, stalled or out of budget — contributes empty answers for the
+/// whole batch: its records drop out of the candidate set, the query
+/// survives.
+fn fan_out_batches(
+    inner: &Inner,
+    queries: &[WireQuery],
+    deadline: Instant,
+) -> Vec<Vec<WireCandidates>> {
     let empty = || vec![WireCandidates::Ids(Vec::new()); queries.len()];
+    let request = ShardRequest::QueryBatch(queries.to_vec());
     thread::scope(|scope| {
-        let handles: Vec<_> = (0..inner.conns.len())
+        let handles: Vec<_> = (0..inner.sets.len())
             .map(|s| {
+                let request = &request;
                 scope.spawn(move || {
-                    let mut conn = inner.conns[s].lock().expect("shard conn lock");
-                    match conn.call(&ShardRequest::QueryBatch(queries.to_vec())) {
-                        Ok(ShardResponse::CandidatesBatch(answers))
+                    match inner.sets[s].call_with_failover(
+                        request,
+                        &inner.net,
+                        deadline,
+                        &inner.stats,
+                    ) {
+                        Some(ShardResponse::CandidatesBatch(answers))
                             if answers.len() == queries.len() =>
                         {
                             answers
                         }
                         _ => {
-                            flexer_obs::global().add("router.shard.degraded", 1);
+                            FaultStats::bump(&inner.stats.degraded, "router.shard.degraded");
                             empty()
                         }
                     }
@@ -409,14 +445,14 @@ fn fan_out_batches(inner: &Inner, queries: &[WireQuery]) -> Vec<Vec<WireCandidat
 
 /// The record ids a title is paired against: the networked fan-out/merge,
 /// or every record under exhaustive blocking.
-fn candidate_records(inner: &Inner, core: &Core, title: &str) -> Vec<usize> {
+fn candidate_records(inner: &Inner, core: &Core, title: &str, deadline: Instant) -> Vec<usize> {
     if core.service.config().exhaustive {
         return (0..core.service.n_records()).collect();
     }
     match plan_query(&core.gen, &core.gram_counts, title) {
         None => (0..core.service.n_records()).collect(),
         Some(query) => {
-            let answers = fan_out_batches(inner, std::slice::from_ref(&query))
+            let answers = fan_out_batches(inner, std::slice::from_ref(&query), deadline)
                 .into_iter()
                 .map(|mut batch| batch.pop().expect("one answer per query"));
             merge_candidates(&core.gen, answers)
@@ -431,11 +467,12 @@ fn resolve_one(
     top_k: usize,
 ) -> Result<ResolveResponse, ServeError> {
     let t0 = Instant::now();
+    let deadline = t0 + inner.net.request_budget;
     let core = inner.core.read().expect("router core lock");
     let record_candidates = match query {
         ResolveQuery::Record(title) => {
             let _span = core.service.recorder().span("resolve.block");
-            Some(candidate_records(inner, &core, title))
+            Some(candidate_records(inner, &core, title, deadline))
         }
         _ => None,
     };
@@ -451,19 +488,21 @@ fn serve_connection(
     addr: SocketAddr,
 ) {
     loop {
-        let request = match read_message::<RouterRequest>(&mut stream) {
-            Ok(request) => request,
-            Err(WireError::Io(_)) => return,
-            Err(e) => {
-                let _ = write_message(&mut stream, &RouterResponse::Error(e.to_string()));
-                return;
-            }
-        };
+        let request =
+            match read_message_bounded::<RouterRequest>(&mut stream, CLIENT_IDLE, CLIENT_IO) {
+                Ok(Some(request)) => request,
+                Ok(None) => return, // idle past the reap window
+                Err(WireError::Io(_)) => return,
+                Err(e) => {
+                    let _ = write_message(&mut stream, &RouterResponse::Error(e.to_string()));
+                    return;
+                }
+            };
         let response = match request {
             RouterRequest::Hello => {
                 let core = inner.core.read().expect("router core lock");
                 RouterResponse::Hello {
-                    n_shards: inner.conns.len() as u64,
+                    n_shards: inner.sets.len() as u64,
                     n_records: core.service.n_records() as u64,
                     n_intents: core.service.n_intents() as u64,
                 }
@@ -503,10 +542,16 @@ fn serve_connection(
                     Err(_) => RouterResponse::Error("ingest lane closed".into()),
                 }
             }
+            RouterRequest::Stats => {
+                let pending: usize = inner.sets.iter().map(ReplicaSet::pending_total).sum();
+                RouterResponse::Stats(inner.stats.snapshot(pending as u64))
+            }
             RouterRequest::Shutdown => {
-                for conn in &inner.conns {
-                    let mut conn = conn.lock().expect("shard conn lock");
-                    let _ = conn.call(&ShardRequest::Shutdown);
+                let deadline = Instant::now() + inner.net.io_timeout;
+                for set in &inner.sets {
+                    for replica in set.replicas() {
+                        let _ = shutdown_replica(replica.addr(), &inner.net, deadline);
+                    }
                 }
                 let _ = write_message(&mut stream, &RouterResponse::Shutdown);
                 inner.stop.store(true, Ordering::SeqCst);
@@ -520,6 +565,21 @@ fn serve_connection(
     }
 }
 
+/// Sends one best-effort `Shutdown` to one replica over a fresh, bounded
+/// connection.
+fn shutdown_replica(addr: &str, net: &NetConfig, deadline: Instant) -> Option<()> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return None;
+    }
+    let sock = addr.to_socket_addrs().ok()?.next()?;
+    let mut stream = TcpStream::connect_timeout(&sock, net.connect_timeout.min(remaining)).ok()?;
+    stream.set_write_timeout(Some(net.io_timeout)).ok()?;
+    write_message(&mut stream, &ShardRequest::Shutdown).ok()?;
+    let _ = read_message_bounded::<ShardResponse>(&mut stream, net.io_timeout, net.io_timeout);
+    Some(())
+}
+
 /// A blocking client for one router connection — the typed counterpart of
 /// the wire protocol, used by the cluster bench and the smoke tests.
 pub struct RouterClient {
@@ -531,6 +591,25 @@ impl RouterClient {
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        Ok(Self { stream })
+    }
+
+    /// Connects with an I/O deadline: any single request/response
+    /// exchange that takes longer than `io` fails instead of blocking
+    /// forever (what the chaos harness uses to turn hangs into failures).
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        connect: Duration,
+        io: Duration,
+    ) -> std::io::Result<Self> {
+        let sock = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "no address"))?;
+        let stream = TcpStream::connect_timeout(&sock, connect)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(io))?;
+        stream.set_write_timeout(Some(io))?;
         Ok(Self { stream })
     }
 
@@ -589,6 +668,14 @@ impl RouterClient {
         }
     }
 
+    /// Fetches the router's fault counters as `(name, value)` pairs.
+    pub fn stats(&mut self) -> Result<Vec<(String, u64)>, WireError> {
+        match self.call(&RouterRequest::Stats)? {
+            RouterResponse::Stats(pairs) => Ok(pairs),
+            other => Err(unexpected(&other)),
+        }
+    }
+
     /// Shuts the router (and its shard servers) down.
     pub fn shutdown(&mut self) -> Result<(), WireError> {
         match self.call(&RouterRequest::Shutdown)? {
@@ -604,6 +691,7 @@ fn unexpected(response: &RouterResponse) -> WireError {
         RouterResponse::Resolve(_) => "Resolve",
         RouterResponse::ResolveBatch(_) => "ResolveBatch",
         RouterResponse::IngestBatch(_) => "IngestBatch",
+        RouterResponse::Stats(_) => "Stats",
         RouterResponse::Shutdown => "Shutdown",
         RouterResponse::Error(msg) => {
             return WireError::Store(flexer_store::StoreError::Malformed(format!(

@@ -6,7 +6,9 @@
 
 use flexer_core::{FlexErConfig, FlexErModel, InParallelModel, PipelineContext};
 use flexer_datasets::AmazonMiConfig;
-use flexer_serve::{Router, RouterClient, ServeConfig, ShardServer, ShardedResolutionService};
+use flexer_serve::{
+    NetConfig, Router, RouterClient, ServeConfig, ShardServer, ShardedResolutionService,
+};
 use flexer_store::{IndexKind, ModelSnapshot};
 use flexer_types::{
     ResolveQuery, Scale, ShardConfig, ShardRequest, ShardResponse, WireIngestReport,
@@ -29,26 +31,57 @@ fn sharded_snapshot() -> &'static ModelSnapshot {
     })
 }
 
-/// Boots 2 shard servers + a router over the shared snapshot; returns a
-/// connected client, the router's address and the shard addresses.
-fn boot_cluster() -> (RouterClient, std::net::SocketAddr, Vec<String>) {
+/// Boots `replicas` shard servers per shard slot (2 slots) + a router
+/// over the shared snapshot; returns a connected client, the router's
+/// address and the replica addresses per shard slot.
+fn boot_replicated(replicas: usize) -> (RouterClient, std::net::SocketAddr, Vec<Vec<String>>) {
     let snapshot = sharded_snapshot();
-    let mut addrs = Vec::new();
+    let mut groups = Vec::new();
     for shard in 0..2 {
-        let server = ShardServer::from_snapshot(snapshot.clone(), shard, "127.0.0.1:0").unwrap();
-        addrs.push(server.local_addr().to_string());
-        server.spawn();
+        let mut addrs = Vec::new();
+        for _ in 0..replicas {
+            let server =
+                ShardServer::from_snapshot(snapshot.clone(), shard, "127.0.0.1:0").unwrap();
+            addrs.push(server.local_addr().to_string());
+            server.spawn();
+        }
+        groups.push(addrs);
     }
+    // Tight timeouts keep the degraded-path tests fast: a dead replica
+    // costs milliseconds (connection refused), a stalled one at most the
+    // 500 ms I/O quantum.
+    let net = NetConfig {
+        connect_timeout: std::time::Duration::from_millis(500),
+        io_timeout: std::time::Duration::from_millis(500),
+        request_budget: std::time::Duration::from_millis(2000),
+        ..NetConfig::default()
+    };
     let router = Router::from_snapshot(
         snapshot.clone(),
         ServeConfig::default(),
-        addrs.clone(),
+        groups.clone(),
         "127.0.0.1:0",
+        net,
     )
     .unwrap();
     let addr = router.local_addr();
     router.spawn();
-    (RouterClient::connect(addr).unwrap(), addr, addrs)
+    (RouterClient::connect(addr).unwrap(), addr, groups)
+}
+
+/// The pre-replication shape: one replica per shard slot.
+fn boot_cluster() -> (RouterClient, std::net::SocketAddr, Vec<String>) {
+    let (client, addr, groups) = boot_replicated(1);
+    (client, addr, groups.into_iter().map(|mut g| g.remove(0)).collect())
+}
+
+/// Sends a direct `Shutdown` to one shard server, behind the router's
+/// back.
+fn kill_shard(addr: &str) {
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    flexer_store::write_message(&mut stream, &ShardRequest::Shutdown).unwrap();
+    let reply: ShardResponse = flexer_store::read_message(&mut stream).unwrap();
+    assert_eq!(reply, ShardResponse::Shutdown);
 }
 
 fn as_wire(reports: &[flexer_serve::IngestReport]) -> Vec<WireIngestReport> {
@@ -136,10 +169,7 @@ fn dead_shard_degrades_its_candidates_only() {
     };
 
     // Kill shard 1 directly, behind the router's back.
-    let mut stream = std::net::TcpStream::connect(&shard_addrs[1]).unwrap();
-    flexer_store::write_message(&mut stream, &ShardRequest::Shutdown).unwrap();
-    let reply: ShardResponse = flexer_store::read_message(&mut stream).unwrap();
-    assert_eq!(reply, ShardResponse::Shutdown);
+    kill_shard(&shard_addrs[1]);
 
     // Record queries still answer — the dead shard's records drop out of
     // the candidate set, the query itself survives.
@@ -148,6 +178,61 @@ fn dead_shard_degrades_its_candidates_only() {
     // Pair queries never touch the shards at all.
     let response = client.resolve(ResolveQuery::CorpusPair(0), 0, 5).unwrap();
     assert!(response.is_ok());
+
+    client.shutdown().unwrap();
+}
+
+#[test]
+fn killing_one_replica_per_shard_keeps_answers_bit_identical() {
+    let snapshot = sharded_snapshot();
+    let mut reference =
+        ShardedResolutionService::new(snapshot.clone(), ServeConfig::default(), ShardConfig::of(2))
+            .unwrap();
+    let (mut client, _, groups) = boot_replicated(2);
+
+    let queries: Vec<ResolveQuery> = (0..4)
+        .map(|i| ResolveQuery::record(reference.record_title(i * 2)))
+        .chain([ResolveQuery::record("completely unrelated zzzz qqqq")])
+        .collect();
+    let top_all = reference.n_records();
+
+    // Healthy warm-up: both replicas of both shards answering.
+    for query in &queries {
+        let over_wire = client.resolve(query.clone(), 0, top_all).unwrap().unwrap();
+        let in_process = reference.resolve(query, 0, top_all).unwrap();
+        assert_eq!(over_wire, in_process, "healthy {query:?}");
+    }
+
+    // Kill one replica of EVERY shard. Quorum (one live replica per
+    // shard) still holds, so every answer must stay bit-identical — the
+    // survivors absorb the traffic.
+    for group in &groups {
+        kill_shard(&group[0]);
+    }
+    for query in &queries {
+        let over_wire = client.resolve(query.clone(), 0, top_all).unwrap().unwrap();
+        let in_process = reference.resolve(query, 0, top_all).unwrap();
+        assert_eq!(over_wire, in_process, "after replica kill {query:?}");
+    }
+
+    // Ingest still works: the live replicas apply, the dead ones get
+    // their batches queued for replay (visible in the stats).
+    let titles = vec![format!("{} listing", reference.record_title(0))];
+    let title_refs: Vec<&str> = titles.iter().map(String::as_str).collect();
+    let over_wire = client.ingest_batch(titles.clone()).unwrap();
+    let in_process = reference.ingest_batch(&title_refs);
+    assert_eq!(over_wire, as_wire(&in_process), "degraded ingest reports");
+    for query in &queries {
+        let over_wire = client.resolve(query.clone(), 0, top_all + 1).unwrap().unwrap();
+        let in_process = reference.resolve(query, 0, top_all + 1).unwrap();
+        assert_eq!(over_wire, in_process, "post-ingest {query:?}");
+    }
+
+    let stats = client.stats().unwrap();
+    let get = |name: &str| stats.iter().find(|(n, _)| n == name).map(|(_, v)| *v).unwrap();
+    assert!(get("router.shard.failover") > 0, "failover must have happened: {stats:?}");
+    assert_eq!(get("router.shard.degraded"), 0, "no shard may have degraded: {stats:?}");
+    assert!(get("router.shard.insert_deferred") > 0, "dead replicas defer inserts: {stats:?}");
 
     client.shutdown().unwrap();
 }

@@ -43,6 +43,6 @@ pub use format::{fnv1a64, seal, unseal, Reader, StoreError, Writer, MAGIC, VERSI
 pub use shard::ShardFrames;
 pub use snapshot::{IndexKind, ModelSnapshot};
 pub use wire::{
-    decode_frame, frame_message, read_message, seal_frame, unseal_frame, write_message, WireError,
-    MAX_WIRE_FRAME, WIRE_MAGIC, WIRE_VERSION,
+    decode_frame, frame_message, read_message, read_message_bounded, seal_frame, unseal_frame,
+    write_message, WireError, MAX_WIRE_FRAME, WIRE_MAGIC, WIRE_VERSION,
 };

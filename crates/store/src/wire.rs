@@ -37,8 +37,10 @@ use std::io::{self, Read, Write};
 /// Leading magic bytes of every wire frame.
 pub const WIRE_MAGIC: [u8; 8] = *b"FLEXWIRE";
 
-/// Wire protocol version; both ends reject anything else.
-pub const WIRE_VERSION: u32 = 1;
+/// Wire protocol version; both ends reject anything else. (v2 added the
+/// `Ping`/`Pong` health probes, the router `Stats` endpoint, and the
+/// sequence number on `Insert` that makes replay idempotent.)
+pub const WIRE_VERSION: u32 = 2;
 
 /// Hard ceiling on a frame's declared payload length (64 MiB). A peer
 /// announcing more is broken or hostile; the reader errors out before
@@ -193,6 +195,101 @@ pub fn read_message<T: Codec>(stream: &mut impl Read) -> Result<T, WireError> {
     let msg = T::decode(&mut r)?;
     r.finish()?;
     Ok(msg)
+}
+
+/// Floor for socket timeouts: `set_read_timeout(Some(ZERO))` is an error,
+/// and sub-millisecond timeouts busy-spin on some platforms.
+const MIN_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(1);
+
+/// Reads exactly `buf.len()` bytes from `stream`, finishing before
+/// `deadline`. Unlike a plain `set_read_timeout` + `read_exact`, the
+/// budget covers the **whole** buffer: a peer dribbling one byte per
+/// timeout window (slow-loris) cannot extend it, because the remaining
+/// time is re-derived from the absolute deadline before every `read`.
+fn read_exact_deadline(
+    stream: &mut std::net::TcpStream,
+    buf: &mut [u8],
+    deadline: std::time::Instant,
+) -> io::Result<()> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let now = std::time::Instant::now();
+        if now >= deadline {
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "frame read deadline exceeded"));
+        }
+        stream.set_read_timeout(Some((deadline - now).max(MIN_TIMEOUT)))?;
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(io::ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // The socket timer expired (Linux reports `WouldBlock`, other
+            // platforms `TimedOut`): loop back so the absolute-deadline
+            // check decides — either more budget remains and the read
+            // retries, or the canonical `TimedOut` is returned.
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Reads one framed message from a TCP stream under two explicit bounds:
+/// the peer has `first_byte_wait` to start a frame (no bytes within it ⇒
+/// `Ok(None)`, the **idle** outcome — a server reaps the connection, a
+/// client treats it as a timeout), and once the first byte has arrived
+/// the whole frame must complete within `frame_budget` (exceeded ⇒
+/// `Err(Io(TimedOut))`, the **stall** outcome — the connection is
+/// desynchronized and must be dropped). This is the read every networked
+/// component uses; the unbounded [`read_message`] remains for in-memory
+/// streams and tests.
+pub fn read_message_bounded<T: Codec>(
+    stream: &mut std::net::TcpStream,
+    first_byte_wait: std::time::Duration,
+    frame_budget: std::time::Duration,
+) -> Result<Option<T>, WireError> {
+    let mut header = [0u8; HEADER];
+    stream.set_read_timeout(Some(first_byte_wait.max(MIN_TIMEOUT)))?;
+    let first = loop {
+        match stream.read(&mut header) {
+            Ok(0) => return Err(io::Error::from(io::ErrorKind::UnexpectedEof).into()),
+            Ok(n) => break n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(None)
+            }
+            Err(e) => return Err(e.into()),
+        }
+    };
+    // A frame has begun: everything else races one absolute deadline.
+    let deadline = std::time::Instant::now() + frame_budget;
+    read_exact_deadline(stream, &mut header[first..], deadline)?;
+    if header[..8] != WIRE_MAGIC {
+        return Err(StoreError::BadMagic.into());
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    if version != WIRE_VERSION {
+        return Err(StoreError::UnsupportedVersion(version).into());
+    }
+    let len64 = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+    if len64 > MAX_WIRE_FRAME {
+        return Err(WireError::FrameTooLarge(len64));
+    }
+    let mut body = vec![0u8; len64 as usize + 8];
+    read_exact_deadline(stream, &mut body, deadline)?;
+    let payload = &body[..len64 as usize];
+    let stored = u64::from_le_bytes(body[len64 as usize..].try_into().expect("8 bytes"));
+    let computed = fnv1a64(payload);
+    if stored != computed {
+        return Err(StoreError::ChecksumMismatch { stored, computed }.into());
+    }
+    let mut r = Reader::new(payload);
+    let msg = T::decode(&mut r)?;
+    r.finish()?;
+    Ok(Some(msg))
 }
 
 fn bad_tag<T>(what: &str, tag: u8) -> Result<T, StoreError> {
@@ -365,8 +462,9 @@ impl Codec for ShardRequest {
                 w.put_u8(2);
                 qs.encode(w);
             }
-            ShardRequest::Insert(rows) => {
+            ShardRequest::Insert { seq, rows } => {
                 w.put_u8(3);
+                w.put_u64(*seq);
                 w.put_usize(rows.len());
                 for (id, title) in rows {
                     w.put_u64(*id);
@@ -374,6 +472,7 @@ impl Codec for ShardRequest {
                 }
             }
             ShardRequest::Shutdown => w.put_u8(4),
+            ShardRequest::Ping => w.put_u8(5),
         }
     }
 
@@ -383,6 +482,7 @@ impl Codec for ShardRequest {
             1 => Ok(ShardRequest::Query(WireQuery::decode(r)?)),
             2 => Ok(ShardRequest::QueryBatch(Vec::<WireQuery>::decode(r)?)),
             3 => {
+                let seq = r.get_u64()?;
                 // Each row is at least a u64 id + an 8-byte title length.
                 let n = r.get_count(16)?;
                 let mut rows = Vec::with_capacity(n);
@@ -391,9 +491,10 @@ impl Codec for ShardRequest {
                     let title = r.get_str()?;
                     rows.push((id, title));
                 }
-                Ok(ShardRequest::Insert(rows))
+                Ok(ShardRequest::Insert { seq, rows })
             }
             4 => Ok(ShardRequest::Shutdown),
+            5 => Ok(ShardRequest::Ping),
             t => bad_tag("ShardRequest", t),
         }
     }
@@ -431,6 +532,7 @@ impl Codec for ShardResponse {
                 w.put_u8(5);
                 w.put_str(msg);
             }
+            ShardResponse::Pong => w.put_u8(6),
         }
     }
 
@@ -455,6 +557,7 @@ impl Codec for ShardResponse {
             3 => Ok(ShardResponse::Inserted { n_records: r.get_u64()? }),
             4 => Ok(ShardResponse::Shutdown),
             5 => Ok(ShardResponse::Error(r.get_str()?)),
+            6 => Ok(ShardResponse::Pong),
             t => bad_tag("ShardResponse", t),
         }
     }
@@ -488,6 +591,7 @@ impl Codec for RouterRequest {
                 }
             }
             RouterRequest::Shutdown => w.put_u8(4),
+            RouterRequest::Stats => w.put_u8(5),
         }
     }
 
@@ -514,6 +618,7 @@ impl Codec for RouterRequest {
                 Ok(RouterRequest::IngestBatch(titles))
             }
             4 => Ok(RouterRequest::Shutdown),
+            5 => Ok(RouterRequest::Stats),
             t => bad_tag("RouterRequest", t),
         }
     }
@@ -587,6 +692,14 @@ impl Codec for RouterResponse {
                 w.put_u8(5);
                 w.put_str(msg);
             }
+            RouterResponse::Stats(pairs) => {
+                w.put_u8(6);
+                w.put_usize(pairs.len());
+                for (name, value) in pairs {
+                    w.put_str(name);
+                    w.put_u64(*value);
+                }
+            }
         }
     }
 
@@ -610,6 +723,17 @@ impl Codec for RouterResponse {
             3 => Ok(RouterResponse::IngestBatch(Vec::<WireIngestReport>::decode(r)?)),
             4 => Ok(RouterResponse::Shutdown),
             5 => Ok(RouterResponse::Error(r.get_str()?)),
+            6 => {
+                // Each pair is at least an 8-byte name length + a u64.
+                let n = r.get_count(16)?;
+                let mut pairs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.get_str()?;
+                    let value = r.get_u64()?;
+                    pairs.push((name, value));
+                }
+                Ok(RouterResponse::Stats(pairs))
+            }
             t => bad_tag("RouterResponse", t),
         }
     }
@@ -637,7 +761,11 @@ mod tests {
                 WireQuery::Embedding(vec![0.5, -1.25, f32::MIN_POSITIVE]),
                 WireQuery::Grams(vec![]),
             ]),
-            ShardRequest::Insert(vec![(9, "acme widget".into()), (10, String::new())]),
+            ShardRequest::Insert {
+                seq: 7,
+                rows: vec![(9, "acme widget".into()), (10, String::new())],
+            },
+            ShardRequest::Ping,
             ShardRequest::Shutdown,
         ];
         let shard_resps = vec![
@@ -654,6 +782,7 @@ mod tests {
                 WireCandidates::Ids(vec![]),
             ]),
             ShardResponse::Inserted { n_records: 1001 },
+            ShardResponse::Pong,
             ShardResponse::Shutdown,
             ShardResponse::Error("nope".into()),
         ];
@@ -670,6 +799,7 @@ mod tests {
                 top_k: 10,
             },
             RouterRequest::IngestBatch(vec!["x".into(), "y z".into()]),
+            RouterRequest::Stats,
             RouterRequest::Shutdown,
         ];
         let router_resps = vec![
@@ -682,6 +812,10 @@ mod tests {
                 n_pairs: 4,
                 n_suppressed: 26,
             }]),
+            RouterResponse::Stats(vec![
+                ("router.shard.failover".into(), 3),
+                ("router.shard.timeout".into(), u64::MAX),
+            ]),
             RouterResponse::Shutdown,
             RouterResponse::Error("bad frame".into()),
         ];
@@ -740,6 +874,54 @@ mod tests {
             decode_frame::<ShardRequest>(&bad),
             Err(StoreError::ChecksumMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn bounded_reader_distinguishes_idle_stall_and_success() {
+        use std::io::Write as _;
+        use std::net::{TcpListener, TcpStream};
+        use std::time::Duration;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            // 1. Say nothing for a while (idle), then send a full frame.
+            std::thread::sleep(Duration::from_millis(80));
+            write_message(&mut stream, &ShardRequest::Ping).unwrap();
+            // 2. Start a frame and stall after the first byte.
+            stream.write_all(&WIRE_MAGIC[..1]).unwrap();
+            stream.flush().unwrap();
+            std::thread::sleep(Duration::from_millis(300));
+        });
+        let (mut conn, _) = listener.accept().unwrap();
+        // Idle: no bytes inside the first-byte window.
+        let idle = read_message_bounded::<ShardRequest>(
+            &mut conn,
+            Duration::from_millis(20),
+            Duration::from_millis(200),
+        )
+        .unwrap();
+        assert!(idle.is_none(), "no frame started yet — idle, not an error");
+        // Success: a complete frame within budget.
+        let msg = read_message_bounded::<ShardRequest>(
+            &mut conn,
+            Duration::from_secs(2),
+            Duration::from_secs(2),
+        )
+        .unwrap();
+        assert_eq!(msg, Some(ShardRequest::Ping));
+        // Stall: the frame began but never completes within its budget.
+        let stalled = read_message_bounded::<ShardRequest>(
+            &mut conn,
+            Duration::from_secs(2),
+            Duration::from_millis(50),
+        );
+        assert!(
+            matches!(stalled, Err(WireError::Io(ref e)) if e.kind() == io::ErrorKind::TimedOut),
+            "mid-frame stall must surface as a timeout, got {stalled:?}"
+        );
+        client.join().unwrap();
     }
 
     #[test]

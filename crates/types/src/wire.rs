@@ -58,7 +58,22 @@ pub enum ShardRequest {
     QueryBatch(Vec<WireQuery>),
     /// Append records owned by this shard, as `(global id, title)` in
     /// global insertion order (the router assigns global ids).
-    Insert(Vec<(u64, String)>),
+    Insert {
+        /// Monotonic per-shard sequence number the router stamps on every
+        /// insert batch (1-based; 0 means "unsequenced, always apply").
+        /// Replicas remember the highest applied sequence and skip
+        /// batches at or below it, so a replayed batch — the router
+        /// cannot know whether a failed send was applied before the
+        /// connection died — is applied **exactly once**, in original
+        /// arrival order.
+        seq: u64,
+        /// The records, in global insertion order.
+        rows: Vec<(u64, String)>,
+    },
+    /// Liveness probe: answered with [`ShardResponse::Pong`] without
+    /// touching shard state. The router's deadline machinery uses it to
+    /// cheaply re-check a replica before trusting it with replay traffic.
+    Ping,
     /// Stop serving and exit cleanly.
     Shutdown,
 }
@@ -91,6 +106,8 @@ pub enum ShardResponse {
         /// Records this shard holds after the insert.
         n_records: u64,
     },
+    /// Acknowledges [`ShardRequest::Ping`].
+    Pong,
     /// Acknowledges [`ShardRequest::Shutdown`]; the server exits after
     /// writing it.
     Shutdown,
@@ -123,6 +140,10 @@ pub enum RouterRequest {
     },
     /// Ingest a batch of record titles (the single-writer lane).
     IngestBatch(Vec<String>),
+    /// Fetch the router's fault counters (timeouts, failovers, degrades,
+    /// deferred inserts, pending replay depth) as `(name, value)` pairs —
+    /// the chaos harness asserts failover actually happened through these.
+    Stats,
     /// Stop serving and exit cleanly (shard servers are shut down too).
     Shutdown,
 }
@@ -160,6 +181,9 @@ pub enum RouterResponse {
     ResolveBatch(Vec<Result<ResolveResponse, String>>),
     /// Per-title reports for [`RouterRequest::IngestBatch`].
     IngestBatch(Vec<WireIngestReport>),
+    /// Answer to [`RouterRequest::Stats`]: `(counter name, value)` pairs,
+    /// ascending by name.
+    Stats(Vec<(String, u64)>),
     /// Acknowledges [`RouterRequest::Shutdown`].
     Shutdown,
     /// The request could not be served.
